@@ -1,0 +1,94 @@
+// Command devilc is the Devil compiler front end: it checks a device
+// specification for the consistency properties of §2.2 and emits the C
+// stubs of §2.3 in production or debug mode.
+//
+// Usage:
+//
+//	devilc [-mode debug|production] [-var NAME] [-check] <spec>
+//
+// <spec> is either a path to a .dil file or the name of one of the
+// embedded Table-2 specifications (busmouse, pci, ide, ne2000, permedia).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/devil"
+	"repro/internal/specs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "devilc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("devilc", flag.ContinueOnError)
+	mode := fs.String("mode", "debug", "stub generation mode: debug or production")
+	varName := fs.String("var", "", "emit stubs for a single device variable only")
+	checkOnly := fs.Bool("check", false, "check the specification and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: devilc [-mode debug|production] [-var NAME] [-check] <spec>")
+	}
+
+	filename, source, err := loadSpec(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	spec, err := devil.Compile(filename, source)
+	if err != nil {
+		if ce, ok := err.(*devil.CompileError); ok {
+			for _, e := range ce.All() {
+				fmt.Fprintf(os.Stderr, "%s:%v\n", filename, e)
+			}
+			return fmt.Errorf("%d error(s)", len(ce.All()))
+		}
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "devilc: %s: specification OK (%d registers, %d variables)\n",
+		filename, len(spec.AST.Registers()), len(spec.AST.Variables()))
+	if *checkOnly {
+		return nil
+	}
+
+	genMode := devil.Debug
+	switch *mode {
+	case "debug":
+	case "production":
+		genMode = devil.Production
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if *varName != "" {
+		text, err := spec.EmitCVariable(genMode, *varName)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	}
+	fmt.Print(spec.EmitC(genMode))
+	return nil
+}
+
+// loadSpec resolves a spec argument: embedded name or file path.
+func loadSpec(arg string) (filename, source string, err error) {
+	if !strings.ContainsAny(arg, "/.") {
+		if s, err := specs.Load(arg); err == nil {
+			return s.Filename, s.Source, nil
+		}
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return "", "", err
+	}
+	return arg, string(data), nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompileEmbeddedSpecs(t *testing.T) {
+	for _, name := range []string{"busmouse", "pci", "ide", "ne2000", "permedia"} {
+		if err := run([]string{"-check", name}); err != nil {
+			t.Errorf("devilc -check %s: %v", name, err)
+		}
+	}
+}
+
+func TestEmitModes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "debug", "ide"},
+		{"-mode", "production", "ide"},
+		{"-var", "Drive", "ide"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("devilc %v: %v", args, err)
+		}
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.dil")
+	src := `device tiny (a : bit[8] port @ {0..0}) {
+		register r = a @ 0 : bit[8];
+		variable V = r : int(8);
+	}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check", path}); err != nil {
+		t.Errorf("devilc on file: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if err := run([]string{"-mode", "bogus", "ide"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run([]string{"nonexistent-spec"}); err == nil {
+		t.Error("unknown spec accepted")
+	}
+	if err := run([]string{"-var", "NoSuchVar", "ide"}); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	// An inconsistent spec must be rejected with diagnostics.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.dil")
+	src := `device bad (a : bit[8] port @ {0..0}) {
+		register r = a @ 0 : bit[16];
+		variable V = r : int(16);
+	}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check", path}); err == nil {
+		t.Error("inconsistent spec accepted")
+	}
+}

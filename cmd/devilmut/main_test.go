@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunBusmouse(t *testing.T) {
+	if err := run([]string{"busmouse"}); err != nil {
+		t.Fatalf("devilmut busmouse: %v", err)
+	}
+	if err := run([]string{"-v", "-survivors", "3", "busmouse"}); err != nil {
+		t.Fatalf("devilmut -v busmouse: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if err := run([]string{"no-such-spec"}); err == nil {
+		t.Error("unknown spec accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Command driverlab regenerates every table and figure of the paper's
+// evaluation:
+//
+//	driverlab -table 1        the reconstructed C operator mutation rules
+//	driverlab -table 2        Devil-compiler coverage over the 5 specs
+//	driverlab -table 3        mutation outcomes of the C IDE driver
+//	driverlab -table 4        mutation outcomes of the CDevil IDE driver
+//	driverlab -table all      everything (the default)
+//	driverlab -figure 1       the two driver architectures side by side
+//	driverlab -figure 3       the busmouse specification (round-tripped)
+//	driverlab -figure 4       the debug stub of the IDE Drive variable
+//	driverlab -ablation       the weak-typing and production-mode ablations
+//
+// Sampling: -sample selects the percentage of driver mutants booted (the
+// paper used 25); -seed makes the selection reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cdriver/ctoken"
+	"repro/internal/devil"
+	"repro/internal/experiment"
+	"repro/internal/mutation/cmut"
+	"repro/internal/specs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "driverlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("driverlab", flag.ContinueOnError)
+	table := fs.String("table", "", "table to regenerate: 1, 2, 3, 4, 5 (busmouse extension) or all")
+	figure := fs.String("figure", "", "figure to regenerate: 1, 3 or 4")
+	ablation := fs.Bool("ablation", false, "run the design-choice ablations")
+	sample := fs.Int("sample", 25, "percentage of driver mutants to boot (paper: 25)")
+	seed := fs.Uint64("seed", 2001, "sampling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *table == "" && *figure == "" && !*ablation {
+		*table = "all"
+	}
+	opts := experiment.MutationOptions{SamplePct: *sample, Seed: *seed}
+
+	switch *figure {
+	case "":
+	case "1":
+		printFigure1()
+	case "3":
+		return printFigure3()
+	case "4":
+		return printFigure4()
+	default:
+		return fmt.Errorf("unknown figure %q", *figure)
+	}
+
+	want := func(t string) bool { return *table == "all" || *table == t }
+	if want("1") {
+		printTable1()
+	}
+	if want("2") {
+		rows, err := experiment.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.FormatTable2(rows))
+	}
+	if want("3") {
+		t3, err := experiment.Table3(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.FormatDriverTable(t3,
+			fmt.Sprintf("Table 3: Mutations on C code (%d%% sample, seed %d)", *sample, *seed)))
+	}
+	if want("4") {
+		t4, err := experiment.Table4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.FormatDriverTable(t4,
+			fmt.Sprintf("Table 4: Mutations on CDevil code (%d%% sample, seed %d)", *sample, *seed)))
+	}
+	if want("5") {
+		for _, drv := range []string{"busmouse_c", "busmouse_devil"} {
+			t5, err := experiment.MouseMutation(drv, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatDriverTable(t5,
+				fmt.Sprintf("Extension (paper §6 future work): mutations on %s (%d%% sample, seed %d)",
+					drv, *sample, *seed)))
+		}
+	}
+
+	if *ablation {
+		return runAblations(opts)
+	}
+	return nil
+}
+
+// printTable1 renders the reconstructed operator mutation classes.
+func printTable1() {
+	fmt.Println("Table 1: Mutation rules for C operators (reconstruction; see DESIGN.md §6)")
+	kinds := make([]ctoken.Kind, 0, len(cmut.OperatorClasses))
+	for k := range cmut.OperatorClasses {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		repls := cmut.OperatorClasses[k]
+		names := make([]string, len(repls))
+		for i, r := range repls {
+			names[i] = r.String()
+		}
+		fmt.Printf("  %-4s -> %s\n", k, strings.Join(names, ", "))
+	}
+	fmt.Println()
+}
+
+// printFigure1 sketches the two development models of Figure 1.
+func printFigure1() {
+	fmt.Print(`Figure 1: Developing drivers with Devil
+
+  Existing driver                      Devil-based driver
+  ---------------                      ------------------
+  application                          application
+      |                                    |
+  system (kernel)                      system (kernel)
+      |                                    |
+  driver ----------------------+      driver (CDevil glue)
+   #define MSE_DATA_PORT 0x23c |          buttons = get_buttons();
+   outb(MSE_READ_Y_HIGH,       |          dy = get_dy();
+        MSE_CONTROL_PORT);     |           |
+   dy |= (inb(MSE_DATA_PORT)   |      generated stubs  <- devilc <- spec.dil
+        & 0xf) << 4;           |           |
+      |                        |       masking/shifting/pre-actions
+  device <---------------------+           |
+                                       device
+
+`)
+}
+
+// printFigure3 round-trips the busmouse specification through the parser.
+func printFigure3() error {
+	s, err := specs.Load("busmouse")
+	if err != nil {
+		return err
+	}
+	spec, err := devil.Compile(s.Filename, s.Source)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 3: Specification of the Logitech busmouse (%s, %d registers, %d variables)\n\n",
+		spec.AST.Name, len(spec.AST.Registers()), len(spec.AST.Variables()))
+	fmt.Println(s.Source)
+	return nil
+}
+
+// printFigure4 emits the debug stub for the IDE Drive variable.
+func printFigure4() error {
+	s, err := specs.Load("ide")
+	if err != nil {
+		return err
+	}
+	spec, err := devil.Compile(s.Filename, s.Source)
+	if err != nil {
+		return err
+	}
+	text, err := spec.EmitCVariable(devil.Debug, "Drive")
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 4: Debug stub for the IDE Drive variable")
+	fmt.Println()
+	fmt.Print(text)
+	return nil
+}
+
+// runAblations quantifies the two design choices DESIGN.md calls out.
+func runAblations(opts experiment.MutationOptions) error {
+	fmt.Println("Ablation A: CDevil with the strict checker downgraded to plain C rules")
+	weak := opts
+	weak.ForcePermissive = true
+	t, err := experiment.Table4(weak)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.FormatDriverTable(t, "  (stubs still active at run time)"))
+
+	fmt.Println("Ablation B: CDevil with production-mode stubs (no run-time assertions)")
+	prod := opts
+	prod.StubMode = devil.Production
+	t, err = experiment.Table4(prod)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiment.FormatDriverTable(t, "  (strict typing still active at compile time)"))
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// TestFastPaths exercises the non-mutation paths of the CLI (the mutation
+// tables are covered by the experiment package and the benchmarks).
+func TestFastPaths(t *testing.T) {
+	for _, args := range [][]string{
+		{"-table", "1"},
+		{"-figure", "1"},
+		{"-figure", "3"},
+		{"-figure", "4"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("driverlab %v: %v", args, err)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-figure", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

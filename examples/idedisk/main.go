@@ -1,0 +1,149 @@
+// idedisk: drive the simulated PIIX4 IDE disk entirely through Devil
+// stubs — soft reset, IDENTIFY, and a partition-table read — mirroring
+// what the re-engineered Linux driver of the evaluation does at boot.
+//
+// Note what is absent: port numbers, status masks, and the four-way LBA
+// split. set_Lba writes one 28-bit device variable; the generated stub
+// distributes it over the drive/head, cylinder and sector registers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/devil"
+	"repro/internal/hw"
+	"repro/internal/hw/ide"
+	"repro/internal/kernel"
+	"repro/internal/specs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Assemble the machine: a disk image with a partition table, behind a
+	// PIIX4-style controller at the PC-standard ports.
+	img, err := kernel.BuildImage(kernel.DefaultFiles(), 8)
+	if err != nil {
+		return err
+	}
+	clock := &hw.Clock{}
+	bus := hw.NewBus()
+	disk := ide.NewDisk("DEVIL EXAMPLE DISK", img.Sectors)
+	ctrl := ide.NewController(clock, disk)
+	if err := bus.Map(0x1f0, 8, ctrl); err != nil {
+		return err
+	}
+	if err := bus.Map(0x3f6, 1, ctrl.ControlBlock()); err != nil {
+		return err
+	}
+
+	// Compile the specification and generate debug stubs.
+	src, err := specs.Load("ide")
+	if err != nil {
+		return err
+	}
+	spec, err := devil.Compile(src.Filename, src.Source)
+	if err != nil {
+		return err
+	}
+	stubs, err := spec.Generate(devil.Config{
+		Bus:   bus,
+		Bases: map[string]hw.Port{"cmd": 0x1f0, "ctl": 0x3f6, "data": 0x1f0},
+		Mode:  devil.Debug,
+	})
+	if err != nil {
+		return err
+	}
+	c := constants(stubs)
+
+	set := func(name string, v devil.Value) {
+		if err := stubs.Set(name, v); err != nil {
+			log.Fatalf("set %s: %v", name, err)
+		}
+	}
+	// waitWhile polls a status variable until it stops matching want.
+	waitWhile := func(varName string, want devil.Value) error {
+		for i := 0; i < 10_000; i++ {
+			got, err := stubs.Get(varName)
+			if err != nil {
+				return err
+			}
+			if eq, err := stubs.Eq(got, want); err != nil {
+				return err
+			} else if !eq {
+				return nil
+			}
+			clock.Tick(1)
+		}
+		return fmt.Errorf("timeout waiting on %s", varName)
+	}
+
+	// Soft reset, exactly as the CDevil driver does it.
+	set("IrqControl", c["IRQ_DISABLE"])
+	set("SoftReset", c["ASSERT_RESET"])
+	clock.Tick(100)
+	set("SoftReset", c["RELEASE_RESET"])
+	if err := waitWhile("Busy", c["BUSY"]); err != nil {
+		return err
+	}
+	set("Drive", c["MASTER"])
+	set("AddressMode", c["LBA_MODE"])
+	fmt.Println("ide: reset complete, master selected")
+
+	// IDENTIFY: 256 words through the DataWord variable.
+	set("Command", c["CMD_IDENTIFY"])
+	if err := waitWhile("DataRequest", c["NO_DRQ"]); err != nil {
+		return err
+	}
+	identify := make([]uint16, 256)
+	for i := range identify {
+		w, err := stubs.Get("DataWord")
+		if err != nil {
+			return err
+		}
+		identify[i] = uint16(w.Val)
+	}
+	total := uint32(identify[60]) | uint32(identify[61])<<16
+	fmt.Printf("ide: identified drive: %d cylinders, %d heads, %d sectors (total %d LBAs)\n",
+		identify[1], identify[3], identify[6], total)
+
+	// Read the partition table: LBA 0 via the concatenated Lba variable.
+	set("SectorCount", devil.Value{Val: 1, Raw: 1})
+	set("Lba", devil.Value{Val: 0})
+	set("Command", c["CMD_READ_SECTORS"])
+	if err := waitWhile("DataRequest", c["NO_DRQ"]); err != nil {
+		return err
+	}
+	sector := make([]byte, 512)
+	for i := 0; i < 256; i++ {
+		w, err := stubs.Get("DataWord")
+		if err != nil {
+			return err
+		}
+		sector[2*i] = byte(w.Val)
+		sector[2*i+1] = byte(w.Val >> 8)
+	}
+	if sector[510] == 0x55 && sector[511] == 0xaa {
+		fmt.Println("ide: valid partition table magic 55 AA")
+	} else {
+		return fmt.Errorf("bad partition table magic % x", sector[510:512])
+	}
+	fmt.Printf("ide: partition starts at LBA %d\n",
+		uint32(sector[454])|uint32(sector[455])<<8|uint32(sector[456])<<16|uint32(sector[457])<<24)
+	return nil
+}
+
+// constants collects every enum constant of the stub set.
+func constants(stubs *devil.Stubs) map[string]devil.Value {
+	out := make(map[string]devil.Value)
+	for _, name := range stubs.ConstNames() {
+		v, _ := stubs.Const(name)
+		out[name] = v
+	}
+	return out
+}

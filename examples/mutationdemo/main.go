@@ -1,0 +1,162 @@
+// mutationdemo: one injected typo, three fates — the demonstration behind
+// the paper's evaluation.
+//
+// The same class of inattention error (using the wrong identifier) is
+// injected into (1) a Devil specification, where the consistency checker
+// rejects it; (2) plain C hardware operating code, where the compiler sees
+// interchangeable integers and accepts it silently; and (3) CDevil glue,
+// where the distinct struct types of the debug stubs make it a type error.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/cdriver/ccheck"
+	"repro/internal/cdriver/cparser"
+	"repro/internal/cdriver/ctypes"
+	"repro/internal/devil"
+	"repro/internal/devil/codegen"
+	"repro/internal/hw"
+	"repro/internal/specs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== 1. A typo in a Devil specification ===")
+	if err := devilTypo(); err != nil {
+		return err
+	}
+	fmt.Println("\n=== 2. The same class of typo in plain C ===")
+	if err := cTypo(); err != nil {
+		return err
+	}
+	fmt.Println("\n=== 3. And in CDevil over debug stubs ===")
+	return cdevilTypo()
+}
+
+// devilTypo injects a register-name confusion into the busmouse spec.
+func devilTypo() error {
+	src, err := specs.Load("busmouse")
+	if err != nil {
+		return err
+	}
+	// The variable dx should be assembled from x_high # x_low; confuse the
+	// second register with y_low (a classic inattention error).
+	mutated := strings.Replace(src.Source,
+		"variable dx = x_high[3..0] # x_low[3..0]",
+		"variable dx = x_high[3..0] # y_low[3..0]", 1)
+	fmt.Println("  injected: variable dx = x_high[3..0] # y_low[3..0]")
+	_, err = devil.Compile(src.Filename, mutated)
+	if err == nil {
+		return fmt.Errorf("the Devil compiler missed the typo")
+	}
+	ce := err.(*devil.CompileError)
+	fmt.Println("  Devil compiler says:")
+	for _, e := range ce.All() {
+		fmt.Printf("    %v\n", e)
+	}
+	return nil
+}
+
+const cFragment = `
+#define MSE_READ_Y_HIGH 0xe0
+#define MSE_READ_Y_LOW  0xc0
+#define MSE_CONTROL     0x23e
+#define MSE_DATA        0x23c
+
+int read_dy(void)
+{
+    int dy;
+    outb(MSE_READ_Y_LOW, MSE_CONTROL);
+    dy = inb(MSE_DATA) & 0xf;
+    outb(MSE_READ_Y_HIGH, MSE_CONTROL);
+    dy = dy | (inb(MSE_DATA) & 0xf) << 4;
+    return dy;
+}
+`
+
+// cTypo injects the same confusion into C: the wrong macro.
+func cTypo() error {
+	// Confuse the control port with the data port — both are just ints.
+	mutated := strings.Replace(cFragment,
+		"outb(MSE_READ_Y_LOW, MSE_CONTROL);",
+		"outb(MSE_READ_Y_LOW, MSE_DATA);", 1)
+	fmt.Println("  injected: outb(MSE_READ_Y_LOW, MSE_DATA);")
+	prog, perrs := cparser.Parse(mutated)
+	if len(perrs) > 0 {
+		return fmt.Errorf("unexpected parse failure: %v", perrs[0])
+	}
+	cerrs := ccheck.Check(prog, ctypes.NewEnv(false))
+	if len(cerrs) == 0 {
+		fmt.Println("  C compiler says: (nothing — it compiles cleanly; the bug ships)")
+		return nil
+	}
+	return fmt.Errorf("permissive C unexpectedly rejected the mutant: %v", cerrs[0])
+}
+
+const cdevilFragment = `
+int choose_drive(int want_slave)
+{
+    if (want_slave) {
+        set_Drive(SLAVE);
+    } else {
+        set_Drive(MASTER);
+    }
+    return 0;
+}
+`
+
+// cdevilTypo injects a constant confusion into CDevil glue.
+func cdevilTypo() error {
+	// Confuse the drive-select constant with a command opcode. In C both
+	// would be small integers; over debug stubs they are distinct structs.
+	mutated := strings.Replace(cdevilFragment,
+		"set_Drive(SLAVE);",
+		"set_Drive(CMD_IDENTIFY);", 1)
+	fmt.Println("  injected: set_Drive(CMD_IDENTIFY);")
+
+	// Build the typed environment from the IDE stub interface.
+	src, err := specs.Load("ide")
+	if err != nil {
+		return err
+	}
+	spec, err := devil.Compile(src.Filename, src.Source)
+	if err != nil {
+		return err
+	}
+	bus := hw.NewBus()
+	bus.SetFloating(true)
+	stubs, err := spec.Generate(devil.Config{
+		Bus:   bus,
+		Bases: map[string]hw.Port{"cmd": 0x1f0, "ctl": 0x3f6, "data": 0x1f0},
+		Mode:  codegen.Debug,
+	})
+	if err != nil {
+		return err
+	}
+	env := ctypes.NewEnv(true)
+	if err := env.AddStubs(stubs.Interface()); err != nil {
+		return err
+	}
+
+	prog, perrs := cparser.Parse(mutated)
+	if len(perrs) > 0 {
+		return fmt.Errorf("unexpected parse failure: %v", perrs[0])
+	}
+	cerrs := ccheck.Check(prog, env)
+	if len(cerrs) == 0 {
+		return fmt.Errorf("strict CDevil checking missed the typo")
+	}
+	fmt.Println("  CDevil (debug stubs) says:")
+	for _, e := range cerrs {
+		fmt.Printf("    %v\n", e)
+	}
+	return nil
+}

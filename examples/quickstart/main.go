@@ -1,0 +1,95 @@
+// Quickstart: compile the paper's busmouse specification (Figure 3),
+// generate debug stubs bound to a simulated Logitech busmouse, and read
+// the mouse through the typed device variables — no port numbers, masks
+// or shifts in sight.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/devil"
+	"repro/internal/hw"
+	"repro/internal/hw/busmouse"
+	"repro/internal/specs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Compile the specification. The Devil front end verifies all the
+	// §2.2 consistency properties before anything is generated.
+	src, err := specs.Load("busmouse")
+	if err != nil {
+		return err
+	}
+	spec, err := devil.Compile(src.Filename, src.Source)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled %s: device %s, %d registers, %d variables\n",
+		src.Filename, spec.AST.Name, len(spec.AST.Registers()), len(spec.AST.Variables()))
+
+	// 2. Assemble the hardware: one busmouse adapter at the PC's
+	// conventional 0x23c base.
+	bus := hw.NewBus()
+	mouse := busmouse.New()
+	const base = hw.Port(0x23c)
+	if err := bus.Map(base, 4, mouse); err != nil {
+		return err
+	}
+
+	// 3. Generate debug stubs bound to that bus.
+	stubs, err := spec.Generate(devil.Config{
+		Bus:   bus,
+		Bases: map[string]hw.Port{"base": base},
+		Mode:  devil.Debug,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 4. Configure the device through typed variables. CONFIGURATION and
+	// ENABLE are typed constants; passing them to the wrong variable would
+	// be caught — at compile time in CDevil, at run time here.
+	cfg, _ := stubs.Const("CONFIGURATION")
+	if err := stubs.Set("config", cfg); err != nil {
+		return err
+	}
+	enable, _ := stubs.Const("ENABLE")
+	if err := stubs.Set("interrupt", enable); err != nil {
+		return err
+	}
+
+	// 5. Move the simulated mouse and read it back. The dx/dy stubs
+	// assemble each value from two index-selected nibble registers; the
+	// index pre-actions happen behind the scenes.
+	mouse.Move(-3, 17)
+	mouse.SetButtons(0b101)
+
+	dx, err := stubs.Get("dx")
+	if err != nil {
+		return err
+	}
+	dy, err := stubs.Get("dy")
+	if err != nil {
+		return err
+	}
+	buttons, err := stubs.Get("buttons")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mouse state: dx=%d dy=%d buttons=%03b\n",
+		int8(dx.Val), int8(dy.Val), buttons.Val)
+
+	// 6. The stubs enforce the specification's access modes: config is
+	// write-only, so reading it is rejected.
+	if _, err := stubs.Get("config"); err != nil {
+		fmt.Printf("reading the write-only config variable: %v\n", err)
+	}
+	return nil
+}

@@ -1,0 +1,552 @@
+// Package ccheck is the semantic front end of the hwC "compiler": the
+// component that decides the compile-time-check row of Tables 3 and 4.
+//
+// In permissive mode it enforces only what any C compiler enforces on the
+// weakly-typed hardware operating code the paper describes: identifiers
+// must be declared, assignment targets must be lvalues, called objects must
+// be functions with the right arity, and function names are not values.
+//
+// In strict mode it additionally enforces the distinct struct types of
+// Devil debug stubs: Devil values cannot enter integer arithmetic, cannot
+// be compared with ==, cannot be passed to a stub of a different device
+// variable, and dil_eq accepts only Devil values.
+package ccheck
+
+import (
+	"fmt"
+
+	"repro/internal/cdriver/cast"
+	"repro/internal/cdriver/ctoken"
+	"repro/internal/cdriver/ctypes"
+)
+
+// Error is a semantic diagnostic.
+type Error struct {
+	Pos ctoken.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: error: %s", e.Pos, e.Msg) }
+
+// ErrorList is the ordered diagnostics of one check.
+type ErrorList []*Error
+
+// Error implements the error interface.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0].Error(), len(l)-1)
+}
+
+// Err returns the list as an error, or nil when empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// symbol classifies one name in scope.
+type symbol struct {
+	kind symKind
+	typ  cast.CType
+}
+
+type symKind int
+
+const (
+	symMacro symKind = iota + 1
+	symVar
+	symFunc
+	symConst // Devil enum constant
+)
+
+type checker struct {
+	env    *ctypes.Env
+	prog   *cast.Program
+	errors ErrorList
+	// globals maps file-scope names.
+	globals map[string]symbol
+	// scopes is the local scope stack of the function being checked.
+	scopes []map[string]symbol
+	// curFunc is the function being checked.
+	curFunc *cast.FuncDecl
+}
+
+// Check verifies prog against env and returns the diagnostics.
+func Check(prog *cast.Program, env *ctypes.Env) ErrorList {
+	c := &checker{env: env, prog: prog, globals: make(map[string]symbol)}
+	c.collect()
+	for _, f := range prog.Funcs() {
+		c.checkFunc(f)
+	}
+	return c.errors
+}
+
+func (c *checker) errorf(pos ctoken.Pos, format string, args ...interface{}) {
+	c.errors = append(c.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+var intType = cast.CType{Kind: cast.TypeInt}
+
+func (c *checker) isIntegerLike(t cast.CType) bool {
+	return t.IsInteger()
+}
+
+// normType maps declared types into the active type world: in permissive
+// mode the Devil struct types do not exist — the production stub header
+// typedefs them to plain integers — so declarations like "Drive_t who"
+// still compile, they just lose all checking.
+func (c *checker) normType(t cast.CType) cast.CType {
+	if !c.env.Strict && t.Kind == cast.TypeDevilStruct {
+		return cast.CType{Kind: cast.TypeU32}
+	}
+	return t
+}
+
+func (c *checker) collect() {
+	for _, d := range c.prog.Decls {
+		switch d := d.(type) {
+		case *cast.MacroDecl:
+			if _, dup := c.globals[d.Name]; dup {
+				c.errorf(d.NamePos, "%q redefined", d.Name)
+			}
+			c.globals[d.Name] = symbol{kind: symMacro, typ: intType}
+		case *cast.VarDecl:
+			if _, dup := c.globals[d.Name]; dup {
+				c.errorf(d.NamePos, "%q redefined", d.Name)
+			}
+			c.checkVarType(d)
+			c.globals[d.Name] = symbol{kind: symVar, typ: d.Type}
+			if d.Init != nil {
+				c.assignable(d.NamePos, d.Type, c.exprType(d.Init))
+			}
+		case *cast.FuncDecl:
+			if _, dup := c.globals[d.Name]; dup {
+				c.errorf(d.NamePos, "%q redefined", d.Name)
+			}
+			if _, clash := c.env.Funcs[d.Name]; clash {
+				c.errorf(d.NamePos, "%q conflicts with a builtin", d.Name)
+			}
+			c.globals[d.Name] = symbol{kind: symFunc, typ: d.Result}
+		}
+	}
+}
+
+// checkVarType rejects variable declarations of types that cannot hold a
+// value (void) or that do not exist (unknown Devil struct in strict mode;
+// any Devil struct in permissive mode, where no such types are defined).
+func (c *checker) checkVarType(d *cast.VarDecl) {
+	d.Type = c.normType(d.Type)
+	switch d.Type.Kind {
+	case cast.TypeVoid:
+		c.errorf(d.TypePos, "variable %q declared void", d.Name)
+	case cast.TypeDevilStruct:
+		if !c.devilTypeExists(d.Type) {
+			c.errorf(d.TypePos, "unknown type %q", d.Type.Name)
+		}
+	}
+}
+
+// devilTypeExists reports whether a Devil struct type is defined by the
+// stub interface in scope.
+func (c *checker) devilTypeExists(t cast.CType) bool {
+	if !c.env.Strict {
+		return false
+	}
+	for _, ct := range c.env.Consts {
+		if ct.Kind == cast.TypeDevilStruct && ct.Name == t.Name {
+			return true
+		}
+	}
+	for _, f := range c.env.Funcs {
+		if f.Result.Kind == cast.TypeDevilStruct && f.Result.Name == t.Name {
+			return true
+		}
+		for _, p := range f.Params {
+			if p.Kind == cast.TypeDevilStruct && p.Name == t.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]symbol)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declareLocal(pos ctoken.Pos, name string, typ cast.CType) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		c.errorf(pos, "%q redeclared in this scope", name)
+	}
+	top[name] = symbol{kind: symVar, typ: typ}
+}
+
+// lookup resolves a name through locals, globals, builtins and constants.
+func (c *checker) lookup(name string) (symbol, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	if s, ok := c.globals[name]; ok {
+		return s, true
+	}
+	if f, ok := c.env.Funcs[name]; ok {
+		return symbol{kind: symFunc, typ: f.Result}, true
+	}
+	if t, ok := c.env.Consts[name]; ok {
+		return symbol{kind: symConst, typ: t}, true
+	}
+	return symbol{}, false
+}
+
+func (c *checker) checkFunc(f *cast.FuncDecl) {
+	f.Result = c.normType(f.Result)
+	c.curFunc = f
+	c.pushScope()
+	for i := range f.Params {
+		p := &f.Params[i]
+		p.Type = c.normType(p.Type)
+		if p.Type.Kind == cast.TypeVoid {
+			c.errorf(p.NamePos, "parameter %q declared void", p.Name)
+		}
+		if p.Type.Kind == cast.TypeDevilStruct && !c.devilTypeExists(p.Type) {
+			c.errorf(p.NamePos, "unknown type %q", p.Type.Name)
+		}
+		c.declareLocal(p.NamePos, p.Name, p.Type)
+	}
+	c.checkStmt(f.Body)
+	c.popScope()
+	c.curFunc = nil
+}
+
+func (c *checker) checkStmt(s cast.Stmt) {
+	switch s := s.(type) {
+	case *cast.Block:
+		c.pushScope()
+		for _, st := range s.Stmts {
+			c.checkStmt(st)
+		}
+		c.popScope()
+	case *cast.DeclStmt:
+		d := s.Decl
+		c.checkVarType(d)
+		if d.Init != nil {
+			c.assignable(d.NamePos, d.Type, c.exprType(d.Init))
+		}
+		c.declareLocal(d.NamePos, d.Name, d.Type)
+	case *cast.ExprStmt:
+		c.exprType(s.X)
+	case *cast.AssignStmt:
+		c.checkAssign(s)
+	case *cast.IncDecStmt:
+		sym, ok := c.lookup(s.X.Name)
+		if !ok {
+			c.errorf(s.X.NamePos, "%q undeclared", s.X.Name)
+			return
+		}
+		if sym.kind != symVar {
+			c.errorf(s.X.NamePos, "lvalue required as operand of %s", s.Op)
+			return
+		}
+		if !c.isIntegerLike(sym.typ) {
+			c.errorf(s.X.NamePos, "wrong type argument to %s", s.Op)
+		}
+	case *cast.IfStmt:
+		c.condType(s.Cond)
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *cast.WhileStmt:
+		c.condType(s.Cond)
+		c.checkStmt(s.Body)
+	case *cast.DoWhileStmt:
+		c.checkStmt(s.Body)
+		c.condType(s.Cond)
+	case *cast.ForStmt:
+		c.pushScope()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.condType(s.Cond)
+		}
+		if s.Post != nil {
+			c.checkStmt(s.Post)
+		}
+		c.checkStmt(s.Body)
+		c.popScope()
+	case *cast.SwitchStmt:
+		c.condType(s.Tag)
+		for _, cl := range s.Clauses {
+			for _, v := range cl.Values {
+				t := c.exprType(v)
+				if !c.isIntegerLike(t) {
+					c.errorf(v.Pos(), "case label is not an integer constant")
+				}
+			}
+			c.pushScope()
+			for _, st := range cl.Stmts {
+				c.checkStmt(st)
+			}
+			c.popScope()
+		}
+	case *cast.BreakStmt, *cast.ContinueStmt:
+		// Loop/switch nesting is enforced syntactically well enough for the
+		// driver corpus; a stray break is harmless at run time.
+	case *cast.ReturnStmt:
+		c.checkReturn(s)
+	}
+}
+
+func (c *checker) checkReturn(s *cast.ReturnStmt) {
+	want := c.curFunc.Result
+	if want.Kind == cast.TypeVoid {
+		if s.X != nil {
+			c.errorf(s.KwPos, "%q returns a value from a void function", c.curFunc.Name)
+		}
+		return
+	}
+	if s.X == nil {
+		c.errorf(s.KwPos, "%q: return with no value", c.curFunc.Name)
+		return
+	}
+	c.assignable(s.KwPos, want, c.exprType(s.X))
+}
+
+func (c *checker) checkAssign(s *cast.AssignStmt) {
+	sym, ok := c.lookup(s.LHS.Name)
+	if !ok {
+		c.errorf(s.LHS.NamePos, "%q undeclared", s.LHS.Name)
+		c.exprType(s.RHS)
+		return
+	}
+	if sym.kind != symVar {
+		// Assignment to a macro, function or enum constant: the classic
+		// compile error an identifier typo produces.
+		c.errorf(s.LHS.NamePos, "lvalue required as left operand of assignment")
+		c.exprType(s.RHS)
+		return
+	}
+	rt := c.exprType(s.RHS)
+	if s.Op == ctoken.Assign {
+		c.assignable(s.LHS.NamePos, sym.typ, rt)
+		return
+	}
+	// Compound assignment requires integers on both sides.
+	if !c.isIntegerLike(sym.typ) || !c.isIntegerLike(rt) {
+		c.errorf(s.LHS.NamePos, "invalid operands to %s", s.Op)
+	}
+}
+
+// assignable checks C assignment compatibility: integers convert freely;
+// Devil struct types require identity; strings never assign.
+func (c *checker) assignable(pos ctoken.Pos, dst, src cast.CType) {
+	if ctypes.IsStringType(src) || ctypes.IsStringType(dst) {
+		c.errorf(pos, "incompatible types in assignment")
+		return
+	}
+	if dst.Kind == cast.TypeDevilStruct || src.Kind == cast.TypeDevilStruct {
+		if dst.Kind != src.Kind || dst.Name != src.Name {
+			c.errorf(pos, "incompatible types in assignment (%s vs %s)", dst, src)
+		}
+		return
+	}
+	if !c.isIntegerLike(dst) || !c.isIntegerLike(src) {
+		c.errorf(pos, "incompatible types in assignment (%s vs %s)", dst, src)
+	}
+}
+
+// condType requires an integer-valued controlling expression.
+func (c *checker) condType(x cast.Expr) {
+	t := c.exprType(x)
+	if !c.isIntegerLike(t) {
+		c.errorf(x.Pos(), "controlling expression is not scalar (%s)", t)
+	}
+}
+
+// exprType computes the static type of an expression, emitting diagnostics
+// for misuse on the way.
+func (c *checker) exprType(x cast.Expr) cast.CType {
+	switch x := x.(type) {
+	case *cast.IntLit:
+		return intType
+	case *cast.StringLit:
+		return ctypes.StringType()
+	case *cast.Ident:
+		sym, ok := c.lookup(x.Name)
+		if !ok {
+			c.errorf(x.NamePos, "%q undeclared", x.Name)
+			return intType
+		}
+		if sym.kind == symFunc {
+			// Using a function name as a value: no function pointers in
+			// the subset (and a hard error in kernels built with -Werror).
+			c.errorf(x.NamePos, "function %q used as a value", x.Name)
+			return intType
+		}
+		return sym.typ
+	case *cast.CallExpr:
+		return c.callType(x)
+	case *cast.UnaryExpr:
+		t := c.exprType(x.X)
+		if !c.isIntegerLike(t) {
+			c.errorf(x.OpPos, "wrong type argument to unary %s (%s)", x.Op, t)
+		}
+		return intType
+	case *cast.BinaryExpr:
+		lt := c.exprType(x.X)
+		rt := c.exprType(x.Y)
+		if !c.isIntegerLike(lt) || !c.isIntegerLike(rt) {
+			// This is where "x == MASTER" dies in strict mode: C has no
+			// struct comparison, arithmetic or logic.
+			c.errorf(x.OpPos, "invalid operands to binary %s (%s and %s)", x.Op, lt, rt)
+		}
+		return intType
+	case *cast.CondExpr:
+		c.condType(x.Cond)
+		tt := c.exprType(x.Then)
+		et := c.exprType(x.Else)
+		if tt.Kind == cast.TypeDevilStruct && et.Kind == cast.TypeDevilStruct &&
+			tt.Name == et.Name {
+			return tt
+		}
+		if !c.isIntegerLike(tt) || !c.isIntegerLike(et) {
+			c.errorf(x.Cond.Pos(), "type mismatch in conditional expression (%s vs %s)", tt, et)
+			return intType
+		}
+		return intType
+	case *cast.CastExpr:
+		t := c.exprType(x.X)
+		x.To = c.normType(x.To)
+		if x.To.Kind == cast.TypeDevilStruct {
+			c.errorf(x.LParen, "conversion to non-scalar type %q", x.To.Name)
+			return x.To
+		}
+		if !c.isIntegerLike(t) {
+			c.errorf(x.LParen, "cannot convert %s to %s", t, x.To)
+		}
+		return x.To
+	}
+	return intType
+}
+
+func (c *checker) callType(x *cast.CallExpr) cast.CType {
+	// User-defined functions shadow nothing; builtins and stubs come from
+	// the environment.
+	if sym, ok := c.firstNonFunc(x.Name); ok {
+		c.errorf(x.NamePos, "called object %q is not a function", x.Name)
+		_ = sym
+		for _, a := range x.Args {
+			c.exprType(a)
+		}
+		return intType
+	}
+	if f := c.prog.Func(x.Name); f != nil {
+		return c.checkCall(x, funcSig(f))
+	}
+	if f, ok := c.env.Funcs[x.Name]; ok {
+		if f.StubKind == "eq" {
+			return c.checkDilEq(x)
+		}
+		return c.checkCall(x, f)
+	}
+	c.errorf(x.NamePos, "implicit declaration of function %q", x.Name)
+	for _, a := range x.Args {
+		c.exprType(a)
+	}
+	return intType
+}
+
+// firstNonFunc reports whether name resolves to a non-function symbol
+// before any function does (locals shadow functions).
+func (c *checker) firstNonFunc(name string) (symbol, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s, s.kind != symFunc
+		}
+	}
+	if s, ok := c.globals[name]; ok {
+		return s, s.kind != symFunc
+	}
+	if t, ok := c.env.Consts[name]; ok {
+		return symbol{kind: symConst, typ: t}, true
+	}
+	return symbol{}, false
+}
+
+func funcSig(f *cast.FuncDecl) *ctypes.Func {
+	sig := &ctypes.Func{Name: f.Name, Result: f.Result}
+	for _, p := range f.Params {
+		sig.Params = append(sig.Params, p.Type)
+	}
+	return sig
+}
+
+func (c *checker) checkCall(x *cast.CallExpr, sig *ctypes.Func) cast.CType {
+	if sig.Variadic {
+		if len(x.Args) < len(sig.Params) {
+			c.errorf(x.NamePos, "too few arguments to function %q", x.Name)
+		}
+	} else if len(x.Args) != len(sig.Params) {
+		c.errorf(x.NamePos, "wrong number of arguments to function %q (have %d, want %d)",
+			x.Name, len(x.Args), len(sig.Params))
+	}
+	for i, a := range x.Args {
+		at := c.exprType(a)
+		if i >= len(sig.Params) {
+			if !sig.Variadic {
+				continue
+			}
+			if !c.isIntegerLike(at) && !ctypes.IsStringType(at) {
+				c.errorf(a.Pos(), "invalid variadic argument %d to %q", i+1, x.Name)
+			}
+			continue
+		}
+		want := sig.Params[i]
+		switch {
+		case ctypes.IsStringType(want):
+			if !ctypes.IsStringType(at) {
+				c.errorf(a.Pos(), "argument %d of %q must be a string literal", i+1, x.Name)
+			}
+		case want.Kind == cast.TypeDevilStruct:
+			if at.Kind != cast.TypeDevilStruct || at.Name != want.Name {
+				c.errorf(a.Pos(),
+					"incompatible type for argument %d of %q (expected %s, got %s)",
+					i+1, x.Name, want, at)
+			}
+		default:
+			if !c.isIntegerLike(at) {
+				c.errorf(a.Pos(),
+					"incompatible type for argument %d of %q (expected %s, got %s)",
+					i+1, x.Name, want, at)
+			}
+		}
+	}
+	return sig.Result
+}
+
+// checkDilEq types the polymorphic dil_eq comparison: exactly two
+// arguments, each a Devil struct value (of possibly different types — the
+// type identity check happens at run time, by design: §2.3 trades this
+// check to run time to keep CDevil readable).
+func (c *checker) checkDilEq(x *cast.CallExpr) cast.CType {
+	if len(x.Args) != 2 {
+		c.errorf(x.NamePos, "wrong number of arguments to dil_eq (have %d, want 2)", len(x.Args))
+	}
+	for i, a := range x.Args {
+		at := c.exprType(a)
+		if c.env.Strict && at.Kind != cast.TypeDevilStruct {
+			c.errorf(a.Pos(), "argument %d of dil_eq is not a Devil value (%s)", i+1, at)
+		}
+	}
+	return intType
+}

@@ -1,0 +1,186 @@
+package ccheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cdriver/ccheck"
+	"repro/internal/cdriver/cparser"
+	"repro/internal/cdriver/ctypes"
+	"repro/internal/devil"
+	"repro/internal/hw"
+	"repro/internal/specs"
+)
+
+// strictEnv builds a strict environment loaded with the IDE stub interface.
+func strictEnv(t *testing.T) *ctypes.Env {
+	t.Helper()
+	s, err := specs.Load("ide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := devil.Compile(s.Filename, s.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := hw.NewBus()
+	bus.SetFloating(true)
+	stubs, err := spec.Generate(devil.Config{
+		Bus:   bus,
+		Bases: map[string]hw.Port{"cmd": 0x1f0, "ctl": 0x3f6, "data": 0x1f0},
+		Mode:  devil.Debug,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ctypes.NewEnv(true)
+	if err := env.AddStubs(stubs.Interface()); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func checkWith(t *testing.T, env *ctypes.Env, src string) []string {
+	t.Helper()
+	prog, perrs := cparser.Parse(src)
+	if len(perrs) != 0 {
+		t.Fatalf("parse: %v", perrs)
+	}
+	errs := ccheck.Check(prog, env)
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	return msgs
+}
+
+func expectClean(t *testing.T, env *ctypes.Env, src string) {
+	t.Helper()
+	if msgs := checkWith(t, env, src); len(msgs) != 0 {
+		t.Errorf("expected clean, got %v", msgs)
+	}
+}
+
+func expectError(t *testing.T, env *ctypes.Env, src, want string) {
+	t.Helper()
+	msgs := checkWith(t, env, src)
+	for _, m := range msgs {
+		if strings.Contains(m, want) {
+			return
+		}
+	}
+	t.Errorf("no error containing %q; got %v", want, msgs)
+}
+
+func TestPermissiveAcceptsWeaklyTypedCode(t *testing.T) {
+	env := ctypes.NewEnv(false)
+	// Macros, ports, commands and masks are interchangeable integers: the
+	// classic C driver compiles even with "wrong" mixtures.
+	expectClean(t, env, `
+#define PORT 0x1f0
+#define CMD  0x20
+int f(void) {
+    u8 s = inb(CMD);
+    outb(PORT, CMD);
+    return s & PORT;
+}`)
+}
+
+func TestPermissiveStructuralErrors(t *testing.T) {
+	env := ctypes.NewEnv(false)
+	expectError(t, env, `int f(void) { return x; }`, "undeclared")
+	expectError(t, env, `
+#define M 5
+int f(void) { M = 3; return 0; }`, "lvalue required")
+	expectError(t, env, `
+#define M 5
+int f(void) { return M(1); }`, "not a function")
+	expectError(t, env, `int f(void) { return inb(1, 2); }`, "wrong number of arguments")
+	expectError(t, env, `int g(void) { return 0; } int f(void) { return g + 1; }`,
+		"used as a value")
+	expectError(t, env, `int f(void) { return nosuch(); }`, "implicit declaration")
+	expectError(t, env, `int f(void) { panic(42); return 0; }`, "string literal")
+	expectError(t, env, `void f(void) { return 5; }`, "void function")
+	expectError(t, env, `int f(void) { return; }`, "return with no value")
+	expectError(t, env, `int inb(void) { return 0; }`, "conflicts with a builtin")
+	expectError(t, env, `int f(int a, int a) { return a; }`, "redeclared")
+}
+
+func TestStrictTypeWorld(t *testing.T) {
+	env := strictEnv(t)
+	// The canonical CDevil idioms compile.
+	expectClean(t, env, `
+int f(void) {
+    Drive_t who = get_Drive();
+    set_Drive(MASTER);
+    set_SectorCount(4);
+    if (dil_eq(who, SLAVE)) { return 1; }
+    return 0;
+}`)
+	// Wrong constant to a stub: distinct struct types reject it.
+	expectError(t, env, `void f(void) { set_Drive(CMD_IDENTIFY); }`,
+		"incompatible type for argument")
+	// Integers cannot initialise enum-typed variables.
+	expectError(t, env, `void f(void) { set_Drive(1); }`,
+		"incompatible type for argument")
+	// Devil values cannot enter arithmetic or comparison.
+	expectError(t, env, `int f(void) { return get_Drive() == 1; }`,
+		"invalid operands")
+	expectError(t, env, `int f(void) { return get_Busy() + 1; }`,
+		"invalid operands")
+	// Devil values are not scalars in conditions.
+	expectError(t, env, `void f(void) { while (get_Busy()) { } }`,
+		"not scalar")
+	// dil_eq demands Devil values on both sides.
+	expectError(t, env, `int f(void) { return dil_eq(get_Drive(), 1); }`,
+		"not a Devil value")
+	// dil_eq across different Devil types compiles (checked at run time).
+	expectClean(t, env, `int f(void) { return dil_eq(get_Drive(), BUSY); }`)
+	// Assigning across Devil types fails.
+	expectError(t, env, `void f(void) { Drive_t d = get_Busy(); }`,
+		"incompatible types in assignment")
+	// Casting a struct is impossible.
+	expectError(t, env, `int f(void) { return (u8) get_Drive(); }`,
+		"cannot convert")
+	expectError(t, env, `void f(void) { Drive_t d = (Drive_t) 1; }`,
+		"conversion to non-scalar")
+	// Unknown Devil type names do not exist.
+	expectError(t, env, `void f(void) { Bogus_t x = get_Drive(); }`,
+		"unknown type")
+	// Block stubs take (offset, count).
+	expectClean(t, env, `void f(void) { get_block_DataWord(0, 256); }`)
+	expectError(t, env, `void f(void) { get_block_DataWord(MASTER, 256); }`,
+		"incompatible type for argument")
+}
+
+func TestPermissiveDowngradesDevilTypes(t *testing.T) {
+	// The weak-typing ablation: stubs registered in a permissive env make
+	// Devil type names plain integers, so everything compiles.
+	s, err := specs.Load("ide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := devil.Compile(s.Filename, s.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := hw.NewBus()
+	stubs, err := spec.Generate(devil.Config{
+		Bus:   bus,
+		Bases: map[string]hw.Port{"cmd": 0x1f0, "ctl": 0x3f6, "data": 0x1f0},
+		Mode:  devil.Debug,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ctypes.NewEnv(false)
+	if err := env.AddStubs(stubs.Interface()); err != nil {
+		t.Fatal(err)
+	}
+	expectClean(t, env, `
+int f(void) {
+    Drive_t who = get_Drive();
+    set_Drive(CMD_IDENTIFY);
+    return who + 1;
+}`)
+}

@@ -1,0 +1,318 @@
+package cinterp_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdriver/cinterp"
+	"repro/internal/cdriver/cparser"
+	"repro/internal/cdriver/ctypes"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+)
+
+// run interprets src and calls fn, returning the result.
+func run(t *testing.T, src, fn string, args ...cinterp.Value) (cinterp.Value, error) {
+	t.Helper()
+	prog, errs := cparser.Parse(src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	kern := kernel.New(&hw.Clock{})
+	bus := hw.NewBus()
+	bus.SetFloating(true)
+	in, err := cinterp.New(prog, ctypes.NewEnv(false), kern, bus, nil)
+	if err != nil {
+		t.Fatalf("new interp: %v", err)
+	}
+	return in.Call(fn, args...)
+}
+
+func runInt(t *testing.T, src, fn string, args ...cinterp.Value) int64 {
+	t.Helper()
+	v, err := run(t, src, fn, args...)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	return v.I
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	tests := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"0x10 | 0x01", 0x11},
+		{"0xff & 0x0f", 0x0f},
+		{"0xf0 ^ 0xff", 0x0f},
+		{"1 << 4", 16},
+		{"256 >> 4", 16},
+		{"7 % 3", 1},
+		{"7 / 2", 3},
+		{"~0 & 0xff", 0xff},
+		{"!5", 0},
+		{"!0", 1},
+		{"-5 + 3", -2},
+		{"1 < 2", 1},
+		{"2 <= 1", 0},
+		{"3 == 3", 1},
+		{"3 != 3", 0},
+		{"1 && 2", 1},
+		{"0 || 3", 1},
+		{"1 ? 10 : 20", 10},
+		{"0 ? 10 : 20", 20},
+		{"(u8) 0x1ff", 0xff},
+		{"(s8) 0xff", -1},
+		{"(u16) 0x12345", 0x2345},
+	}
+	for _, tt := range tests {
+		src := "int f(void) { return " + tt.expr + "; }"
+		got := runInt(t, src, "f")
+		if got != tt.want {
+			t.Errorf("%s = %d, want %d", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not evaluate when the left is false —
+	// here it would divide by zero.
+	src := `int f(int x) { return x != 0 && 10 / x > 1; }`
+	if got := runInt(t, src, "f", cinterp.IntValue(0)); got != 0 {
+		t.Errorf("short circuit failed: %d", got)
+	}
+	if got := runInt(t, src, "f", cinterp.IntValue(5)); got != 1 {
+		t.Errorf("wrong result for x=5: %d", got)
+	}
+}
+
+func TestDivisionByZeroCrashes(t *testing.T) {
+	_, err := run(t, `int f(void) { return 1 / 0; }`, "f")
+	var crash *kernel.CrashError
+	if !errors.As(err, &crash) {
+		t.Errorf("got %v, want CrashError", err)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+int sum_to(int n) {
+    int acc = 0;
+    int i;
+    for (i = 1; i <= n; i++) {
+        acc += i;
+    }
+    return acc;
+}
+int count_down(int n) {
+    int steps = 0;
+    while (n > 0) {
+        n--;
+        steps++;
+        if (steps > 100) { break; }
+    }
+    return steps;
+}
+int pick(int x) {
+    switch (x) {
+    case 1:
+        return 10;
+    case 2:
+    case 3:
+        return 23;
+    default:
+        return 99;
+    }
+}
+int skipper(void) {
+    int i;
+    int hits = 0;
+    for (i = 0; i < 10; i++) {
+        if (i % 2) { continue; }
+        hits++;
+    }
+    return hits;
+}`
+	if got := runInt(t, src, "sum_to", cinterp.IntValue(10)); got != 55 {
+		t.Errorf("sum_to(10) = %d", got)
+	}
+	if got := runInt(t, src, "count_down", cinterp.IntValue(7)); got != 7 {
+		t.Errorf("count_down(7) = %d", got)
+	}
+	for _, tc := range []struct{ in, want int64 }{{1, 10}, {2, 23}, {3, 23}, {7, 99}} {
+		if got := runInt(t, src, "pick", cinterp.IntValue(tc.in)); got != tc.want {
+			t.Errorf("pick(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := runInt(t, src, "skipper"); got != 5 {
+		t.Errorf("skipper() = %d", got)
+	}
+}
+
+func TestMacrosAndGlobals(t *testing.T) {
+	src := `
+#define BASE 0x100
+#define NEXT (BASE + 4)
+u8 counter = 250;
+int f(void) {
+    counter += 10;
+    return NEXT + counter;
+}`
+	// counter is u8: 250+10 wraps to 4.
+	if got := runInt(t, src, "f"); got != 0x104+4 {
+		t.Errorf("f() = %d, want %d", got, 0x104+4)
+	}
+}
+
+func TestMacroCycleCrashes(t *testing.T) {
+	src := `
+#define A B
+#define B A
+int f(void) { return A; }`
+	_, err := run(t, src, "f")
+	var crash *kernel.CrashError
+	if !errors.As(err, &crash) {
+		t.Errorf("macro cycle: got %v, want CrashError", err)
+	}
+}
+
+func TestRecursionOverflowCrashes(t *testing.T) {
+	_, err := run(t, `int f(int n) { return f(n + 1); }`, "f", cinterp.IntValue(0))
+	var crash *kernel.CrashError
+	if !errors.As(err, &crash) {
+		t.Errorf("got %v, want CrashError", err)
+	}
+}
+
+func TestWatchdogStopsLoops(t *testing.T) {
+	prog, errs := cparser.Parse(`void f(void) { while (1) { } }`)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	kern := kernel.New(&hw.Clock{})
+	kern.SetBudget(1000)
+	in, err := cinterp.New(prog, ctypes.NewEnv(false), kern, hw.NewBus(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = in.Call("f")
+	var wd *kernel.WatchdogError
+	if !errors.As(err, &wd) {
+		t.Errorf("got %v, want WatchdogError", err)
+	}
+}
+
+func TestPortIOBuiltins(t *testing.T) {
+	prog, errs := cparser.Parse(`
+int f(void) {
+    outb(0xab, 0x10);
+    return inb(0x10);
+}`)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	kern := kernel.New(&hw.Clock{})
+	bus := hw.NewBus()
+	dev := &cell{}
+	if err := bus.Map(0x10, 1, dev); err != nil {
+		t.Fatal(err)
+	}
+	in, err := cinterp.New(prog, ctypes.NewEnv(false), kern, bus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := in.Call("f")
+	if err != nil || v.I != 0xab {
+		t.Errorf("port round trip = %d, %v", v.I, err)
+	}
+}
+
+// cell is a one-port device.
+type cell struct{ v uint32 }
+
+func (c *cell) Name() string { return "cell" }
+
+func (c *cell) Read(off hw.Port, w hw.AccessWidth) (uint32, error) { return c.v, nil }
+
+func (c *cell) Write(off hw.Port, w hw.AccessWidth, v uint32) error {
+	c.v = v
+	return nil
+}
+
+func TestPanicBuiltin(t *testing.T) {
+	_, err := run(t, `void f(void) { panic("ide: timeout"); }`, "f")
+	var pe *kernel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want PanicError", err)
+	}
+}
+
+func TestKbufBuiltins(t *testing.T) {
+	src := `
+int f(void) {
+    kbuf_write16(10, 0xbeef);
+    kbuf_write8(2, 0x7f);
+    return kbuf_read16(10) + kbuf_read8(2);
+}`
+	if got := runInt(t, src, "f"); got != 0xbeef+0x7f {
+		t.Errorf("kbuf = %#x", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	prog, errs := cparser.Parse(`
+int f(int x) {
+    if (x > 0) {
+        return 1;
+    }
+    return 2;
+}`)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	kern := kernel.New(&hw.Clock{})
+	in, err := cinterp.New(prog, ctypes.NewEnv(false), kern, hw.NewBus(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Call("f", cinterp.IntValue(5)); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Covered(4) { // "return 1;"
+		t.Error("taken branch not covered")
+	}
+	if in.Covered(6) { // "return 2;"
+		t.Error("untaken branch marked covered")
+	}
+}
+
+// TestExpressionPropertyVsGo cross-checks interpreter arithmetic against
+// Go semantics over random inputs.
+func TestExpressionPropertyVsGo(t *testing.T) {
+	src := `int f(int a, int b) { return ((a | b) & 0xffff) + ((a ^ b) >> 3) - (a << 1); }`
+	prog, errs := cparser.Parse(src)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	kern := kernel.New(&hw.Clock{})
+	kern.SetBudget(1 << 40)
+	in, err := cinterp.New(prog, ctypes.NewEnv(false), kern, hw.NewBus(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b int32) bool {
+		v, err := in.Call("f", cinterp.IntValue(int64(a)), cinterp.IntValue(int64(b)))
+		if err != nil {
+			return false
+		}
+		x, y := int64(a), int64(b)
+		want := int64(int32(((x | y) & 0xffff) + ((x ^ y) >> 3) - (x << 1)))
+		return v.I == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

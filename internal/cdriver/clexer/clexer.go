@@ -1,0 +1,468 @@
+// Package clexer tokenises hwC driver source.
+//
+// Two pieces of driver-evaluation plumbing live here rather than in a
+// general-purpose C lexer:
+//
+//   - //@hw and //@endhw comment pragmas delimit the hardware operating
+//     code regions that the paper's methodology mutates ("we manually
+//     insert tags to mark the corresponding regions", §3.3); tokens inside
+//     carry Tagged = true;
+//   - #define directives are kept in the token stream (HashDefine ...
+//     EndDefine) so that mutation of macro bodies and of macro references
+//     works on the same representation.
+package clexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cdriver/ctoken"
+)
+
+// Error is a lexical diagnostic.
+type Error struct {
+	Pos ctoken.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type lexer struct {
+	src      string
+	off      int
+	line     int
+	col      int
+	tagged   bool
+	inDefine bool
+	errors   []*Error
+}
+
+// Lex tokenises the whole buffer.
+func Lex(src string) ([]ctoken.Token, []*Error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []ctoken.Token
+	for {
+		t := l.next()
+		if t.Kind == ctoken.EOF {
+			if l.inDefine {
+				toks = append(toks, ctoken.Token{Kind: ctoken.EndDefine, Pos: t.Pos, Tagged: l.tagged})
+			}
+			break
+		}
+		toks = append(toks, t)
+	}
+	return toks, l.errors
+}
+
+func (l *lexer) errorf(pos ctoken.Pos, format string, args ...interface{}) {
+	l.errors = append(l.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *lexer) pos() ctoken.Pos { return ctoken.Pos{Offset: l.off, Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// endDefineIfNeeded synthesises the EndDefine token when a newline closes a
+// #define directive.
+func (l *lexer) skipSpace() (ended bool, endPos ctoken.Pos) {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == '\n':
+			if l.inDefine {
+				pos := l.pos()
+				l.advance()
+				l.inDefine = false
+				return true, pos
+			}
+			l.advance()
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+		case c == '\\' && l.peekAt(1) == '\n':
+			// Line continuation inside a directive.
+			l.advance()
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			start := l.off
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			comment := l.src[start:l.off]
+			switch strings.TrimSpace(strings.TrimPrefix(comment, "//")) {
+			case "@hw":
+				l.tagged = true
+			case "@endhw":
+				l.tagged = false
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			pos := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(pos, "unterminated block comment")
+			}
+		default:
+			return false, ctoken.Pos{}
+		}
+	}
+	return false, ctoken.Pos{}
+}
+
+func (l *lexer) tok(kind ctoken.Kind, lit string, pos ctoken.Pos) ctoken.Token {
+	return ctoken.Token{Kind: kind, Lit: lit, Pos: pos, Tagged: l.tagged}
+}
+
+func (l *lexer) next() ctoken.Token {
+	if ended, pos := l.skipSpace(); ended {
+		return l.tok(ctoken.EndDefine, "", pos)
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return l.tok(ctoken.EOF, "", pos)
+	}
+	c := l.peek()
+	switch {
+	case c == '#':
+		start := l.off
+		l.advance()
+		for l.off < len(l.src) && isLetter(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if word == "#define" {
+			l.inDefine = true
+			return l.tok(ctoken.HashDefine, word, pos)
+		}
+		l.errorf(pos, "unsupported directive %q", word)
+		return l.tok(ctoken.Illegal, word, pos)
+	case isLetter(c):
+		start := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		return l.tok(ctoken.Lookup(lit), lit, pos)
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	case c == '\'':
+		return l.scanChar(pos)
+	}
+	l.advance()
+	two := string(c) + string(l.peek())
+	three := two
+	if l.off+1 < len(l.src) {
+		three = two + string(l.peekAt(1))
+	}
+	// Three-character operators.
+	switch three {
+	case "<<=", ">>=":
+		l.advance()
+		l.advance()
+		if three == "<<=" {
+			return l.tok(ctoken.ShlAssign, three, pos)
+		}
+		return l.tok(ctoken.ShrAssign, three, pos)
+	}
+	// Two-character operators.
+	switch two {
+	case "|=":
+		l.advance()
+		return l.tok(ctoken.OrAssign, two, pos)
+	case "&=":
+		l.advance()
+		return l.tok(ctoken.AndAssign, two, pos)
+	case "^=":
+		l.advance()
+		return l.tok(ctoken.XorAssign, two, pos)
+	case "+=":
+		l.advance()
+		return l.tok(ctoken.AddAssign, two, pos)
+	case "-=":
+		l.advance()
+		return l.tok(ctoken.SubAssign, two, pos)
+	case "++":
+		l.advance()
+		return l.tok(ctoken.PlusPlus, two, pos)
+	case "--":
+		l.advance()
+		return l.tok(ctoken.MinusMinus, two, pos)
+	case "||":
+		l.advance()
+		return l.tok(ctoken.LOr, two, pos)
+	case "&&":
+		l.advance()
+		return l.tok(ctoken.LAnd, two, pos)
+	case "==":
+		l.advance()
+		return l.tok(ctoken.Eq, two, pos)
+	case "!=":
+		l.advance()
+		return l.tok(ctoken.Ne, two, pos)
+	case "<=":
+		l.advance()
+		return l.tok(ctoken.Le, two, pos)
+	case ">=":
+		l.advance()
+		return l.tok(ctoken.Ge, two, pos)
+	case "<<":
+		l.advance()
+		return l.tok(ctoken.Shl, two, pos)
+	case ">>":
+		l.advance()
+		return l.tok(ctoken.Shr, two, pos)
+	}
+	// Single-character tokens.
+	switch c {
+	case '(':
+		return l.tok(ctoken.LParen, "(", pos)
+	case ')':
+		return l.tok(ctoken.RParen, ")", pos)
+	case '{':
+		return l.tok(ctoken.LBrace, "{", pos)
+	case '}':
+		return l.tok(ctoken.RBrace, "}", pos)
+	case ',':
+		return l.tok(ctoken.Comma, ",", pos)
+	case ';':
+		return l.tok(ctoken.Semi, ";", pos)
+	case ':':
+		return l.tok(ctoken.Colon, ":", pos)
+	case '?':
+		return l.tok(ctoken.Question, "?", pos)
+	case '=':
+		return l.tok(ctoken.Assign, "=", pos)
+	case '|':
+		return l.tok(ctoken.Or, "|", pos)
+	case '&':
+		return l.tok(ctoken.And, "&", pos)
+	case '^':
+		return l.tok(ctoken.Xor, "^", pos)
+	case '+':
+		return l.tok(ctoken.Add, "+", pos)
+	case '-':
+		return l.tok(ctoken.Sub, "-", pos)
+	case '*':
+		return l.tok(ctoken.Mul, "*", pos)
+	case '/':
+		return l.tok(ctoken.Div, "/", pos)
+	case '%':
+		return l.tok(ctoken.Mod, "%", pos)
+	case '!':
+		return l.tok(ctoken.Not, "!", pos)
+	case '~':
+		return l.tok(ctoken.BitNot, "~", pos)
+	case '<':
+		return l.tok(ctoken.Lt, "<", pos)
+	case '>':
+		return l.tok(ctoken.Gt, ">", pos)
+	}
+	l.errorf(pos, "unexpected character %q", string(c))
+	return l.tok(ctoken.Illegal, string(c), pos)
+}
+
+func (l *lexer) scanNumber(pos ctoken.Pos) ctoken.Token {
+	start := l.off
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		digits := l.off
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		if l.off == digits {
+			l.errorf(pos, "hexadecimal literal has no digits")
+			return l.tok(ctoken.Illegal, l.src[start:l.off], pos)
+		}
+		l.skipIntSuffix()
+		return l.tok(ctoken.HexInt, l.src[start:l.off], pos)
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	l.skipIntSuffix()
+	if len(lit) > 1 && lit[0] == '0' {
+		for i := 1; i < len(lit); i++ {
+			if lit[i] > '7' {
+				l.errorf(pos, "invalid octal literal %q", lit)
+				return l.tok(ctoken.Illegal, lit, pos)
+			}
+		}
+		return l.tok(ctoken.OctInt, lit, pos)
+	}
+	return l.tok(ctoken.DecInt, lit, pos)
+}
+
+// skipIntSuffix consumes C integer suffixes (u, l, ul, ...), which the
+// subset accepts and ignores.
+func (l *lexer) skipIntSuffix() {
+	for l.off < len(l.src) {
+		switch l.peek() {
+		case 'u', 'U', 'l', 'L':
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) scanString(pos ctoken.Pos) ctoken.Token {
+	l.advance() // opening quote
+	var b strings.Builder
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == '"' {
+			l.advance()
+			return l.tok(ctoken.String, b.String(), pos)
+		}
+		if c == '\n' {
+			break
+		}
+		if c == '\\' && l.off+1 < len(l.src) {
+			l.advance()
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"':
+				b.WriteByte(esc)
+			default:
+				b.WriteByte(esc)
+			}
+			continue
+		}
+		b.WriteByte(l.advance())
+	}
+	l.errorf(pos, "unterminated string literal")
+	return l.tok(ctoken.Illegal, b.String(), pos)
+}
+
+func (l *lexer) scanChar(pos ctoken.Pos) ctoken.Token {
+	l.advance() // opening quote
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated character literal")
+		return l.tok(ctoken.Illegal, "", pos)
+	}
+	c := l.advance()
+	if c == '\\' && l.off < len(l.src) {
+		esc := l.advance()
+		switch esc {
+		case 'n':
+			c = '\n'
+		case 't':
+			c = '\t'
+		case '0':
+			c = 0
+		default:
+			c = esc
+		}
+	}
+	if l.off >= len(l.src) || l.peek() != '\'' {
+		l.errorf(pos, "unterminated character literal")
+		return l.tok(ctoken.Illegal, string(c), pos)
+	}
+	l.advance()
+	return l.tok(ctoken.CharLit, string(c), pos)
+}
+
+// Render reassembles source text from a token stream, preserving the
+// original line structure so that positions in diagnostics and coverage
+// remain meaningful for mutated sources.
+func Render(toks []ctoken.Token) string {
+	var b strings.Builder
+	line := 1
+	for i, t := range toks {
+		if t.Kind == ctoken.EndDefine {
+			continue // rendered as the newline itself
+		}
+		for line < t.Pos.Line {
+			b.WriteByte('\n')
+			line++
+		}
+		if i > 0 && toks[i-1].Pos.Line == t.Pos.Line && toks[i-1].Kind != ctoken.EndDefine {
+			b.WriteByte(' ')
+		}
+		switch t.Kind {
+		case ctoken.String:
+			b.WriteByte('"')
+			b.WriteString(escapeString(t.Lit))
+			b.WriteByte('"')
+		case ctoken.CharLit:
+			b.WriteByte('\'')
+			b.WriteString(escapeString(t.Lit))
+			b.WriteByte('\'')
+		default:
+			b.WriteString(t.Lit)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func escapeString(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package clexer_test
+
+import (
+	"testing"
+
+	"repro/internal/cdriver/clexer"
+	"repro/internal/cdriver/ctoken"
+)
+
+func lex(t *testing.T, src string) []ctoken.Token {
+	t.Helper()
+	toks, errs := clexer.Lex(src)
+	if len(errs) != 0 {
+		t.Fatalf("lex errors: %v", errs)
+	}
+	return toks
+}
+
+func TestLiteralBases(t *testing.T) {
+	toks := lex(t, "10 010 0x10 0 0xffUL 07l")
+	want := []ctoken.Kind{ctoken.DecInt, ctoken.OctInt, ctoken.HexInt,
+		ctoken.DecInt, ctoken.HexInt, ctoken.OctInt}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	for i := range want {
+		if toks[i].Kind != want[i] {
+			t.Errorf("token %d (%q) = %v, want %v", i, toks[i].Lit, toks[i].Kind, want[i])
+		}
+	}
+}
+
+func TestOperatorMaximalMunch(t *testing.T) {
+	toks := lex(t, "a <<= b << c < d <= e == f = g != h ! i")
+	var ops []ctoken.Kind
+	for _, tok := range toks {
+		if tok.Kind != ctoken.Ident {
+			ops = append(ops, tok.Kind)
+		}
+	}
+	want := []ctoken.Kind{ctoken.ShlAssign, ctoken.Shl, ctoken.Lt, ctoken.Le,
+		ctoken.Eq, ctoken.Assign, ctoken.Ne, ctoken.Not}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %v, want %v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestDefineDirective(t *testing.T) {
+	toks := lex(t, "#define FOO 0x1f0\nint x;")
+	if toks[0].Kind != ctoken.HashDefine {
+		t.Fatalf("first token = %v", toks[0])
+	}
+	if toks[1].Kind != ctoken.Ident || toks[1].Lit != "FOO" {
+		t.Errorf("name token = %v", toks[1])
+	}
+	if toks[2].Kind != ctoken.HexInt {
+		t.Errorf("body token = %v", toks[2])
+	}
+	if toks[3].Kind != ctoken.EndDefine {
+		t.Errorf("missing EndDefine: %v", toks[3])
+	}
+	if toks[4].Kind != ctoken.KwInt {
+		t.Errorf("after directive: %v", toks[4])
+	}
+}
+
+func TestDefineAtEOF(t *testing.T) {
+	toks := lex(t, "#define FOO 1")
+	last := toks[len(toks)-1]
+	if last.Kind != ctoken.EndDefine {
+		t.Errorf("directive at EOF not closed: %v", last)
+	}
+}
+
+func TestHwTags(t *testing.T) {
+	toks := lex(t, `
+int a;
+//@hw
+int b;
+//@endhw
+int c;
+`)
+	tagged := map[string]bool{}
+	for _, tok := range toks {
+		if tok.Kind == ctoken.Ident {
+			tagged[tok.Lit] = tok.Tagged
+		}
+	}
+	if tagged["a"] || !tagged["b"] || tagged["c"] {
+		t.Errorf("tagging wrong: %v", tagged)
+	}
+}
+
+func TestStringsAndChars(t *testing.T) {
+	toks := lex(t, `panic("ide: \"timeout\"\n"); x = 'A';`)
+	var str, ch ctoken.Token
+	for _, tok := range toks {
+		switch tok.Kind {
+		case ctoken.String:
+			str = tok
+		case ctoken.CharLit:
+			ch = tok
+		}
+	}
+	if str.Lit != "ide: \"timeout\"\n" {
+		t.Errorf("string = %q", str.Lit)
+	}
+	if ch.Lit != "A" {
+		t.Errorf("char = %q", ch.Lit)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		`"unterminated`,
+		`'a`,
+		`#include <x>`,
+		`0x`,
+		`089`, // bad octal
+		"/* open",
+	} {
+		_, errs := clexer.Lex(src)
+		if len(errs) == 0 {
+			t.Errorf("%q lexed without errors", src)
+		}
+	}
+}
+
+// TestRenderRoundTrip: rendering and re-lexing preserves the stream.
+func TestRenderRoundTrip(t *testing.T) {
+	src := `#define P 0x1f0
+static int f(u8 v)
+{
+    int t = 0;
+    while ((inb(P) & 0x80) != 0) {
+        t++;
+        if (t > 100) { panic("timeout"); }
+    }
+    return t;
+}
+`
+	toks := lex(t, src)
+	rendered := clexer.Render(toks)
+	toks2, errs := clexer.Lex(rendered)
+	if len(errs) != 0 {
+		t.Fatalf("re-lex: %v\n%s", errs, rendered)
+	}
+	// Compare ignoring EndDefine bookkeeping positions.
+	if len(toks) != len(toks2) {
+		t.Fatalf("token count %d -> %d\n%s", len(toks), len(toks2), rendered)
+	}
+	for i := range toks {
+		if toks[i].Kind != toks2[i].Kind || toks[i].Lit != toks2[i].Lit {
+			t.Errorf("token %d: %v -> %v", i, toks[i], toks2[i])
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package ctoken defines the lexical tokens of hwC, the C subset that the
+// evaluation's driver sources are written in. The subset covers what the
+// hardware operating code of the paper's drivers needs: object-like macros,
+// integer literals in the three C bases, the bit-manipulation and control
+// operators of Table 1, functions, and the usual statement forms.
+package ctoken
+
+import "fmt"
+
+// Kind enumerates the lexical token classes.
+type Kind int
+
+// Token kinds.
+const (
+	Illegal Kind = iota + 1
+	EOF
+
+	Ident
+	DecInt // 123
+	OctInt // 0777 (leading zero, C semantics)
+	HexInt // 0x1f0
+	CharLit
+	String
+
+	// Keywords.
+	KwIf
+	KwElse
+	KwWhile
+	KwDo
+	KwFor
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwReturn
+	KwStatic
+	KwInline
+	KwConst
+	KwVoid
+	KwInt
+	KwU8
+	KwU16
+	KwU32
+	KwS8
+	KwS16
+	KwS32
+
+	// Directives.
+	HashDefine // "#define"
+	EndDefine  // synthesized at the end of the directive line
+
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	Comma
+	Semi
+	Colon
+	Question
+
+	// Operators.
+	Assign     // =
+	OrAssign   // |=
+	AndAssign  // &=
+	XorAssign  // ^=
+	ShlAssign  // <<=
+	ShrAssign  // >>=
+	AddAssign  // +=
+	SubAssign  // -=
+	PlusPlus   // ++
+	MinusMinus // --
+
+	Or     // |
+	And    // &
+	Xor    // ^
+	Shl    // <<
+	Shr    // >>
+	Add    // +
+	Sub    // -
+	Mul    // *
+	Div    // /
+	Mod    // %
+	LOr    // ||
+	LAnd   // &&
+	Not    // !
+	BitNot // ~
+	Eq     // ==
+	Ne     // !=
+	Lt     // <
+	Gt     // >
+	Le     // <=
+	Ge     // >=
+)
+
+var kindNames = map[Kind]string{
+	Illegal: "ILLEGAL", EOF: "EOF",
+	Ident: "IDENT", DecInt: "DECINT", OctInt: "OCTINT", HexInt: "HEXINT",
+	CharLit: "CHAR", String: "STRING",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwDo: "do", KwFor: "for",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	KwBreak: "break", KwContinue: "continue", KwReturn: "return",
+	KwStatic: "static", KwInline: "inline", KwConst: "const",
+	KwVoid: "void", KwInt: "int",
+	KwU8: "u8", KwU16: "u16", KwU32: "u32", KwS8: "s8", KwS16: "s16", KwS32: "s32",
+	HashDefine: "#define", EndDefine: "<end-define>",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	Comma: ",", Semi: ";", Colon: ":", Question: "?",
+	Assign: "=", OrAssign: "|=", AndAssign: "&=", XorAssign: "^=",
+	ShlAssign: "<<=", ShrAssign: ">>=", AddAssign: "+=", SubAssign: "-=",
+	PlusPlus: "++", MinusMinus: "--",
+	Or: "|", And: "&", Xor: "^", Shl: "<<", Shr: ">>",
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Mod: "%",
+	LOr: "||", LAnd: "&&", Not: "!", BitNot: "~",
+	Eq: "==", Ne: "!=", Lt: "<", Gt: ">", Le: "<=", Ge: ">=",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsIntLiteral reports whether the token is an integer literal of one of
+// the three C bases.
+func (k Kind) IsIntLiteral() bool { return k == DecInt || k == OctInt || k == HexInt }
+
+// IsTypeKeyword reports whether the token starts a declaration.
+func (k Kind) IsTypeKeyword() bool { return k >= KwVoid && k <= KwS32 }
+
+// keywords maps reserved identifier spellings to their kinds.
+var keywords = map[string]Kind{
+	"if": KwIf, "else": KwElse, "while": KwWhile, "do": KwDo, "for": KwFor,
+	"switch": KwSwitch, "case": KwCase, "default": KwDefault,
+	"break": KwBreak, "continue": KwContinue, "return": KwReturn,
+	"static": KwStatic, "inline": KwInline, "const": KwConst,
+	"void": KwVoid, "int": KwInt,
+	"u8": KwU8, "u16": KwU16, "u32": KwU32,
+	"s8": KwS8, "s16": KwS16, "s32": KwS32,
+}
+
+// Lookup classifies an identifier spelling.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return Ident
+}
+
+// Pos is a source position.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+// String renders the position.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+	// Tagged reports whether the token lies inside a //@hw .. //@endhw
+	// region — the hardware operating code the mutation engine targets.
+	Tagged bool
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, DecInt, OctInt, HexInt, String:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,183 @@
+// Package ctypes defines the type environment the hwC front end checks
+// driver sources against: the kernel builtins every driver sees, and — for
+// CDevil drivers — the typed stub interface generated from a Devil
+// specification.
+//
+// The environment has two modes, mirroring the paper's comparison:
+//
+//   - Permissive ("plain C"): every value is an integer. Macros, port
+//     numbers, commands and bit masks are interchangeable, so the compiler
+//     can only reject structural faults (assignment to a non-lvalue, call
+//     of a non-function, wrong arity).
+//   - Strict ("CDevil debug"): each enumerated Devil type is a distinct
+//     struct type (Drive_t, Command_t, ...). Passing the wrong constant to
+//     a stub, comparing values of different device variables with ==, or
+//     mixing a Devil value into integer arithmetic is a compile-time error,
+//     exactly as with the C structs the Devil compiler generates in debug
+//     mode (§2.3).
+package ctypes
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdriver/cast"
+	"repro/internal/devil/codegen"
+)
+
+// Func is the signature of a callable: builtin, driver function or stub.
+type Func struct {
+	Name     string
+	Params   []cast.CType
+	Result   cast.CType
+	Variadic bool
+	// Builtin marks functions provided by the kernel/stub runtime rather
+	// than defined in the driver source.
+	Builtin bool
+	// StubVar names the device variable a get_/set_ stub accesses; empty
+	// for non-stub functions.
+	StubVar string
+	// StubKind is "get" or "set" for stubs.
+	StubKind string
+}
+
+// Env is the ambient typing environment of one driver compilation.
+type Env struct {
+	// Strict selects CDevil debug-mode typing.
+	Strict bool
+	// Funcs maps callable names to signatures.
+	Funcs map[string]*Func
+	// Consts maps enum constant names to their Devil struct type.
+	Consts map[string]cast.CType
+}
+
+var (
+	tInt  = cast.CType{Kind: cast.TypeInt}
+	tU8   = cast.CType{Kind: cast.TypeU8}
+	tU16  = cast.CType{Kind: cast.TypeU16}
+	tU32  = cast.CType{Kind: cast.TypeU32}
+	tS32  = cast.CType{Kind: cast.TypeS32}
+	tVoid = cast.CType{Kind: cast.TypeVoid}
+)
+
+// NewEnv builds an environment holding only the kernel builtins.
+func NewEnv(strict bool) *Env {
+	e := &Env{
+		Strict: strict,
+		Funcs:  make(map[string]*Func),
+		Consts: make(map[string]cast.CType),
+	}
+	add := func(name string, result cast.CType, params ...cast.CType) {
+		e.Funcs[name] = &Func{Name: name, Params: params, Result: result, Builtin: true}
+	}
+	// Port I/O (Linux argument order: value first for output).
+	add("inb", tU8, tInt)
+	add("inw", tU16, tInt)
+	add("inl", tU32, tInt)
+	add("outb", tVoid, tU8, tInt)
+	add("outw", tVoid, tU16, tInt)
+	add("outl", tVoid, tU32, tInt)
+	// Kernel services.
+	add("panic", tVoid, stringType)
+	e.Funcs["printk"] = &Func{
+		Name: "printk", Params: []cast.CType{stringType},
+		Result: tVoid, Variadic: true, Builtin: true,
+	}
+	add("udelay", tVoid, tInt)
+	// Kernel transfer buffer.
+	add("kbuf_read8", tU8, tInt)
+	add("kbuf_write8", tVoid, tInt, tU8)
+	add("kbuf_read16", tU16, tInt)
+	add("kbuf_write16", tVoid, tInt, tU16)
+	return e
+}
+
+// stringType is the internal type of string literals; it is not a
+// spellable hwC type.
+var stringType = cast.CType{Kind: cast.TypeVoid, Name: "string"}
+
+// StringType returns the internal string type used for literal checking.
+func StringType() cast.CType { return stringType }
+
+// IsStringType reports whether t is the internal string type.
+func IsStringType(t cast.CType) bool {
+	return t.Kind == cast.TypeVoid && t.Name == "string"
+}
+
+// AddStubs registers the generated stub interface of a Devil specification:
+// get_X/set_X functions and enum constants, plus dil_eq.
+//
+// Integer-typed device variables use plain C integer types (as in the
+// paper's Figure 1: "u8 bm_get_buttons(); s8 bm_get_dy();"); enumerated
+// variables use a distinct struct type per variable in strict mode and
+// plain ints in permissive mode.
+func (e *Env) AddStubs(iface *codegen.Interface) error {
+	for _, v := range iface.Vars {
+		var vt cast.CType
+		switch v.Kind {
+		case codegen.KindEnum:
+			if e.Strict {
+				vt = cast.CType{Kind: cast.TypeDevilStruct, Name: v.Name + "_t"}
+			} else {
+				vt = tU32
+			}
+		case codegen.KindSignedInt:
+			vt = tS32
+		case codegen.KindBool, codegen.KindInt, codegen.KindIntSet:
+			vt = tU32
+		default:
+			return fmt.Errorf("stub %s: unknown kind %d", v.Name, int(v.Kind))
+		}
+		if v.Readable {
+			name := "get_" + v.Name
+			e.Funcs[name] = &Func{
+				Name: name, Result: vt, Builtin: true,
+				StubVar: v.Name, StubKind: "get",
+			}
+			if v.Block {
+				bname := "get_block_" + v.Name
+				e.Funcs[bname] = &Func{
+					Name: bname, Params: []cast.CType{tInt, tInt},
+					Result: tVoid, Builtin: true,
+					StubVar: v.Name, StubKind: "get",
+				}
+			}
+		}
+		if v.Writable {
+			name := "set_" + v.Name
+			e.Funcs[name] = &Func{
+				Name: name, Params: []cast.CType{vt}, Result: tVoid, Builtin: true,
+				StubVar: v.Name, StubKind: "set",
+			}
+			if v.Block {
+				bname := "set_block_" + v.Name
+				e.Funcs[bname] = &Func{
+					Name: bname, Params: []cast.CType{tInt, tInt},
+					Result: tVoid, Builtin: true,
+					StubVar: v.Name, StubKind: "set",
+				}
+			}
+		}
+		for _, c := range v.Consts {
+			e.Consts[c] = vt
+		}
+	}
+	// dil_eq: the polymorphic comparison macro; its devil-operand
+	// requirement is special-cased by the checker.
+	e.Funcs["dil_eq"] = &Func{
+		Name: "dil_eq", Result: tInt, Builtin: true, StubKind: "eq",
+		Params: []cast.CType{{Kind: cast.TypeDevilStruct, Name: "*"},
+			{Kind: cast.TypeDevilStruct, Name: "*"}},
+	}
+	return nil
+}
+
+// BuiltinNames returns the registered callable names, sorted.
+func (e *Env) BuiltinNames() []string {
+	out := make([]string, 0, len(e.Funcs))
+	for name := range e.Funcs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

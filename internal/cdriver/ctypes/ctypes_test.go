@@ -1,0 +1,120 @@
+package ctypes_test
+
+import (
+	"testing"
+
+	"repro/internal/cdriver/cast"
+	"repro/internal/cdriver/ctypes"
+	"repro/internal/devil/codegen"
+)
+
+func TestBuiltinInventory(t *testing.T) {
+	env := ctypes.NewEnv(false)
+	for _, name := range []string{
+		"inb", "inw", "inl", "outb", "outw", "outl",
+		"panic", "printk", "udelay",
+		"kbuf_read8", "kbuf_write8", "kbuf_read16", "kbuf_write16",
+	} {
+		f, ok := env.Funcs[name]
+		if !ok {
+			t.Errorf("builtin %q missing", name)
+			continue
+		}
+		if !f.Builtin {
+			t.Errorf("%q not marked builtin", name)
+		}
+	}
+	if env.Funcs["printk"].Variadic != true {
+		t.Error("printk must be variadic")
+	}
+}
+
+func testIface() *codegen.Interface {
+	return &codegen.Interface{
+		SpecFile: "t.dil",
+		Consts:   map[string]string{"ON": "Power", "OFF": "Power"},
+		Vars: []codegen.VarSig{
+			{Name: "Power", TypeID: 1, Kind: codegen.KindEnum,
+				Readable: true, Writable: true, Consts: []string{"ON", "OFF"}},
+			{Name: "Count", TypeID: 2, Kind: codegen.KindInt, Writable: true},
+			{Name: "Delta", TypeID: 3, Kind: codegen.KindSignedInt, Readable: true},
+			{Name: "Data", TypeID: 4, Kind: codegen.KindInt, Width: 16,
+				Readable: true, Writable: true, Block: true},
+		},
+	}
+}
+
+func TestAddStubsStrict(t *testing.T) {
+	env := ctypes.NewEnv(true)
+	if err := env.AddStubs(testIface()); err != nil {
+		t.Fatal(err)
+	}
+	get := env.Funcs["get_Power"]
+	if get == nil || get.Result.Kind != cast.TypeDevilStruct || get.Result.Name != "Power_t" {
+		t.Errorf("get_Power signature: %+v", get)
+	}
+	set := env.Funcs["set_Power"]
+	if set == nil || len(set.Params) != 1 || set.Params[0].Name != "Power_t" {
+		t.Errorf("set_Power signature: %+v", set)
+	}
+	if env.Consts["ON"].Name != "Power_t" {
+		t.Errorf("constant ON typed %v", env.Consts["ON"])
+	}
+	// Integer-typed variables use plain C types (Figure 1 style).
+	if f := env.Funcs["set_Count"]; f.Params[0].Kind != cast.TypeU32 {
+		t.Errorf("set_Count param: %v", f.Params[0])
+	}
+	if f := env.Funcs["get_Delta"]; f.Result.Kind != cast.TypeS32 {
+		t.Errorf("get_Delta result: %v", f.Result)
+	}
+	// No setter for read-only, no getter for write-only.
+	if _, ok := env.Funcs["set_Delta"]; ok {
+		t.Error("setter generated for read-only variable")
+	}
+	if _, ok := env.Funcs["get_Count"]; ok {
+		t.Error("getter generated for write-only variable")
+	}
+	// Block stubs for the FIFO variable.
+	if f, ok := env.Funcs["get_block_Data"]; !ok || len(f.Params) != 2 {
+		t.Errorf("get_block_Data: %+v", f)
+	}
+	if _, ok := env.Funcs["set_block_Data"]; !ok {
+		t.Error("set_block_Data missing")
+	}
+	// dil_eq is registered.
+	if f, ok := env.Funcs["dil_eq"]; !ok || f.StubKind != "eq" {
+		t.Errorf("dil_eq: %+v", f)
+	}
+}
+
+func TestAddStubsPermissive(t *testing.T) {
+	env := ctypes.NewEnv(false)
+	if err := env.AddStubs(testIface()); err != nil {
+		t.Fatal(err)
+	}
+	if env.Funcs["get_Power"].Result.Kind != cast.TypeU32 {
+		t.Errorf("permissive get_Power returns %v", env.Funcs["get_Power"].Result)
+	}
+	if env.Consts["ON"].Kind != cast.TypeU32 {
+		t.Errorf("permissive constant typed %v", env.Consts["ON"])
+	}
+}
+
+func TestStringTypeHelpers(t *testing.T) {
+	if !ctypes.IsStringType(ctypes.StringType()) {
+		t.Error("StringType not recognised")
+	}
+	if ctypes.IsStringType(cast.CType{Kind: cast.TypeVoid}) {
+		t.Error("plain void recognised as string")
+	}
+}
+
+func TestBuiltinNamesSorted(t *testing.T) {
+	env := ctypes.NewEnv(false)
+	names := env.BuiltinNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted at %d: %v", i, names[i-1:i+1])
+		}
+	}
+}

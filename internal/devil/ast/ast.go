@@ -1,0 +1,274 @@
+// Package ast defines the abstract syntax tree of a Devil device
+// specification: the device entry point with its port parameters, register
+// declarations with access attributes, masks and pre-actions, and device
+// variable declarations built from register bit fragments.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/devil/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Device is a complete specification: the entry point declaration and its
+// body of register and variable declarations.
+type Device struct {
+	NamePos token.Pos
+	Name    string
+	Params  []*PortParam
+	Decls   []Decl
+}
+
+// Pos implements Node.
+func (d *Device) Pos() token.Pos { return d.NamePos }
+
+// PortParam is one parameter of the device declaration, e.g.
+// "base : bit[8] port @ {0..3}" — a ranged port abstracting a base address.
+type PortParam struct {
+	NamePos  token.Pos
+	Name     string
+	DataBits int   // width of data accesses through this port, e.g. bit[8]
+	RangeLo  int64 // valid offset range {lo..hi}
+	RangeHi  int64
+}
+
+// Pos implements Node.
+func (p *PortParam) Pos() token.Pos { return p.NamePos }
+
+// Decl is a declaration inside the device body.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// Access describes how a register (or derived variable) may be used.
+type Access int
+
+// Access modes. ReadWrite is the default when a register declaration names a
+// single port with no read/write qualifier.
+const (
+	ReadWrite Access = iota + 1
+	ReadOnly
+	WriteOnly
+)
+
+// String renders the access mode as Devil surface syntax.
+func (a Access) String() string {
+	switch a {
+	case ReadOnly:
+		return "read-only"
+	case WriteOnly:
+		return "write-only"
+	default:
+		return "read/write"
+	}
+}
+
+// CanRead reports whether the mode permits reads.
+func (a Access) CanRead() bool { return a == ReadOnly || a == ReadWrite }
+
+// CanWrite reports whether the mode permits writes.
+func (a Access) CanWrite() bool { return a == WriteOnly || a == ReadWrite }
+
+// PortRef is a port expression "param @ offset".
+type PortRef struct {
+	NamePos token.Pos
+	Name    string // port parameter name
+	Offset  int64
+}
+
+// Pos implements Node.
+func (p *PortRef) Pos() token.Pos { return p.NamePos }
+
+// String renders the reference as surface syntax.
+func (p *PortRef) String() string { return fmt.Sprintf("%s@%d", p.Name, p.Offset) }
+
+// PreAction is a pre-condition attached to a register: a private variable
+// that must be set to a constant before the port is touched, e.g.
+// "pre {index = 1}".
+type PreAction struct {
+	VarPos token.Pos
+	Var    string
+	Value  int64
+}
+
+// Pos implements Node.
+func (p *PreAction) Pos() token.Pos { return p.VarPos }
+
+// Register declares one device register.
+//
+// A register is accessed through one or two ports. When both ReadPort and
+// WritePort are set they may differ (one port for reading, another for
+// writing); when the declaration is qualified read-only or write-only the
+// unused side is nil.
+type Register struct {
+	DeclPos   token.Pos
+	NamePos   token.Pos
+	Name      string
+	Mode      Access
+	ReadPort  *PortRef
+	WritePort *PortRef
+	Pre       []*PreAction
+	Mask      string // bit pattern over {0,1,*,.}; empty means all relevant
+	MaskPos   token.Pos
+	Size      int // register width in bits
+}
+
+// Pos implements Node.
+func (r *Register) Pos() token.Pos { return r.DeclPos }
+
+func (r *Register) declNode() {}
+
+// Fragment is a bit-range slice of a register used in a variable definition:
+// "x_high[3..0]" (Hi >= Lo, inclusive) or a bare register name (whole
+// register, Hi = Lo = -1 until resolution).
+type Fragment struct {
+	RegPos token.Pos
+	Reg    string
+	Hi     int // most-significant bit of the slice, -1 = whole register
+	Lo     int // least-significant bit of the slice, -1 = whole register
+}
+
+// Pos implements Node.
+func (f *Fragment) Pos() token.Pos { return f.RegPos }
+
+// Whole reports whether the fragment names the full register.
+func (f *Fragment) Whole() bool { return f.Hi < 0 }
+
+// String renders the fragment as surface syntax.
+func (f *Fragment) String() string {
+	if f.Whole() {
+		return f.Reg
+	}
+	if f.Hi == f.Lo {
+		return fmt.Sprintf("%s[%d]", f.Reg, f.Hi)
+	}
+	return fmt.Sprintf("%s[%d..%d]", f.Reg, f.Hi, f.Lo)
+}
+
+// TypeKind discriminates variable type expressions.
+type TypeKind int
+
+// Variable type expression kinds.
+const (
+	TypeInt    TypeKind = iota + 1 // int(n) / signed int(n)
+	TypeEnum                       // { NAME => '..', ... }
+	TypeIntSet                     // int {0, 2, 3} or int {0..5}
+	TypeBool                       // bool
+)
+
+// EnumCase is one arm of an enumerated type mapping a symbolic name to a bit
+// pattern, with a direction: NAME => 'p' (write-only), NAME <= 'p'
+// (read-only), NAME <=> 'p' (both).
+type EnumCase struct {
+	NamePos token.Pos
+	Name    string
+	Dir     token.Kind // MapTo, MapFrom or MapBoth
+	Pattern string
+	PatPos  token.Pos
+}
+
+// TypeExpr is the declared type of a device variable.
+type TypeExpr struct {
+	TypePos token.Pos
+	Kind    TypeKind
+	Signed  bool        // for TypeInt
+	Bits    int         // for TypeInt: int(n)
+	Cases   []*EnumCase // for TypeEnum
+	Set     []int64     // for TypeIntSet: the allowed values, expanded
+}
+
+// Pos implements Node.
+func (t *TypeExpr) Pos() token.Pos { return t.TypePos }
+
+// String renders the type as surface syntax.
+func (t *TypeExpr) String() string {
+	switch t.Kind {
+	case TypeBool:
+		return "bool"
+	case TypeInt:
+		if t.Signed {
+			return fmt.Sprintf("signed int(%d)", t.Bits)
+		}
+		return fmt.Sprintf("int(%d)", t.Bits)
+	case TypeIntSet:
+		parts := make([]string, len(t.Set))
+		for i, v := range t.Set {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		return "int {" + strings.Join(parts, ", ") + "}"
+	case TypeEnum:
+		parts := make([]string, len(t.Cases))
+		for i, c := range t.Cases {
+			parts[i] = fmt.Sprintf("%s %s '%s'", c.Name, c.Dir, c.Pattern)
+		}
+		return "{ " + strings.Join(parts, ", ") + " }"
+	}
+	return "?"
+}
+
+// Variable declares one device variable: a typed value assembled from
+// register bit fragments (most-significant fragment first).
+type Variable struct {
+	DeclPos      token.Pos
+	NamePos      token.Pos
+	Name         string
+	Private      bool
+	Fragments    []*Fragment
+	Volatile     bool
+	WriteTrigger bool
+	Type         *TypeExpr
+}
+
+// Pos implements Node.
+func (v *Variable) Pos() token.Pos { return v.DeclPos }
+
+func (v *Variable) declNode() {}
+
+// Registers returns the register declarations of the device in order.
+func (d *Device) Registers() []*Register {
+	var out []*Register
+	for _, decl := range d.Decls {
+		if r, ok := decl.(*Register); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Variables returns the variable declarations of the device in order.
+func (d *Device) Variables() []*Variable {
+	var out []*Variable
+	for _, decl := range d.Decls {
+		if v, ok := decl.(*Variable); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Register looks up a register declaration by name.
+func (d *Device) Register(name string) *Register {
+	for _, r := range d.Registers() {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Variable looks up a variable declaration by name.
+func (d *Device) Variable(name string) *Variable {
+	for _, v := range d.Variables() {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,571 @@
+// Package codegen turns a checked Devil specification into executable stubs.
+//
+// The paper's compiler emits C: inline functions that perform the port I/O,
+// masking, shifting and concatenation for each register and device variable,
+// in either production mode (minimal checking, maximal speed) or debug mode
+// (each Devil type becomes a distinct struct type so misuse is a
+// compile-time error, and the stubs carry run-time assertions).
+//
+// Here the generated artefact is a Stubs object whose Get/Set/Eq methods
+// implement exactly the semantics of those C functions against a simulated
+// hw.Bus. The same object also publishes the typed interface (signatures of
+// every stub and enum constant) that the strict mini-C front end uses to
+// reproduce the compile-time checking of debug mode, and the C emitter in
+// this package renders the Figure-4 style source text for inspection.
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/devil/ast"
+	"repro/internal/devil/check"
+	"repro/internal/devil/token"
+	"repro/internal/hw"
+)
+
+// Mode selects production or debug stub generation.
+type Mode int
+
+// Generation modes.
+const (
+	// Production stubs perform the raw I/O with no checking.
+	Production Mode = iota + 1
+	// Debug stubs verify types, value ranges and device behaviour at run
+	// time, and expose distinct types so misuse fails to compile.
+	Debug
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Debug {
+		return "debug"
+	}
+	return "production"
+}
+
+// Config parameterises stub generation for a concrete hardware context.
+type Config struct {
+	// Bus is the I/O fabric the stubs operate on.
+	Bus *hw.Bus
+	// Bases binds each port parameter of the device declaration to a
+	// physical base port.
+	Bases map[string]hw.Port
+	// Mode selects production or debug stubs.
+	Mode Mode
+}
+
+// Value is a typed Devil value: the Go analogue of the per-type C structs
+// the debug stubs generate (Figure 4's Drive_t_ with filename, type and
+// val fields). Type 0 denotes an untyped C integer.
+type Value struct {
+	// File is the specification the type belongs to (the __FILE__ field).
+	File string
+	// Type is the specification-unique type counter; 0 = untyped integer.
+	Type int
+	// Val is the raw bit representation (two's complement for signed).
+	Val uint32
+	// Raw carries the full-precision integer for untyped values, used for
+	// range checking when an untyped C int flows into a sized variable.
+	Raw int64
+}
+
+// Untyped reports whether the value is a plain C integer.
+func (v Value) Untyped() bool { return v.Type == 0 }
+
+// UntypedInt builds an untyped integer value, as produced by C integer
+// expressions in the CDevil glue.
+func UntypedInt(x int64) Value {
+	return Value{Val: uint32(x), Raw: x}
+}
+
+// AssertError is a Devil run-time assertion failure (the paper's
+// dil_assert/panic path). The kernel classifies it as "Run-time check" —
+// the best possible outcome for an injected error.
+type AssertError struct {
+	Variable string
+	Msg      string
+}
+
+// Error implements the error interface.
+func (e *AssertError) Error() string {
+	return fmt.Sprintf("Devil assertion failed: %s: %s", e.Variable, e.Msg)
+}
+
+// VarKind classifies a variable's Devil type for interface publication.
+type VarKind int
+
+// Variable type kinds, mirrored from the AST for consumers that should not
+// depend on the AST package.
+const (
+	KindInt VarKind = iota + 1
+	KindSignedInt
+	KindEnum
+	KindIntSet
+	KindBool
+)
+
+// VarSig describes one public device variable for the strict C front end.
+type VarSig struct {
+	Name     string
+	TypeID   int
+	Kind     VarKind
+	Width    int
+	Readable bool
+	Writable bool
+	// Block reports that the variable is a data FIFO (a volatile,
+	// whole-register integer variable), for which the compiler also
+	// generates block-transfer stubs (get_block_X / set_block_X) that move
+	// a run of values between the device and the kernel transfer buffer —
+	// Devil's answer to the hand-written insw/outsw loops of C drivers.
+	Block bool
+	// Consts lists the enum constant names of this variable's type.
+	Consts []string
+}
+
+// Interface is the typed surface a generated stub set exposes to drivers.
+type Interface struct {
+	SpecFile string
+	// Vars lists the public variables in declaration order.
+	Vars []VarSig
+	// Consts maps every enum constant name to its variable.
+	Consts map[string]string
+}
+
+// Stubs is the generated, executable stub set for one device instance.
+type Stubs struct {
+	filename string
+	info     *check.Info
+	cfg      Config
+	// cache holds the last value written to each register, seeded with the
+	// mask-fixed bits — the generated C keeps the same cache struct so that
+	// read-modify-write of write-only registers is possible.
+	cache map[string]uint32
+	// consts maps enum constant names to their typed values.
+	consts map[string]Value
+	// constVar maps enum constant names to their variable.
+	constVar map[string]string
+	iface    *Interface
+}
+
+// Generate builds the stub set for a checked specification.
+func Generate(filename string, info *check.Info, cfg Config) (*Stubs, error) {
+	if cfg.Bus == nil {
+		return nil, fmt.Errorf("generate %s: no bus", filename)
+	}
+	if cfg.Mode != Production && cfg.Mode != Debug {
+		return nil, fmt.Errorf("generate %s: invalid mode %d", filename, int(cfg.Mode))
+	}
+	for _, p := range info.Device.Params {
+		if _, ok := cfg.Bases[p.Name]; !ok {
+			return nil, fmt.Errorf("generate %s: port parameter %s not bound to a base address",
+				filename, p.Name)
+		}
+	}
+	s := &Stubs{
+		filename: filename,
+		info:     info,
+		cfg:      cfg,
+		cache:    make(map[string]uint32, len(info.Registers)),
+		consts:   make(map[string]Value),
+		constVar: make(map[string]string),
+	}
+	for name, r := range info.Registers {
+		s.cache[name] = fixedBits(r)
+	}
+	iface := &Interface{SpecFile: filename, Consts: make(map[string]string)}
+	for _, name := range info.VarOrder {
+		vi := info.Variables[name]
+		if vi.Decl.Private {
+			continue
+		}
+		sig := VarSig{
+			Name:     name,
+			TypeID:   info.TypeIDs[name],
+			Kind:     kindOf(vi.Decl.Type),
+			Width:    vi.Width,
+			Readable: vi.Mode.CanRead(),
+			Writable: vi.Mode.CanWrite(),
+			Block: vi.Decl.Volatile && len(vi.Fragments) == 1 &&
+				vi.Fragments[0].Frag.Whole() &&
+				vi.Decl.Type.Kind == ast.TypeInt && !vi.Decl.Type.Signed &&
+				(vi.Width == 16 || vi.Width == 32),
+		}
+		if vi.Decl.Type.Kind == ast.TypeEnum {
+			for _, cs := range vi.Decl.Type.Cases {
+				if prev, dup := s.constVar[cs.Name]; dup {
+					return nil, fmt.Errorf("generate %s: enum constant %s defined by both %s and %s",
+						filename, cs.Name, prev, name)
+				}
+				s.constVar[cs.Name] = name
+				s.consts[cs.Name] = Value{
+					File: filename,
+					Type: sig.TypeID,
+					Val:  encodePattern(cs.Pattern),
+				}
+				sig.Consts = append(sig.Consts, cs.Name)
+				iface.Consts[cs.Name] = name
+			}
+		}
+		iface.Vars = append(iface.Vars, sig)
+	}
+	s.iface = iface
+	return s, nil
+}
+
+func kindOf(t *ast.TypeExpr) VarKind {
+	switch t.Kind {
+	case ast.TypeEnum:
+		return KindEnum
+	case ast.TypeIntSet:
+		return KindIntSet
+	case ast.TypeBool:
+		return KindBool
+	case ast.TypeInt:
+		if t.Signed {
+			return KindSignedInt
+		}
+		return KindInt
+	}
+	return KindInt
+}
+
+// encodePattern encodes an enum bit pattern as a concrete value, treating
+// wildcard bits as zero (the generated C does the same when writing).
+func encodePattern(pattern string) uint32 {
+	var v uint32
+	for i := 0; i < len(pattern); i++ {
+		v <<= 1
+		if pattern[i] == '1' {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// fixedBits seeds a register cache with its mask's fixed write bits.
+func fixedBits(r *ast.Register) uint32 {
+	if r.Mask == "" {
+		return 0
+	}
+	var v uint32
+	for i := 0; i < len(r.Mask); i++ {
+		v <<= 1
+		if r.Mask[i] == '1' {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// Interface returns the typed stub surface for the strict C front end.
+func (s *Stubs) Interface() *Interface { return s.iface }
+
+// Mode returns the generation mode.
+func (s *Stubs) Mode() Mode { return s.cfg.Mode }
+
+// SpecFile returns the specification filename.
+func (s *Stubs) SpecFile() string { return s.filename }
+
+// Const returns the typed value of an enum constant.
+func (s *Stubs) Const(name string) (Value, bool) {
+	v, ok := s.consts[name]
+	return v, ok
+}
+
+// ConstNames returns the enum constant names in no particular order.
+func (s *Stubs) ConstNames() []string {
+	out := make([]string, 0, len(s.consts))
+	for name := range s.consts {
+		out = append(out, name)
+	}
+	return out
+}
+
+// TypeID returns the specification-unique type counter of a variable.
+func (s *Stubs) TypeID(varName string) (int, bool) {
+	id, ok := s.info.TypeIDs[varName]
+	return id, ok
+}
+
+// lookupVar fetches a public variable, rejecting private ones.
+func (s *Stubs) lookupVar(name string) (*check.VarInfo, error) {
+	vi, ok := s.info.Variables[name]
+	if !ok {
+		return nil, fmt.Errorf("no device variable %s in %s", name, s.filename)
+	}
+	if vi.Decl.Private {
+		return nil, fmt.Errorf("device variable %s is private to %s", name, s.filename)
+	}
+	return vi, nil
+}
+
+// width returns the hw access width for a register size.
+func accessWidth(size int) hw.AccessWidth {
+	switch {
+	case size <= 8:
+		return hw.Width8
+	case size <= 16:
+		return hw.Width16
+	default:
+		return hw.Width32
+	}
+}
+
+// runPre executes the pre-actions of a register: each sets a (usually
+// private) variable to a constant before the guarded port is touched.
+func (s *Stubs) runPre(r *ast.Register) error {
+	for _, pa := range r.Pre {
+		vi, ok := s.info.Variables[pa.Var]
+		if !ok {
+			return fmt.Errorf("pre-action of %s: unknown variable %s", r.Name, pa.Var)
+		}
+		if err := s.setVar(vi, Value{Val: uint32(pa.Value), Raw: pa.Value}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeMaskFix applies the mask's write semantics to a register value:
+// '1' forces the bit set, '0' and '*' force it clear, '.' keeps it.
+func writeMaskFix(r *ast.Register, v uint32) uint32 {
+	if r.Mask == "" {
+		return v
+	}
+	for bit := 0; bit < r.Size; bit++ {
+		idx := len(r.Mask) - 1 - bit
+		switch r.Mask[idx] {
+		case '1':
+			v |= 1 << uint(bit)
+		case '0', '*':
+			v &^= 1 << uint(bit)
+		}
+	}
+	return v
+}
+
+// readReg performs the port read for a register, including pre-actions.
+func (s *Stubs) readReg(r *ast.Register) (uint32, error) {
+	if err := s.runPre(r); err != nil {
+		return 0, err
+	}
+	base, ok := s.cfg.Bases[r.ReadPort.Name]
+	if !ok {
+		return 0, fmt.Errorf("register %s: unbound port %s", r.Name, r.ReadPort.Name)
+	}
+	return s.cfg.Bus.Read(base+hw.Port(r.ReadPort.Offset), accessWidth(r.Size))
+}
+
+// writeReg performs the port write for a register, including pre-actions,
+// mask fixing and cache maintenance.
+func (s *Stubs) writeReg(r *ast.Register, v uint32) error {
+	if err := s.runPre(r); err != nil {
+		return err
+	}
+	base, ok := s.cfg.Bases[r.WritePort.Name]
+	if !ok {
+		return fmt.Errorf("register %s: unbound port %s", r.Name, r.WritePort.Name)
+	}
+	v = writeMaskFix(r, v)
+	if err := s.cfg.Bus.Write(base+hw.Port(r.WritePort.Offset), accessWidth(r.Size), v); err != nil {
+		return err
+	}
+	s.cache[r.Name] = v
+	return nil
+}
+
+// Get reads a device variable through its stub, performing pre-actions,
+// port reads, bit extraction and fragment concatenation. In debug mode the
+// value is verified against the variable's type before being returned.
+func (s *Stubs) Get(name string) (Value, error) {
+	vi, err := s.lookupVar(name)
+	if err != nil {
+		return Value{}, err
+	}
+	if !vi.Mode.CanRead() {
+		return Value{}, fmt.Errorf("device variable %s is %s", name, vi.Mode)
+	}
+	return s.getVar(vi)
+}
+
+func (s *Stubs) getVar(vi *check.VarInfo) (Value, error) {
+	name := vi.Decl.Name
+	var assembled uint32
+	for _, fi := range vi.Fragments {
+		raw, err := s.readReg(fi.Reg)
+		if err != nil {
+			return Value{}, err
+		}
+		field := (raw >> uint(fi.Lo)) & loMask(fi.Width)
+		assembled = assembled<<uint(fi.Width) | field
+	}
+	v := Value{File: s.filename, Type: s.info.TypeIDs[name], Val: assembled}
+	if s.cfg.Mode == Debug {
+		if err := s.assertReadValue(vi, assembled); err != nil {
+			return Value{}, err
+		}
+	}
+	return v, nil
+}
+
+// assertReadValue implements the debug-mode assertion that a value read
+// from the device matches the variable's declared type: an out-of-set
+// integer or an enum value no read pattern covers means either the
+// specification is wrong or the device misbehaves (§2.3).
+func (s *Stubs) assertReadValue(vi *check.VarInfo, val uint32) error {
+	t := vi.Decl.Type
+	name := vi.Decl.Name
+	switch t.Kind {
+	case ast.TypeIntSet:
+		for _, allowed := range t.Set {
+			if uint32(allowed) == val {
+				return nil
+			}
+		}
+		return &AssertError{Variable: name,
+			Msg: fmt.Sprintf("read value %d outside declared set %s", val, t)}
+	case ast.TypeEnum:
+		for _, cs := range t.Cases {
+			if cs.Dir == token.MapTo {
+				continue // write-only mapping
+			}
+			if patternMatches(cs.Pattern, val, vi.Width) {
+				return nil
+			}
+		}
+		return &AssertError{Variable: name,
+			Msg: fmt.Sprintf("read value %d matches no read mapping of %s", val, t)}
+	}
+	return nil
+}
+
+func patternMatches(pattern string, value uint32, width int) bool {
+	if len(pattern) != width {
+		return false
+	}
+	for i := 0; i < width; i++ {
+		bit := (value >> uint(width-1-i)) & 1
+		switch pattern[i] {
+		case '0':
+			if bit != 0 {
+				return false
+			}
+		case '1':
+			if bit != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Set writes a device variable through its stub: the value is type-checked
+// (debug mode), split into fragments, merged into each target register via
+// the register cache, mask-fixed and written out.
+func (s *Stubs) Set(name string, v Value) error {
+	vi, err := s.lookupVar(name)
+	if err != nil {
+		return err
+	}
+	if !vi.Mode.CanWrite() {
+		return fmt.Errorf("device variable %s is %s", name, vi.Mode)
+	}
+	if s.cfg.Mode == Debug {
+		if err := s.assertWriteValue(vi, v); err != nil {
+			return err
+		}
+	}
+	return s.setVar(vi, v)
+}
+
+// assertWriteValue implements the debug-mode write assertions: type
+// identity for enum-typed variables (the dil struct check) and value-range
+// membership for integer-typed ones.
+func (s *Stubs) assertWriteValue(vi *check.VarInfo, v Value) error {
+	t := vi.Decl.Type
+	name := vi.Decl.Name
+	wantType := s.info.TypeIDs[name]
+	if !v.Untyped() {
+		if v.File != s.filename || v.Type != wantType {
+			return &AssertError{Variable: name,
+				Msg: fmt.Sprintf("type mismatch: value has type #%d (%s), variable requires #%d (%s)",
+					v.Type, v.File, wantType, s.filename)}
+		}
+		return nil
+	}
+	// Untyped C integer flowing into a sized variable: range check.
+	switch t.Kind {
+	case ast.TypeEnum:
+		return &AssertError{Variable: name,
+			Msg: fmt.Sprintf("untyped integer %d written to enumerated variable", v.Raw)}
+	case ast.TypeIntSet:
+		for _, allowed := range t.Set {
+			if allowed == v.Raw {
+				return nil
+			}
+		}
+		return &AssertError{Variable: name,
+			Msg: fmt.Sprintf("value %d outside declared set %s", v.Raw, t)}
+	case ast.TypeBool:
+		if v.Raw == 0 || v.Raw == 1 {
+			return nil
+		}
+		return &AssertError{Variable: name,
+			Msg: fmt.Sprintf("value %d written to bool variable", v.Raw)}
+	case ast.TypeInt:
+		if t.Signed {
+			lo := -(int64(1) << uint(vi.Width-1))
+			hi := int64(1)<<uint(vi.Width-1) - 1
+			if v.Raw < lo || v.Raw > hi {
+				return &AssertError{Variable: name,
+					Msg: fmt.Sprintf("value %d outside signed int(%d) range [%d..%d]",
+						v.Raw, vi.Width, lo, hi)}
+			}
+			return nil
+		}
+		if v.Raw < 0 || v.Raw >= int64(1)<<uint(vi.Width) {
+			return &AssertError{Variable: name,
+				Msg: fmt.Sprintf("value %d outside int(%d) range [0..%d]",
+					v.Raw, vi.Width, int64(1)<<uint(vi.Width)-1)}
+		}
+	}
+	return nil
+}
+
+func (s *Stubs) setVar(vi *check.VarInfo, v Value) error {
+	// Distribute the assembled value over the fragments, most-significant
+	// fragment first.
+	remaining := vi.Width
+	val := v.Val & loMask(vi.Width)
+	for _, fi := range vi.Fragments {
+		remaining -= fi.Width
+		field := (val >> uint(remaining)) & loMask(fi.Width)
+		r := fi.Reg
+		merged := s.cache[r.Name]&^(loMask(fi.Width)<<uint(fi.Lo)) | field<<uint(fi.Lo)
+		if err := s.writeReg(r, merged); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Eq implements the paper's dil_eq macro: in debug mode it asserts that the
+// two values carry the same Devil type before comparing representations; in
+// production mode it compares raw values only.
+func (s *Stubs) Eq(a, b Value) (bool, error) {
+	if s.cfg.Mode == Debug && !a.Untyped() && !b.Untyped() {
+		if a.File != b.File || a.Type != b.Type {
+			return false, &AssertError{Variable: "dil_eq",
+				Msg: fmt.Sprintf("comparing values of different Devil types #%d (%s) and #%d (%s)",
+					a.Type, a.File, b.Type, b.File)}
+		}
+	}
+	return a.Val == b.Val, nil
+}
+
+func loMask(width int) uint32 {
+	if width >= 32 {
+		return 0xffffffff
+	}
+	return 1<<uint(width) - 1
+}

@@ -1,0 +1,109 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/devil"
+	"repro/internal/devil/codegen"
+	"repro/internal/specs"
+)
+
+// TestFigure4Shape checks that the emitted debug stub for the IDE Drive
+// variable carries every element the paper's Figure 4 shows: the per-type
+// struct with filename/type/val, the typed constants, the register cache
+// read-modify-write, and the bit extraction.
+func TestFigure4Shape(t *testing.T) {
+	s, err := specs.Load("ide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := devil.Compile(s.Filename, s.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := spec.EmitCVariable(codegen.Debug, "Drive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"struct Drive_t_ { const char *filename; int type; u32 val; }",
+		"static const Drive_t MASTER",
+		"static const Drive_t SLAVE",
+		"static inline void reg_set_ide_select(u8 v)",
+		"cache.cache_ide_select",
+		"static inline void set_Drive(Drive_t v)",
+		"dil_assert",
+		"static inline Drive_t get_Drive(void)",
+		"v.filename = __FILE__;",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Figure-4 emission missing %q\n%s", want, text)
+		}
+	}
+	// The mask semantics of ide_select ('1.1.....'): relevant bits 6 and
+	// 4..0 are kept (0x5f), bits 7 and 5 forced to 1 (0xa0).
+	if !strings.Contains(text, "0x5fu | 0xa0u") {
+		t.Errorf("mask fixing constants wrong:\n%s", text)
+	}
+	// The Drive bit is bit 4: extraction and merge must shift by 4.
+	if !strings.Contains(text, "<< 4") || !strings.Contains(text, ">> 4") {
+		t.Errorf("Drive bit position wrong:\n%s", text)
+	}
+}
+
+func TestProductionEmissionOmitsChecks(t *testing.T) {
+	s, err := specs.Load("ide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := devil.Compile(s.Filename, s.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := spec.EmitC(codegen.Production)
+	if strings.Contains(text, "dil_assert") {
+		t.Error("production emission contains assertions")
+	}
+	if strings.Contains(text, "struct Drive_t_") {
+		t.Error("production emission contains debug struct types")
+	}
+	if !strings.Contains(text, "static inline") {
+		t.Error("production emission has no stubs at all")
+	}
+}
+
+func TestFullDebugEmission(t *testing.T) {
+	s, err := specs.Load("busmouse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := devil.Compile(s.Filename, s.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := spec.EmitC(codegen.Debug)
+	for _, want := range []string{
+		"#define dil_assert",
+		"#define dil_eq",
+		"set_index(0);", // pre-action call inside the x_low read stub
+		"reg_get_x_low",
+		"get_dx",
+		"private: no public stubs",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("debug emission missing %q", want)
+		}
+	}
+}
+
+func TestEmitUnknownVariable(t *testing.T) {
+	s, _ := specs.Load("busmouse")
+	spec, err := devil.Compile(s.Filename, s.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.EmitCVariable(codegen.Debug, "nonexistent"); err == nil {
+		t.Error("emission for unknown variable succeeded")
+	}
+}

@@ -1,0 +1,99 @@
+// Package devil is the public façade of the Devil compiler: it ties together
+// the scanner, parser, consistency checker and stub generator.
+//
+// Devil is an interface definition language for hardware devices (Réveillère
+// et al., ASE 2000; Mérillon et al., OSDI 2000). A specification describes a
+// device in three layers — ports, registers, device variables — and the
+// compiler both verifies the specification's internal consistency and
+// generates the stubs that drivers call instead of hand-written port I/O.
+//
+// Typical use:
+//
+//	spec, err := devil.Compile("busmouse.dil", src)
+//	if err != nil { ... }            // syntax or consistency errors
+//	stubs, err := spec.Generate(devil.Config{
+//	    Bus:   bus,
+//	    Bases: map[string]hw.Port{"base": 0x23c},
+//	    Mode:  devil.Debug,
+//	})
+//	dx, err := stubs.Get("dx")       // typed, checked access
+package devil
+
+import (
+	"fmt"
+
+	"repro/internal/devil/ast"
+	"repro/internal/devil/check"
+	"repro/internal/devil/parser"
+)
+
+// Spec is a parsed and checked Devil specification.
+type Spec struct {
+	// Filename identifies the specification source (the paper's debug stubs
+	// carry it in every typed value as the __FILE__ component).
+	Filename string
+	// Source is the original text.
+	Source string
+	// AST is the parsed device declaration.
+	AST *ast.Device
+	// Info is the resolved symbol and layout information from the checker.
+	Info *check.Info
+}
+
+// CompileError aggregates the diagnostics of a failed compilation.
+type CompileError struct {
+	Filename string
+	Errors   []error
+}
+
+// Error implements the error interface.
+func (e *CompileError) Error() string {
+	if len(e.Errors) == 0 {
+		return fmt.Sprintf("%s: compilation failed", e.Filename)
+	}
+	if len(e.Errors) == 1 {
+		return fmt.Sprintf("%s:%s", e.Filename, e.Errors[0])
+	}
+	return fmt.Sprintf("%s:%v (and %d more errors)", e.Filename, e.Errors[0], len(e.Errors)-1)
+}
+
+// All returns every diagnostic.
+func (e *CompileError) All() []error { return e.Errors }
+
+// Parse runs only the syntactic phase.
+func Parse(filename, src string) (*ast.Device, error) {
+	dev, errs := parser.Parse(src)
+	if len(errs) > 0 {
+		return dev, wrapErrors(filename, toErrs(errs))
+	}
+	return dev, nil
+}
+
+// Compile parses and checks a specification.
+func Compile(filename, src string) (*Spec, error) {
+	dev, perrs := parser.Parse(src)
+	if len(perrs) > 0 {
+		return nil, wrapErrors(filename, toErrs(perrs))
+	}
+	info, cerrs := check.Check(dev)
+	if len(cerrs) > 0 {
+		errs := make([]error, len(cerrs))
+		for i, e := range cerrs {
+			errs[i] = e
+		}
+		return nil, wrapErrors(filename, errs)
+	}
+	return &Spec{Filename: filename, Source: src, AST: dev, Info: info}, nil
+}
+
+func toErrs(l parser.ErrorList) []error {
+	errs := make([]error, len(l))
+	for i, e := range l {
+		errs[i] = e
+	}
+	return errs
+}
+
+func wrapErrors(filename string, errs []error) error {
+	return &CompileError{Filename: filename, Errors: errs}
+}

@@ -1,0 +1,135 @@
+package devil_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/devil"
+	"repro/internal/specs"
+)
+
+func TestCompileBusmouse(t *testing.T) {
+	spec, err := specs.Load("busmouse")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	compiled, err := devil.Compile(spec.Filename, spec.Source)
+	if err != nil {
+		t.Fatalf("compile busmouse: %v", err)
+	}
+	dev := compiled.AST
+	if dev.Name != "logitech_busmouse" {
+		t.Errorf("device name = %q, want logitech_busmouse", dev.Name)
+	}
+	if got := len(dev.Registers()); got != 8 {
+		t.Errorf("registers = %d, want 8", got)
+	}
+	if got := len(dev.Variables()); got != 7 {
+		t.Errorf("variables = %d, want 7", got)
+	}
+	dx := compiled.Info.Variables["dx"]
+	if dx == nil {
+		t.Fatal("variable dx not resolved")
+	}
+	if dx.Width != 8 {
+		t.Errorf("dx width = %d, want 8", dx.Width)
+	}
+	if len(dx.Fragments) != 2 {
+		t.Errorf("dx fragments = %d, want 2", len(dx.Fragments))
+	}
+	idx := compiled.Info.Variables["index"]
+	if idx == nil || !idx.Decl.Private {
+		t.Error("index should be a private variable")
+	}
+}
+
+func TestCompileErrorsAreReported(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string // substring of the expected diagnostic
+	}{
+		{
+			name: "unknown register in variable",
+			src: `device d (base : bit[8] port @ {0..0}) {
+				register r = base @ 0 : bit[8];
+				variable v = nosuch : int(8);
+			}`,
+			want: "unknown register",
+		},
+		{
+			name: "type width mismatch",
+			src: `device d (base : bit[8] port @ {0..0}) {
+				register r = base @ 0 : bit[8];
+				variable v = r : int(4);
+			}`,
+			want: "does not match fragment width",
+		},
+		{
+			name: "mask size mismatch",
+			src: `device d (base : bit[8] port @ {0..0}) {
+				register r = base @ 0, mask '....' : bit[8];
+				variable v = r[3..0] : int(4);
+			}`,
+			want: "mask",
+		},
+		{
+			name: "offset outside port range",
+			src: `device d (base : bit[8] port @ {0..0}) {
+				register r = base @ 5 : bit[8];
+				variable v = r : int(8);
+			}`,
+			want: "outside range",
+		},
+		{
+			name: "duplicate register",
+			src: `device d (base : bit[8] port @ {0..0}) {
+				register r = base @ 0 : bit[8];
+				register r = base @ 0 : bit[8];
+				variable v = r : int(8);
+			}`,
+			want: "redeclared",
+		},
+		{
+			name: "unused port offset",
+			src: `device d (base : bit[8] port @ {0..1}) {
+				register r = base @ 0 : bit[8];
+				variable v = r : int(8);
+			}`,
+			want: "not used by any register",
+		},
+		{
+			name: "variable bit overlap",
+			src: `device d (base : bit[8] port @ {0..0}) {
+				register r = base @ 0 : bit[8];
+				variable v = r[7..4] : int(4);
+				variable w = r[4..0] : int(5);
+			}`,
+			want: "no-overlap",
+		},
+		{
+			name: "syntax error",
+			src:  `device d base : bit[8] port @ {0..0}) {}`,
+			want: "syntax error",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := devil.Compile("test.dil", tt.src)
+			if err == nil {
+				t.Fatal("compile succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				ce, ok := err.(*devil.CompileError)
+				if ok {
+					for _, e := range ce.All() {
+						if strings.Contains(e.Error(), tt.want) {
+							return
+						}
+					}
+				}
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}

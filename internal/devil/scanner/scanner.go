@@ -1,0 +1,288 @@
+// Package scanner turns Devil source text into a token stream.
+//
+// Quoted literals are classified by content: a string containing only the
+// characters 0, 1 and * is a bit string; one that also contains '.' is a bit
+// pattern (register masks use '.' for "relevant bit"). The distinction
+// matters both to the checker and to the mutation engine, which must mutate
+// characters within the same semantic class.
+package scanner
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/devil/token"
+)
+
+// Error is a lexical diagnostic.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Scanner tokenises one Devil source buffer.
+type Scanner struct {
+	src    string
+	off    int
+	line   int
+	col    int
+	errors []*Error
+}
+
+// New returns a scanner over src positioned at the first byte.
+func New(src string) *Scanner {
+	return &Scanner{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors accumulated so far.
+func (s *Scanner) Errors() []*Error { return s.errors }
+
+func (s *Scanner) errorf(pos token.Pos, format string, args ...interface{}) {
+	s.errors = append(s.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (s *Scanner) pos() token.Pos {
+	return token.Pos{Offset: s.off, Line: s.line, Col: s.col}
+}
+
+func (s *Scanner) peek() byte {
+	if s.off >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off]
+}
+
+func (s *Scanner) peek2() byte {
+	if s.off+1 >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off+1]
+}
+
+func (s *Scanner) advance() byte {
+	c := s.src[s.off]
+	s.off++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+func (s *Scanner) skipSpaceAndComments() {
+	for s.off < len(s.src) {
+		c := s.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			s.advance()
+		case c == '/' && s.peek2() == '/':
+			for s.off < len(s.src) && s.peek() != '\n' {
+				s.advance()
+			}
+		case c == '/' && s.peek2() == '*':
+			start := s.pos()
+			s.advance()
+			s.advance()
+			closed := false
+			for s.off < len(s.src) {
+				if s.peek() == '*' && s.peek2() == '/' {
+					s.advance()
+					s.advance()
+					closed = true
+					break
+				}
+				s.advance()
+			}
+			if !closed {
+				s.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// Next returns the next token, or an EOF token when the input is exhausted.
+func (s *Scanner) Next() token.Token {
+	s.skipSpaceAndComments()
+	pos := s.pos()
+	if s.off >= len(s.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := s.peek()
+	switch {
+	case isLetter(c):
+		start := s.off
+		for s.off < len(s.src) && (isLetter(s.peek()) || isDigit(s.peek())) {
+			s.advance()
+		}
+		lit := s.src[start:s.off]
+		return token.Token{Kind: token.Lookup(lit), Lit: lit, Pos: pos}
+	case isDigit(c):
+		return s.scanNumber(pos)
+	case c == '\'':
+		return s.scanQuoted(pos)
+	}
+	s.advance()
+	switch c {
+	case '(':
+		return token.Token{Kind: token.LParen, Lit: "(", Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RParen, Lit: ")", Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBrace, Lit: "{", Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBrace, Lit: "}", Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBracket, Lit: "[", Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBracket, Lit: "]", Pos: pos}
+	case '@':
+		return token.Token{Kind: token.At, Lit: "@", Pos: pos}
+	case ':':
+		return token.Token{Kind: token.Colon, Lit: ":", Pos: pos}
+	case ';':
+		return token.Token{Kind: token.Semi, Lit: ";", Pos: pos}
+	case ',':
+		return token.Token{Kind: token.Comma, Lit: ",", Pos: pos}
+	case '#':
+		return token.Token{Kind: token.Hash, Lit: "#", Pos: pos}
+	case '=':
+		if s.peek() == '>' {
+			s.advance()
+			return token.Token{Kind: token.MapTo, Lit: "=>", Pos: pos}
+		}
+		return token.Token{Kind: token.Assign, Lit: "=", Pos: pos}
+	case '<':
+		if s.peek() == '=' {
+			s.advance()
+			if s.peek() == '>' {
+				s.advance()
+				return token.Token{Kind: token.MapBoth, Lit: "<=>", Pos: pos}
+			}
+			return token.Token{Kind: token.MapFrom, Lit: "<=", Pos: pos}
+		}
+		s.errorf(pos, "unexpected character %q", "<")
+		return token.Token{Kind: token.Illegal, Lit: "<", Pos: pos}
+	case '.':
+		if s.peek() == '.' {
+			s.advance()
+			return token.Token{Kind: token.DotDot, Lit: "..", Pos: pos}
+		}
+		s.errorf(pos, "unexpected character %q", ".")
+		return token.Token{Kind: token.Illegal, Lit: ".", Pos: pos}
+	}
+	s.errorf(pos, "unexpected character %q", string(c))
+	return token.Token{Kind: token.Illegal, Lit: string(c), Pos: pos}
+}
+
+func (s *Scanner) scanNumber(pos token.Pos) token.Token {
+	start := s.off
+	if s.peek() == '0' && (s.peek2() == 'x' || s.peek2() == 'X') {
+		s.advance()
+		s.advance()
+		hexStart := s.off
+		for s.off < len(s.src) && isHexDigit(s.peek()) {
+			s.advance()
+		}
+		if s.off == hexStart {
+			s.errorf(pos, "hexadecimal literal has no digits")
+			return token.Token{Kind: token.Illegal, Lit: s.src[start:s.off], Pos: pos}
+		}
+		return token.Token{Kind: token.HexInt, Lit: s.src[start:s.off], Pos: pos}
+	}
+	for s.off < len(s.src) && isDigit(s.peek()) {
+		s.advance()
+	}
+	return token.Token{Kind: token.Int, Lit: s.src[start:s.off], Pos: pos}
+}
+
+// scanQuoted scans a bit string or bit pattern: a single-quoted run of the
+// characters 0, 1, *, and (for patterns) '.'.
+func (s *Scanner) scanQuoted(pos token.Pos) token.Token {
+	s.advance() // opening quote
+	start := s.off
+	for s.off < len(s.src) && s.peek() != '\'' && s.peek() != '\n' {
+		s.advance()
+	}
+	body := s.src[start:s.off]
+	if s.off >= len(s.src) || s.peek() != '\'' {
+		s.errorf(pos, "unterminated bit literal")
+		return token.Token{Kind: token.Illegal, Lit: body, Pos: pos}
+	}
+	s.advance() // closing quote
+	kind := token.BitString
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '0', '1', '*':
+		case '.':
+			kind = token.BitPattern
+		default:
+			s.errorf(pos, "invalid character %q in bit literal %q", string(body[i]), body)
+			return token.Token{Kind: token.Illegal, Lit: body, Pos: pos}
+		}
+	}
+	if len(body) == 0 {
+		s.errorf(pos, "empty bit literal")
+		return token.Token{Kind: token.Illegal, Lit: body, Pos: pos}
+	}
+	return token.Token{Kind: kind, Lit: body, Pos: pos}
+}
+
+// ScanAll tokenises the whole buffer (excluding EOF) and returns the tokens
+// plus any lexical errors. It is the entry point used by the mutation
+// engine, which needs the complete token stream with positions.
+func ScanAll(src string) ([]token.Token, []*Error) {
+	s := New(src)
+	var toks []token.Token
+	for {
+		t := s.Next()
+		if t.Kind == token.EOF {
+			break
+		}
+		toks = append(toks, t)
+	}
+	return toks, s.Errors()
+}
+
+// Render reassembles source text from a token stream. The output is not
+// byte-identical to the original (whitespace is normalised) but is
+// lexically identical, which is all the mutation pipeline requires.
+func Render(toks []token.Token) string {
+	var b strings.Builder
+	line := 1
+	for i, t := range toks {
+		for line < t.Pos.Line {
+			b.WriteByte('\n')
+			line++
+		}
+		if i > 0 && toks[i-1].Pos.Line == t.Pos.Line {
+			b.WriteByte(' ')
+		}
+		switch t.Kind {
+		case token.BitString, token.BitPattern:
+			b.WriteByte('\'')
+			b.WriteString(t.Lit)
+			b.WriteByte('\'')
+		default:
+			b.WriteString(t.Lit)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

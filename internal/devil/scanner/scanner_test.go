@@ -1,0 +1,131 @@
+package scanner_test
+
+import (
+	"testing"
+
+	"repro/internal/devil/scanner"
+	"repro/internal/devil/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanDeclaration(t *testing.T) {
+	src := `register cr = write base @ 3, mask '1001000.' : bit[8];`
+	toks, errs := scanner.ScanAll(src)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.KwRegister, token.Ident, token.Assign, token.KwWrite,
+		token.Ident, token.At, token.Int, token.Comma, token.KwMask,
+		token.BitPattern, token.Colon, token.KwBit, token.LBracket,
+		token.Int, token.RBracket, token.Semi,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitLiteralClassification(t *testing.T) {
+	tests := []struct {
+		src  string
+		want token.Kind
+	}{
+		{`'0101'`, token.BitString},
+		{`'***1'`, token.BitString},
+		{`'10.0'`, token.BitPattern},
+		{`'.'`, token.BitPattern},
+	}
+	for _, tt := range tests {
+		toks, errs := scanner.ScanAll(tt.src)
+		if len(errs) != 0 || len(toks) != 1 {
+			t.Errorf("%s: toks=%v errs=%v", tt.src, toks, errs)
+			continue
+		}
+		if toks[0].Kind != tt.want {
+			t.Errorf("%s classified %v, want %v", tt.src, toks[0].Kind, tt.want)
+		}
+	}
+}
+
+func TestMappingOperators(t *testing.T) {
+	toks, errs := scanner.ScanAll(`=> <= <=> .. , =`)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{token.MapTo, token.MapFrom, token.MapBoth,
+		token.DotDot, token.Comma, token.Assign}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, errs := scanner.ScanAll("// line\nfoo /* block\nspanning */ bar")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(toks) != 2 || toks[0].Lit != "foo" || toks[1].Lit != "bar" {
+		t.Errorf("tokens = %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Errorf("bar at line %d, want 3", toks[1].Pos.Line)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	for _, src := range []string{
+		"'01",         // unterminated bit literal
+		"'012'",       // invalid bit char
+		"''",          // empty bit literal
+		"0x",          // no hex digits
+		"register $x", // stray character
+		"/* open",     // unterminated comment
+	} {
+		_, errs := scanner.ScanAll(src)
+		if len(errs) == 0 {
+			t.Errorf("%q scanned without errors", src)
+		}
+	}
+}
+
+// TestRenderRoundTrip: rendering a token stream and re-scanning it yields
+// the same stream (kinds + literals).
+func TestRenderRoundTrip(t *testing.T) {
+	src := `device d (base : bit[8] port @ {0..3}) {
+		register r = base @ 1, mask '1..0***.' : bit[8];
+		variable v = r[0] : { A => '1', B <=> '0' };
+	}`
+	toks, errs := scanner.ScanAll(src)
+	if len(errs) != 0 {
+		t.Fatalf("scan: %v", errs)
+	}
+	rendered := scanner.Render(toks)
+	toks2, errs2 := scanner.ScanAll(rendered)
+	if len(errs2) != 0 {
+		t.Fatalf("rescan: %v\nrendered:\n%s", errs2, rendered)
+	}
+	if len(toks) != len(toks2) {
+		t.Fatalf("token count changed: %d -> %d", len(toks), len(toks2))
+	}
+	for i := range toks {
+		if toks[i].Kind != toks2[i].Kind || toks[i].Lit != toks2[i].Lit {
+			t.Errorf("token %d: %v -> %v", i, toks[i], toks2[i])
+		}
+	}
+}

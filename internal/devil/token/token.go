@@ -1,0 +1,180 @@
+// Package token defines the lexical tokens of the Devil interface definition
+// language and source positions used across the compiler.
+//
+// The token inventory follows the published language fragment (RR-4136
+// Figure 3 and §2.1): layered declarations of ports, registers and device
+// variables, bit-string and bit-pattern literals, range and enum-mapping
+// operators.
+package token
+
+import "fmt"
+
+// Kind enumerates the lexical token classes.
+type Kind int
+
+// Token kinds. Literal classes matter to the mutation engine: mutations on
+// literals must stay within the same semantic class (§3.2).
+const (
+	Illegal Kind = iota + 1
+	EOF
+	Comment
+
+	Ident      // logitech_busmouse, sig_reg, ENABLE
+	Int        // 42 (decimal)
+	HexInt     // 0x3f6
+	BitString  // '1010' or '10*1'   (0, 1, * only)
+	BitPattern // '1..0000*'         (0, 1, *, .)
+
+	// Keywords.
+	KwDevice
+	KwRegister
+	KwVariable
+	KwPrivate
+	KwRead
+	KwWrite
+	KwMask
+	KwPre
+	KwVolatile
+	KwTrigger
+	KwSigned
+	KwInt
+	KwBit
+	KwPort
+	KwBool
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	At       // @
+	Colon    // :
+	Semi     // ;
+	Comma    // ,
+	Assign   // =
+	Hash     // #
+	DotDot   // ..
+	MapTo    // =>
+	MapFrom  // <=
+	MapBoth  // <=>
+)
+
+var kindNames = map[Kind]string{
+	Illegal:    "ILLEGAL",
+	EOF:        "EOF",
+	Comment:    "COMMENT",
+	Ident:      "IDENT",
+	Int:        "INT",
+	HexInt:     "HEXINT",
+	BitString:  "BITSTRING",
+	BitPattern: "BITPATTERN",
+	KwDevice:   "device",
+	KwRegister: "register",
+	KwVariable: "variable",
+	KwPrivate:  "private",
+	KwRead:     "read",
+	KwWrite:    "write",
+	KwMask:     "mask",
+	KwPre:      "pre",
+	KwVolatile: "volatile",
+	KwTrigger:  "trigger",
+	KwSigned:   "signed",
+	KwInt:      "int",
+	KwBit:      "bit",
+	KwPort:     "port",
+	KwBool:     "bool",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBracket:   "[",
+	RBracket:   "]",
+	At:         "@",
+	Colon:      ":",
+	Semi:       ";",
+	Comma:      ",",
+	Assign:     "=",
+	Hash:       "#",
+	DotDot:     "..",
+	MapTo:      "=>",
+	MapFrom:    "<=",
+	MapBoth:    "<=>",
+}
+
+// String returns a printable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsLiteral reports whether the kind carries literal text subject to literal
+// mutation rules.
+func (k Kind) IsLiteral() bool {
+	switch k {
+	case Int, HexInt, BitString, BitPattern:
+		return true
+	}
+	return false
+}
+
+// IsKeyword reports whether the kind is a reserved word.
+func (k Kind) IsKeyword() bool { return k >= KwDevice && k <= KwBool }
+
+// keywords maps reserved identifier spellings to their kinds.
+var keywords = map[string]Kind{
+	"device":   KwDevice,
+	"register": KwRegister,
+	"variable": KwVariable,
+	"private":  KwPrivate,
+	"read":     KwRead,
+	"write":    KwWrite,
+	"mask":     KwMask,
+	"pre":      KwPre,
+	"volatile": KwVolatile,
+	"trigger":  KwTrigger,
+	"signed":   KwSigned,
+	"int":      KwInt,
+	"bit":      KwBit,
+	"port":     KwPort,
+	"bool":     KwBool,
+}
+
+// Lookup classifies an identifier spelling as a keyword or plain Ident.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return Ident
+}
+
+// Pos is a source position (1-based line and column, 0-based byte offset).
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position was set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexeme: its kind, literal spelling, and position.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Kind.IsLiteral() || t.Kind == Ident {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,68 @@
+package token_test
+
+import (
+	"testing"
+
+	"repro/internal/devil/token"
+)
+
+func TestKeywordLookup(t *testing.T) {
+	tests := map[string]token.Kind{
+		"device":   token.KwDevice,
+		"register": token.KwRegister,
+		"variable": token.KwVariable,
+		"private":  token.KwPrivate,
+		"mask":     token.KwMask,
+		"pre":      token.KwPre,
+		"volatile": token.KwVolatile,
+		"trigger":  token.KwTrigger,
+		"signed":   token.KwSigned,
+		"int":      token.KwInt,
+		"bit":      token.KwBit,
+		"port":     token.KwPort,
+		"bool":     token.KwBool,
+		"read":     token.KwRead,
+		"write":    token.KwWrite,
+		"sig_reg":  token.Ident,
+		"Device":   token.Ident, // case-sensitive
+	}
+	for lit, want := range tests {
+		if got := token.Lookup(lit); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", lit, got, want)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	for _, k := range []token.Kind{token.Int, token.HexInt, token.BitString, token.BitPattern} {
+		if !k.IsLiteral() {
+			t.Errorf("%v should be a literal", k)
+		}
+	}
+	for _, k := range []token.Kind{token.Ident, token.KwDevice, token.Comma} {
+		if k.IsLiteral() {
+			t.Errorf("%v should not be a literal", k)
+		}
+	}
+	if !token.KwDevice.IsKeyword() || token.Ident.IsKeyword() {
+		t.Error("keyword predicate wrong")
+	}
+}
+
+func TestPosAndTokenString(t *testing.T) {
+	p := token.Pos{Offset: 10, Line: 3, Col: 7}
+	if p.String() != "3:7" {
+		t.Errorf("pos = %q", p)
+	}
+	if !p.IsValid() || (token.Pos{}).IsValid() {
+		t.Error("validity wrong")
+	}
+	tok := token.Token{Kind: token.Ident, Lit: "dx", Pos: p}
+	if tok.String() != `IDENT("dx")` {
+		t.Errorf("token string = %q", tok)
+	}
+	op := token.Token{Kind: token.MapBoth}
+	if op.String() != "<=>" {
+		t.Error("operator token string wrong")
+	}
+}

@@ -1,0 +1,39 @@
+// Package drivers embeds the hwC driver sources of the evaluation: the
+// traditional C IDE driver and its CDevil re-engineering, plus a busmouse
+// pair used by examples and tests.
+package drivers
+
+import (
+	"embed"
+	"fmt"
+)
+
+//go:embed src/*.c
+var files embed.FS
+
+// Source is one embedded driver source file.
+type Source struct {
+	// Name is the short driver name ("ide_c", "ide_devil", ...).
+	Name string
+	// Filename is the embedded file name.
+	Filename string
+	// Text is the source code.
+	Text string
+	// Devil reports whether the driver is CDevil glue over generated stubs.
+	Devil bool
+}
+
+// Load returns the named driver source.
+func Load(name string) (Source, error) {
+	fn := name + ".c"
+	data, err := files.ReadFile("src/" + fn)
+	if err != nil {
+		return Source{}, fmt.Errorf("drivers: unknown driver %q", name)
+	}
+	return Source{
+		Name:     name,
+		Filename: fn,
+		Text:     string(data),
+		Devil:    len(name) > 6 && name[len(name)-6:] == "_devil",
+	}, nil
+}

@@ -1,0 +1,84 @@
+package drivers_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cdriver/clexer"
+	"repro/internal/cdriver/cparser"
+	"repro/internal/drivers"
+)
+
+var corpus = []string{"ide_c", "ide_devil", "busmouse_c", "busmouse_devil"}
+
+func TestLoadCorpus(t *testing.T) {
+	for _, name := range corpus {
+		src, err := drivers.Load(name)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		if src.Name != name || src.Text == "" {
+			t.Errorf("%s: bad source record", name)
+		}
+		wantDevil := strings.HasSuffix(name, "_devil")
+		if src.Devil != wantDevil {
+			t.Errorf("%s: Devil = %v, want %v", name, src.Devil, wantDevil)
+		}
+	}
+	if _, err := drivers.Load("nonexistent"); err == nil {
+		t.Error("unknown driver loaded")
+	}
+}
+
+func TestCorpusParsesClean(t *testing.T) {
+	for _, name := range corpus {
+		src, err := drivers.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, errs := cparser.Parse(src.Text); len(errs) != 0 {
+			t.Errorf("%s does not parse: %v", name, errs[0])
+		}
+	}
+}
+
+func TestCorpusHasTaggedRegions(t *testing.T) {
+	for _, name := range corpus {
+		src, err := drivers.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		toks, lerrs := clexer.Lex(src.Text)
+		if len(lerrs) != 0 {
+			t.Fatalf("%s: lex: %v", name, lerrs[0])
+		}
+		tagged := 0
+		for _, tok := range toks {
+			if tok.Tagged {
+				tagged++
+			}
+		}
+		if tagged == 0 {
+			t.Errorf("%s has no //@hw-tagged tokens", name)
+		}
+		if tagged == len(toks) {
+			t.Errorf("%s is entirely tagged — tags are meaningless", name)
+		}
+	}
+}
+
+// TestDevilDriversAreHardwareFree: the CDevil sources must not contain raw
+// port I/O — that is the whole point of the re-engineering.
+func TestDevilDriversAreHardwareFree(t *testing.T) {
+	for _, name := range []string{"ide_devil", "busmouse_devil"} {
+		src, err := drivers.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, forbidden := range []string{"inb(", "outb(", "inw(", "outw(", "0x1f", "0x23c", "0x3f6"} {
+			if strings.Contains(src.Text, forbidden) {
+				t.Errorf("%s contains raw hardware access %q", name, forbidden)
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package experiment drives the paper's evaluation: it assembles simulated
+// machines, compiles (and later mutates) driver sources, boots them, and
+// classifies every run into the outcome taxonomy of §4.2.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/cdriver/cast"
+	"repro/internal/cdriver/ccheck"
+	"repro/internal/cdriver/cinterp"
+	"repro/internal/cdriver/clexer"
+	"repro/internal/cdriver/cparser"
+	"repro/internal/cdriver/ctoken"
+	"repro/internal/cdriver/ctypes"
+	"repro/internal/devil"
+	"repro/internal/devil/codegen"
+	"repro/internal/hw"
+	"repro/internal/hw/ide"
+	"repro/internal/hw/sysboard"
+	"repro/internal/kernel"
+	"repro/internal/specs"
+)
+
+// Port assignment of the simulated machine, matching the PC convention the
+// driver sources hard-code.
+const (
+	ideCmdBase hw.Port = 0x1f0
+	ideCtlBase hw.Port = 0x3f6
+)
+
+// Machine is one assembled simulated PC: clock, bus, kernel, IDE controller
+// and disk, with a pristine snapshot for the damage audit.
+type Machine struct {
+	Clock    *hw.Clock
+	Bus      *hw.Bus
+	Kern     *kernel.Kernel
+	Ctrl     *ide.Controller
+	Image    *kernel.FSImage
+	Pristine *kernel.FSImage
+}
+
+// NewMachine builds a machine with the default filesystem image.
+func NewMachine() (*Machine, error) {
+	img, err := kernel.BuildImage(kernel.DefaultFiles(), 8)
+	if err != nil {
+		return nil, fmt.Errorf("build image: %w", err)
+	}
+	pristine := img.Clone()
+	clock := &hw.Clock{}
+	bus := hw.NewBus()
+	// ISA semantics: unmapped ports float, and the fragile system devices
+	// (PIC, timer, DMA, CMOS) share the port space — see hw/sysboard.
+	bus.SetFloating(true)
+	if err := sysboard.MapAll(bus); err != nil {
+		return nil, err
+	}
+	disk := ide.NewDisk("REPRO HARDDISK v1.0", img.Sectors)
+	ctrl := ide.NewController(clock, disk)
+	if err := bus.Map(ideCmdBase, 8, ctrl); err != nil {
+		return nil, err
+	}
+	if err := bus.Map(ideCtlBase, 1, ctrl.ControlBlock()); err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Clock:    clock,
+		Bus:      bus,
+		Kern:     kernel.New(clock),
+		Ctrl:     ctrl,
+		Image:    img,
+		Pristine: pristine,
+	}, nil
+}
+
+// ideSpec caches the compiled IDE specification (it is not mutated in the
+// Table 3/4 experiments).
+var ideSpec = mustCompileIDE()
+
+func mustCompileIDE() *devil.Spec {
+	s, err := specs.Load("ide")
+	if err != nil {
+		panic(err)
+	}
+	spec, err := devil.Compile(s.Filename, s.Source)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// IDEStubs generates IDE stubs bound to the machine's bus.
+func (m *Machine) IDEStubs(mode codegen.Mode) (*devil.Stubs, error) {
+	return ideSpec.Generate(devil.Config{
+		Bus: m.Bus,
+		Bases: map[string]hw.Port{
+			"cmd":  ideCmdBase,
+			"ctl":  ideCtlBase,
+			"data": ideCmdBase,
+		},
+		Mode: mode,
+	})
+}
+
+// BootInput describes one driver build to boot.
+type BootInput struct {
+	// Tokens is the (possibly mutated) driver token stream.
+	Tokens []ctoken.Token
+	// Devil selects the CDevil pipeline: strict typing + generated stubs.
+	Devil bool
+	// StubMode is the stub generation mode for Devil drivers (Debug when
+	// zero, matching the paper's development configuration).
+	StubMode codegen.Mode
+	// Permissive downgrades the CDevil type checker to plain C rules while
+	// keeping the stubs at run time — the weak-typing ablation.
+	Permissive bool
+	// Budget overrides the watchdog budget when non-zero.
+	Budget int64
+}
+
+// BootResult is the classified outcome of one build-and-boot.
+type BootResult struct {
+	// CompileErrors is non-empty when the mutant died at compile time.
+	CompileErrors []error
+	// Outcome classifies the run (meaningless if CompileErrors is set).
+	Outcome kernel.Outcome
+	// RunErr is the error the boot terminated with, if any.
+	RunErr error
+	// Console is the kernel console log.
+	Console []string
+	// Coverage is the executed-line set (for dead-code classification).
+	Coverage map[int]bool
+	// Report is the filesystem mount/check report (nil if boot died first).
+	Report *kernel.BootReport
+	// DamagedSectors lists LBAs the audit found corrupted.
+	DamagedSectors []uint32
+	// PartitionTableLost mirrors the paper's reformat-the-disk anecdote.
+	PartitionTableLost bool
+	// Steps is the watchdog step count consumed.
+	Steps int64
+}
+
+// CompileDetected reports whether the mutant died at compile time.
+func (r *BootResult) CompileDetected() bool { return len(r.CompileErrors) > 0 }
+
+// blockAdapter exposes the interpreted driver as a kernel.BlockDriver.
+type blockAdapter struct {
+	in   *cinterp.Interp
+	kern *kernel.Kernel
+}
+
+var _ kernel.BlockDriver = (*blockAdapter)(nil)
+
+// ReadSectors implements kernel.BlockDriver.
+func (a *blockAdapter) ReadSectors(lba uint32, count int) ([]byte, error) {
+	ret, err := a.in.Call("ide_read_sectors",
+		cinterp.IntValue(int64(lba)), cinterp.IntValue(int64(count)))
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, count*kernel.SectorSize)
+	if ret.Kind == cinterp.ValInt && ret.I != 0 {
+		// The driver reported failure: the kernel logs an I/O error and the
+		// zero-filled buffer fails the filesystem checks downstream.
+		a.kern.Printk(fmt.Sprintf("ide0: read error at sector %d", lba))
+		return data, nil
+	}
+	copy(data, a.kern.Buf())
+	return data, nil
+}
+
+// WriteSectors implements kernel.BlockDriver.
+func (a *blockAdapter) WriteSectors(lba uint32, data []byte) error {
+	copy(a.kern.Buf(), data)
+	count := len(data) / kernel.SectorSize
+	ret, err := a.in.Call("ide_write_sectors",
+		cinterp.IntValue(int64(lba)), cinterp.IntValue(int64(count)))
+	if err != nil {
+		return err
+	}
+	if ret.Kind == cinterp.ValInt && ret.I != 0 {
+		a.kern.Printk(fmt.Sprintf("ide0: write error at sector %d", lba))
+	}
+	return nil
+}
+
+// Boot compiles and boots one driver build.
+func Boot(input BootInput) (*BootResult, error) {
+	res := &BootResult{}
+
+	// Phase 1: "compilation" — parse plus type check.
+	prog, perrs := cparser.ParseTokens(input.Tokens)
+	if len(perrs) > 0 {
+		for _, e := range perrs {
+			res.CompileErrors = append(res.CompileErrors, e)
+		}
+		return res, nil
+	}
+
+	m, err := NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	if input.Budget > 0 {
+		m.Kern.SetBudget(input.Budget)
+	}
+
+	env := ctypes.NewEnv(input.Devil && !input.Permissive)
+	var stubs *codegen.Stubs
+	if input.Devil {
+		mode := input.StubMode
+		if mode == 0 {
+			mode = codegen.Debug
+		}
+		stubs, err = m.IDEStubs(mode)
+		if err != nil {
+			return nil, err
+		}
+		if err := env.AddStubs(stubs.Interface()); err != nil {
+			return nil, err
+		}
+	}
+	if cerrs := ccheck.Check(prog, env); len(cerrs) > 0 {
+		for _, e := range cerrs {
+			res.CompileErrors = append(res.CompileErrors, e)
+		}
+		return res, nil
+	}
+
+	// Phase 2: boot the kernel with the driver installed.
+	in, err := cinterp.New(prog, env, m.Kern, m.Bus, stubs)
+	if err != nil {
+		// Global initialiser fault: machine-level failure at insmod time.
+		res.Outcome = kernel.Classify(err)
+		res.RunErr = err
+		return res, nil
+	}
+	runErr := runBoot(m, in, res)
+	res.Console = m.Kern.Console()
+	res.Coverage = in.Coverage()
+	res.Steps = m.Kern.Steps()
+	res.RunErr = runErr
+	res.Outcome = kernel.Classify(runErr)
+	if runErr == nil {
+		damaged, lost := kernel.AuditDisk(m.Image, m.Pristine)
+		res.DamagedSectors = damaged
+		res.PartitionTableLost = lost
+		if (res.Report != nil && res.Report.Damaged()) || len(damaged) > 0 {
+			res.Outcome = kernel.OutcomeDamagedBoot
+		}
+	}
+	return res, nil
+}
+
+// runBoot performs the boot sequence: driver initialisation, then the
+// filesystem mount-and-check through the driver.
+func runBoot(m *Machine, in *cinterp.Interp, res *BootResult) error {
+	ret, err := in.Call("ide_init")
+	if err != nil {
+		return err
+	}
+	if ret.Kind == cinterp.ValInt && ret.I != 0 {
+		return m.Kern.Panic("ide: initialisation failed")
+	}
+	// The driver left the IDENTIFY block in the transfer buffer; the
+	// kernel extracts the drive capacity (words 60/61) and uses it to
+	// sanity-check the partition, as a real block layer would.
+	buf := m.Kern.Buf()
+	totalSectors := uint32(buf[120]) | uint32(buf[121])<<8 |
+		uint32(buf[122])<<16 | uint32(buf[123])<<24
+	adapter := &blockAdapter{in: in, kern: m.Kern}
+	rep, err := m.Kern.MountAndCheck(adapter, m.Pristine, totalSectors)
+	res.Report = rep
+	if err != nil {
+		return err
+	}
+	m.Kern.Printk("boot: reached userspace")
+	return nil
+}
+
+// ParseDriver lexes a driver source for mutation or direct boot.
+func ParseDriver(src string) ([]ctoken.Token, error) {
+	toks, errs := clexer.Lex(src)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("lex driver: %v", errs[0])
+	}
+	return toks, nil
+}
+
+// Program parses a token stream without checking (test helper).
+func Program(toks []ctoken.Token) (*cast.Program, error) {
+	prog, errs := cparser.ParseTokens(toks)
+	return prog, errs.Err()
+}

@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/cdriver/ccheck"
+	"repro/internal/cdriver/cinterp"
+	"repro/internal/cdriver/cparser"
+	"repro/internal/cdriver/ctypes"
+	"repro/internal/devil"
+	"repro/internal/devil/codegen"
+	"repro/internal/hw"
+	"repro/internal/hw/busmouse"
+	"repro/internal/hw/sysboard"
+	"repro/internal/kernel"
+	"repro/internal/specs"
+)
+
+// The busmouse experiment extends the paper's evaluation to a second
+// driver pair — §4.2 notes the authors were "currently evaluating the
+// robustness of Devil over several other Linux drivers". The boot here is
+// the mouse's: probe via the signature register, configure, then sample a
+// fixed motion script; an event stream that differs from the script is
+// visible damage (a wild cursor).
+
+const mouseBase hw.Port = 0x23c
+
+// mouseSpec caches the compiled busmouse specification.
+var mouseSpec = mustCompileSpec("busmouse")
+
+func mustCompileSpec(name string) *devil.Spec {
+	s, err := specs.Load(name)
+	if err != nil {
+		panic(err)
+	}
+	spec, err := devil.Compile(s.Filename, s.Source)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// motionScript is the deterministic input the simulated user provides.
+var motionScript = []struct {
+	dx, dy  int
+	buttons uint8
+}{
+	{1, 0, 0}, {3, -2, 0}, {-4, 5, 1}, {0, 0, 5},
+	{2, 2, 4}, {-1, -3, 0}, {5, 1, 2}, {-2, 4, 0},
+}
+
+// BootMouse compiles and boots one busmouse driver build.
+func BootMouse(input BootInput) (*BootResult, error) {
+	res := &BootResult{}
+	prog, perrs := cparser.ParseTokens(input.Tokens)
+	if len(perrs) > 0 {
+		for _, e := range perrs {
+			res.CompileErrors = append(res.CompileErrors, e)
+		}
+		return res, nil
+	}
+
+	clock := &hw.Clock{}
+	bus := hw.NewBus()
+	bus.SetFloating(true)
+	if err := sysboard.MapAll(bus); err != nil {
+		return nil, err
+	}
+	mouse := busmouse.New()
+	if err := bus.Map(mouseBase, 4, mouse); err != nil {
+		return nil, err
+	}
+	kern := kernel.New(clock)
+	if input.Budget > 0 {
+		kern.SetBudget(input.Budget)
+	}
+
+	env := ctypes.NewEnv(input.Devil && !input.Permissive)
+	var stubs *codegen.Stubs
+	if input.Devil {
+		mode := input.StubMode
+		if mode == 0 {
+			mode = codegen.Debug
+		}
+		var err error
+		stubs, err = mouseSpec.Generate(devil.Config{
+			Bus:   bus,
+			Bases: map[string]hw.Port{"base": mouseBase},
+			Mode:  mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := env.AddStubs(stubs.Interface()); err != nil {
+			return nil, err
+		}
+	}
+	if cerrs := ccheck.Check(prog, env); len(cerrs) > 0 {
+		for _, e := range cerrs {
+			res.CompileErrors = append(res.CompileErrors, e)
+		}
+		return res, nil
+	}
+
+	in, err := cinterp.New(prog, env, kern, bus, stubs)
+	if err != nil {
+		res.Outcome = kernel.Classify(err)
+		res.RunErr = err
+		return res, nil
+	}
+	runErr, damaged := runMouseBoot(kern, mouse, in)
+	res.Console = kern.Console()
+	res.Coverage = in.Coverage()
+	res.Steps = kern.Steps()
+	res.RunErr = runErr
+	res.Outcome = kernel.Classify(runErr)
+	if runErr == nil && damaged {
+		res.Outcome = kernel.OutcomeDamagedBoot
+	}
+	return res, nil
+}
+
+// runMouseBoot initialises the driver, feeds the motion script and checks
+// the event stream. The mouse counters accumulate, so the harness compares
+// cumulative positions.
+func runMouseBoot(kern *kernel.Kernel, mouse *busmouse.Mouse, in *cinterp.Interp) (error, bool) {
+	ret, err := in.Call("mouse_init")
+	if err != nil {
+		return err, false
+	}
+	if ret.Kind == cinterp.ValInt && ret.I != 0 {
+		return kern.Panic("busmouse: initialisation failed"), false
+	}
+	if !mouse.InterruptsEnabled() {
+		kern.Printk("busmouse: warning: interrupts left disabled")
+	}
+	damaged := false
+	var totalX, totalY int8
+	for i, ev := range motionScript {
+		mouse.Move(ev.dx, ev.dy)
+		mouse.SetButtons(ev.buttons)
+		totalX += int8(ev.dx)
+		totalY += int8(ev.dy)
+		v, err := in.Call("mouse_poll")
+		if err != nil {
+			return err, false
+		}
+		gotDx := int8(v.I)
+		gotDy := int8(v.I >> 8)
+		gotButtons := uint8(v.I>>16) & 0x07
+		if gotDx != totalX || gotDy != totalY || gotButtons != ev.buttons {
+			kern.Printk(fmt.Sprintf(
+				"busmouse: event %d corrupt: got (%d,%d,%d), expected (%d,%d,%d)",
+				i, gotDx, gotDy, gotButtons, totalX, totalY, ev.buttons))
+			damaged = true
+		}
+	}
+	kern.Printk("busmouse: event stream complete")
+	return nil, damaged
+}
+
+// MouseMutation runs the driver-mutation experiment for a busmouse driver
+// ("busmouse_c" or "busmouse_devil").
+func MouseMutation(driver string, opts MutationOptions) (*DriverTable, error) {
+	return runDriverMutation(driver, opts, func(input BootInput) (*BootResult, error) {
+		return BootMouse(input)
+	}, func() (*codegen.Interface, error) {
+		bus := hw.NewBus()
+		stubs, err := mouseSpec.Generate(devil.Config{
+			Bus:   bus,
+			Bases: map[string]hw.Port{"base": mouseBase},
+			Mode:  codegen.Debug,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return stubs.Interface(), nil
+	})
+}

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/drivers"
+	"repro/internal/kernel"
+)
+
+// TestCleanMouseBoot: both busmouse drivers must compile and deliver the
+// motion script verbatim.
+func TestCleanMouseBoot(t *testing.T) {
+	for _, name := range []string{"busmouse_c", "busmouse_devil"} {
+		t.Run(name, func(t *testing.T) {
+			src, err := drivers.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toks, err := ParseDriver(src.Text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := BootMouse(BootInput{Tokens: toks, Devil: src.Devil})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CompileDetected() {
+				for _, e := range res.CompileErrors {
+					t.Errorf("  compile: %v", e)
+				}
+				t.Fatal("clean driver failed to compile")
+			}
+			if res.Outcome != kernel.OutcomeBoot {
+				t.Errorf("outcome = %v (%v)", res.Outcome, res.RunErr)
+				for _, line := range res.Console {
+					t.Logf("console: %s", line)
+				}
+			}
+			t.Logf("%s: %d steps", name, res.Steps)
+		})
+	}
+}
+
+// TestMouseMutationSmoke runs a small sample of the extension experiment
+// and checks the Devil-vs-C shape carries over to the second driver pair.
+func TestMouseMutationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation smoke test is not short")
+	}
+	opts := MutationOptions{SamplePct: 20, Seed: 7}
+	c, err := MouseMutation("busmouse_c", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := MouseMutation("busmouse_devil", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s\n%s",
+		FormatDriverTable(c, "Extension: mutations on the C busmouse driver"),
+		FormatDriverTable(d, "Extension: mutations on the CDevil busmouse driver"))
+	if d.DetectedPct() <= c.DetectedPct() {
+		t.Errorf("Devil detection (%.1f%%) should exceed C (%.1f%%)",
+			d.DetectedPct(), c.DetectedPct())
+	}
+}

@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/specs"
+)
+
+// TestTable2Busmouse runs the spec-mutation experiment on the smallest
+// corpus member and checks the headline shape: the Devil compiler catches
+// the overwhelming majority of injected errors (paper: 88.8%–95.4%).
+func TestTable2Busmouse(t *testing.T) {
+	s, err := specs.Load("busmouse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := Table2Row(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("busmouse: %d lines, %d sites, %d mutants, %.1f%% detected",
+		row.Lines, row.Sites, row.Mutants, row.PctDetected())
+	if row.Mutants < 100 {
+		t.Errorf("suspiciously few mutants: %d", row.Mutants)
+	}
+	if pct := row.PctDetected(); pct < 70 || pct > 100 {
+		t.Errorf("detection %.1f%% outside plausible range", pct)
+	}
+}
+
+// TestDriverMutationSmoke boots a small sample of both drivers' mutants
+// and checks the paper's headline shape: the Devil driver detects roughly
+// 3× more mutants than the C driver, and boots silently far less often.
+func TestDriverMutationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation smoke test is not short")
+	}
+	opts := MutationOptions{SamplePct: 5, Seed: 42}
+	c, err := Table3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Table4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s\n%s",
+		FormatDriverTable(c, "Table 3: Mutations on C code"),
+		FormatDriverTable(d, "Table 4: Mutations on CDevil code"))
+	if d.DetectedPct() <= c.DetectedPct() {
+		t.Errorf("Devil detection (%.1f%%) should exceed C detection (%.1f%%)",
+			d.DetectedPct(), c.DetectedPct())
+	}
+	if d.SilentPct() >= c.SilentPct() {
+		t.Errorf("Devil silent boots (%.1f%%) should be below C (%.1f%%)",
+			d.SilentPct(), c.SilentPct())
+	}
+}

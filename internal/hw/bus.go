@@ -1,0 +1,277 @@
+// Package hw simulates the port-mapped I/O fabric that device drivers talk
+// to. It stands in for the ISA/PCI bus of the paper's test machine: devices
+// register handler callbacks for ranges of port addresses, and drivers (or
+// Devil-generated stubs) issue 8/16/32-bit reads and writes against the bus.
+//
+// The bus is deliberately unforgiving: an access to an unmapped port, or an
+// access whose width a device rejects, returns a BusFaultError. The kernel
+// simulator treats an unhandled bus fault as a machine crash, which is how
+// the paper's "Crash" outcome class arises from typographical errors in port
+// constants.
+package hw
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Port is a port-space address (the argument of inb/outb).
+type Port uint32
+
+// AccessWidth is the size of a single I/O operation in bits.
+type AccessWidth int
+
+// Supported I/O operation widths.
+const (
+	Width8 AccessWidth = 8 + iota*8
+	Width16
+	Width32
+)
+
+// String returns the conventional name of the width ("8-bit", ...).
+func (w AccessWidth) String() string {
+	return fmt.Sprintf("%d-bit", int(w))
+}
+
+// BusFaultError reports an I/O access that no device could satisfy.
+type BusFaultError struct {
+	Port  Port
+	Width AccessWidth
+	Write bool
+}
+
+// Error implements the error interface.
+func (e *BusFaultError) Error() string {
+	dir := "read"
+	if e.Write {
+		dir = "write"
+	}
+	return fmt.Sprintf("bus fault: %s %s at port %#x (unmapped)", w(e.Width), dir, uint32(e.Port))
+}
+
+func w(width AccessWidth) string { return width.String() }
+
+// Device is the handler side of the bus: a device claims a contiguous port
+// range and services reads and writes within it. Offsets passed to Read and
+// Write are relative to the claimed base.
+type Device interface {
+	// Name identifies the device in traces and error messages.
+	Name() string
+	// Read services an input operation at the given relative offset.
+	Read(offset Port, width AccessWidth) (uint32, error)
+	// Write services an output operation at the given relative offset.
+	Write(offset Port, width AccessWidth, value uint32) error
+}
+
+// Access records one bus transaction, for the trace consumed by tests and by
+// the experiment harness (dead-code detection and damage forensics).
+type Access struct {
+	Port  Port
+	Width AccessWidth
+	Write bool
+	Value uint32
+	Fault bool
+}
+
+// mapping binds a device to its claimed range [base, base+size).
+type mapping struct {
+	base Port
+	size Port
+	dev  Device
+}
+
+// Bus is a port-mapped I/O space. The zero value is unusable; construct with
+// NewBus. Bus is safe for concurrent use, though the simulated kernel is
+// single-threaded.
+type Bus struct {
+	mu       sync.Mutex
+	mappings []mapping
+	trace    []Access
+	tracing  bool
+	floating bool
+	accesses uint64
+	faults   uint64
+}
+
+// NewBus returns an empty I/O space with tracing disabled. Accesses to
+// unmapped ports fault; call SetFloating for ISA semantics.
+func NewBus() *Bus {
+	return &Bus{}
+}
+
+// SetFloating selects what an access to an unmapped port does. A strict
+// bus (the default) returns a BusFaultError; a floating bus behaves like
+// the ISA bus of the paper's test machine — reads see the floating data
+// lines (all ones) and writes vanish, so a typo'd port number does not by
+// itself crash the machine.
+func (b *Bus) SetFloating(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.floating = on
+}
+
+// Map claims the port range [base, base+size) for dev. Overlapping claims are
+// rejected, mirroring resource conflicts on a real bus.
+func (b *Bus) Map(base Port, size Port, dev Device) error {
+	if size == 0 {
+		return fmt.Errorf("map %s: empty port range at %#x", dev.Name(), uint32(base))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range b.mappings {
+		if base < m.base+m.size && m.base < base+size {
+			return fmt.Errorf("map %s: ports %#x..%#x overlap %s at %#x..%#x",
+				dev.Name(), uint32(base), uint32(base+size-1),
+				m.dev.Name(), uint32(m.base), uint32(m.base+m.size-1))
+		}
+	}
+	b.mappings = append(b.mappings, mapping{base: base, size: size, dev: dev})
+	sort.Slice(b.mappings, func(i, j int) bool { return b.mappings[i].base < b.mappings[j].base })
+	return nil
+}
+
+// Unmap releases every range claimed by dev.
+func (b *Bus) Unmap(dev Device) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	kept := b.mappings[:0]
+	for _, m := range b.mappings {
+		if m.dev != dev {
+			kept = append(kept, m)
+		}
+	}
+	b.mappings = kept
+}
+
+// SetTracing enables or disables transaction tracing.
+func (b *Bus) SetTracing(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tracing = on
+	if !on {
+		b.trace = nil
+	}
+}
+
+// Trace returns a copy of the recorded transactions.
+func (b *Bus) Trace() []Access {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Access, len(b.trace))
+	copy(out, b.trace)
+	return out
+}
+
+// Stats reports the total number of accesses and the number that faulted.
+func (b *Bus) Stats() (accesses, faults uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.accesses, b.faults
+}
+
+// find locates the mapping that covers port, or nil.
+func (b *Bus) find(port Port) *mapping {
+	for i := range b.mappings {
+		m := &b.mappings[i]
+		if port >= m.base && port < m.base+m.size {
+			return m
+		}
+	}
+	return nil
+}
+
+func (b *Bus) record(a Access) {
+	b.accesses++
+	if a.Fault {
+		b.faults++
+	}
+	if b.tracing {
+		b.trace = append(b.trace, a)
+	}
+}
+
+// Read performs an input operation of the given width at port.
+func (b *Bus) Read(port Port, width AccessWidth) (uint32, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.find(port)
+	if m == nil {
+		if b.floating {
+			b.record(Access{Port: port, Width: width, Value: widthMask(width)})
+			return widthMask(width), nil
+		}
+		b.record(Access{Port: port, Width: width, Fault: true})
+		return 0, &BusFaultError{Port: port, Width: width}
+	}
+	v, err := m.dev.Read(port-m.base, width)
+	b.record(Access{Port: port, Width: width, Value: v, Fault: err != nil})
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", m.dev.Name(), err)
+	}
+	return v & widthMask(width), nil
+}
+
+// Write performs an output operation of the given width at port.
+func (b *Bus) Write(port Port, width AccessWidth, value uint32) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.find(port)
+	if m == nil {
+		if b.floating {
+			b.record(Access{Port: port, Width: width, Write: true, Value: value})
+			return nil
+		}
+		b.record(Access{Port: port, Width: width, Write: true, Value: value, Fault: true})
+		return &BusFaultError{Port: port, Width: width, Write: true}
+	}
+	err := m.dev.Write(port-m.base, width, value&widthMask(width))
+	b.record(Access{Port: port, Width: width, Write: true, Value: value, Fault: err != nil})
+	if err != nil {
+		return fmt.Errorf("%s: %w", m.dev.Name(), err)
+	}
+	return nil
+}
+
+// In8 is the inb(2) convenience wrapper.
+func (b *Bus) In8(port Port) (uint8, error) {
+	v, err := b.Read(port, Width8)
+	return uint8(v), err
+}
+
+// Out8 is the outb(2) convenience wrapper.
+func (b *Bus) Out8(port Port, v uint8) error {
+	return b.Write(port, Width8, uint32(v))
+}
+
+// In16 is the inw(2) convenience wrapper.
+func (b *Bus) In16(port Port) (uint16, error) {
+	v, err := b.Read(port, Width16)
+	return uint16(v), err
+}
+
+// Out16 is the outw(2) convenience wrapper.
+func (b *Bus) Out16(port Port, v uint16) error {
+	return b.Write(port, Width16, uint32(v))
+}
+
+// In32 is the inl(2) convenience wrapper.
+func (b *Bus) In32(port Port) (uint32, error) {
+	return b.Read(port, Width32)
+}
+
+// Out32 is the outl(2) convenience wrapper.
+func (b *Bus) Out32(port Port, v uint32) error {
+	return b.Write(port, Width32, v)
+}
+
+func widthMask(width AccessWidth) uint32 {
+	switch width {
+	case Width8:
+		return 0xff
+	case Width16:
+		return 0xffff
+	default:
+		return 0xffffffff
+	}
+}

@@ -1,0 +1,178 @@
+package hw_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+)
+
+// ram is a trivial byte-addressed test device.
+type ram struct {
+	name  string
+	cells [16]uint32
+}
+
+func (r *ram) Name() string { return r.name }
+
+func (r *ram) Read(off hw.Port, w hw.AccessWidth) (uint32, error) {
+	return r.cells[off], nil
+}
+
+func (r *ram) Write(off hw.Port, w hw.AccessWidth, v uint32) error {
+	r.cells[off] = v
+	return nil
+}
+
+func TestBusMapAndAccess(t *testing.T) {
+	bus := hw.NewBus()
+	dev := &ram{name: "ram0"}
+	if err := bus.Map(0x100, 16, dev); err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	if err := bus.Out8(0x104, 0xab); err != nil {
+		t.Fatalf("out8: %v", err)
+	}
+	v, err := bus.In8(0x104)
+	if err != nil {
+		t.Fatalf("in8: %v", err)
+	}
+	if v != 0xab {
+		t.Errorf("read back %#x, want 0xab", v)
+	}
+	if dev.cells[4] != 0xab {
+		t.Errorf("device saw offset-relative write at %v", dev.cells)
+	}
+}
+
+func TestBusRejectsOverlap(t *testing.T) {
+	bus := hw.NewBus()
+	if err := bus.Map(0x100, 16, &ram{name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Map(0x108, 16, &ram{name: "b"}); err == nil {
+		t.Error("overlapping map accepted")
+	}
+	if err := bus.Map(0x110, 16, &ram{name: "c"}); err != nil {
+		t.Errorf("adjacent map rejected: %v", err)
+	}
+	if err := bus.Map(0x200, 0, &ram{name: "d"}); err == nil {
+		t.Error("empty map accepted")
+	}
+}
+
+func TestBusFaultStrictVsFloating(t *testing.T) {
+	bus := hw.NewBus()
+	_, err := bus.In8(0x999)
+	var fault *hw.BusFaultError
+	if !errors.As(err, &fault) {
+		t.Fatalf("strict bus: got %v, want BusFaultError", err)
+	}
+	if fault.Port != 0x999 || fault.Write {
+		t.Errorf("fault details wrong: %+v", fault)
+	}
+
+	bus.SetFloating(true)
+	v, err := bus.In8(0x999)
+	if err != nil {
+		t.Fatalf("floating read errored: %v", err)
+	}
+	if v != 0xff {
+		t.Errorf("floating 8-bit read = %#x, want 0xff", v)
+	}
+	w, err := bus.In16(0x999)
+	if err != nil || w != 0xffff {
+		t.Errorf("floating 16-bit read = %#x, %v; want 0xffff", w, err)
+	}
+	if err := bus.Out8(0x999, 1); err != nil {
+		t.Errorf("floating write errored: %v", err)
+	}
+}
+
+func TestBusUnmap(t *testing.T) {
+	bus := hw.NewBus()
+	dev := &ram{name: "a"}
+	if err := bus.Map(0x10, 16, dev); err != nil {
+		t.Fatal(err)
+	}
+	bus.Unmap(dev)
+	if _, err := bus.In8(0x10); err == nil {
+		t.Error("read of unmapped device succeeded")
+	}
+	if err := bus.Map(0x10, 16, &ram{name: "b"}); err != nil {
+		t.Errorf("remap after unmap rejected: %v", err)
+	}
+}
+
+func TestBusTraceAndStats(t *testing.T) {
+	bus := hw.NewBus()
+	if err := bus.Map(0, 16, &ram{name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	bus.SetTracing(true)
+	_ = bus.Out8(3, 7)
+	_, _ = bus.In8(3)
+	_, _ = bus.In8(0x999) // fault
+	trace := bus.Trace()
+	if len(trace) != 3 {
+		t.Fatalf("trace has %d entries, want 3", len(trace))
+	}
+	if !trace[0].Write || trace[0].Value != 7 {
+		t.Errorf("first access should be the write of 7: %+v", trace[0])
+	}
+	if !trace[2].Fault {
+		t.Errorf("third access should fault: %+v", trace[2])
+	}
+	acc, faults := bus.Stats()
+	if acc != 3 || faults != 1 {
+		t.Errorf("stats = %d/%d, want 3/1", acc, faults)
+	}
+	bus.SetTracing(false)
+	if len(bus.Trace()) != 0 {
+		t.Error("disabling tracing should clear the trace")
+	}
+}
+
+// TestBusWidthMasking property: values written through the bus are always
+// truncated to the access width before reaching the device.
+func TestBusWidthMasking(t *testing.T) {
+	bus := hw.NewBus()
+	dev := &ram{name: "a"}
+	if err := bus.Map(0, 16, dev); err != nil {
+		t.Fatal(err)
+	}
+	prop := func(v uint32) bool {
+		if err := bus.Write(1, hw.Width8, v); err != nil {
+			return false
+		}
+		if dev.cells[1] != v&0xff {
+			return false
+		}
+		if err := bus.Write(2, hw.Width16, v); err != nil {
+			return false
+		}
+		return dev.cells[2] == v&0xffff
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c hw.Clock
+	if c.Now() != 0 {
+		t.Errorf("zero clock at %d", c.Now())
+	}
+	var seen []uint64
+	c.OnTick(func(now uint64) { seen = append(seen, now) })
+	c.Tick(1)
+	c.Tick(0) // no-op
+	c.Tick(5)
+	if c.Now() != 6 {
+		t.Errorf("clock at %d, want 6", c.Now())
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 6 {
+		t.Errorf("listener saw %v, want [1 6]", seen)
+	}
+}

@@ -1,0 +1,271 @@
+package ide_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/hw/ide"
+)
+
+// rig assembles a controller with a small disk whose sector n is filled
+// with byte n.
+type rig struct {
+	clock *hw.Clock
+	bus   *hw.Bus
+	ctrl  *ide.Controller
+	disk  *ide.Disk
+}
+
+func newRig(t *testing.T, sectors int) *rig {
+	t.Helper()
+	img := make([][]byte, sectors)
+	for i := range img {
+		img[i] = make([]byte, ide.SectorSize)
+		for j := range img[i] {
+			img[i][j] = byte(i)
+		}
+	}
+	clock := &hw.Clock{}
+	bus := hw.NewBus()
+	disk := ide.NewDisk("TESTDISK", img)
+	ctrl := ide.NewController(clock, disk)
+	if err := bus.Map(0x1f0, 8, ctrl); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Map(0x3f6, 1, ctrl.ControlBlock()); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{clock: clock, bus: bus, ctrl: ctrl, disk: disk}
+}
+
+func (r *rig) out8(t *testing.T, port hw.Port, v uint8) {
+	t.Helper()
+	if err := r.bus.Out8(port, v); err != nil {
+		t.Fatalf("out8 %#x: %v", port, err)
+	}
+}
+
+func (r *rig) in8(t *testing.T, port hw.Port) uint8 {
+	t.Helper()
+	v, err := r.bus.In8(port)
+	if err != nil {
+		t.Fatalf("in8 %#x: %v", port, err)
+	}
+	return v
+}
+
+// status polls until BSY clears, ticking the clock, and returns the status.
+func (r *rig) waitNotBusy(t *testing.T) uint8 {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		s := r.in8(t, 0x1f7)
+		if s&ide.StatusBusy == 0 {
+			return s
+		}
+		r.clock.Tick(1)
+	}
+	t.Fatal("drive stuck busy")
+	return 0
+}
+
+func (r *rig) readDataSector(t *testing.T) []byte {
+	t.Helper()
+	buf := make([]byte, ide.SectorSize)
+	for i := 0; i < 256; i++ {
+		w, err := r.bus.In16(0x1f0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint16(buf[2*i:], w)
+	}
+	return buf
+}
+
+func TestResetSignature(t *testing.T) {
+	r := newRig(t, 8)
+	r.out8(t, 0x3f6, 0x0c) // SRST | bit3
+	r.out8(t, 0x3f6, 0x08) // release
+	s := r.waitNotBusy(t)
+	if s&ide.StatusReady == 0 {
+		t.Errorf("not ready after reset: status %#x", s)
+	}
+	if got := r.in8(t, 0x1f2); got != 1 {
+		t.Errorf("sector count signature = %d, want 1", got)
+	}
+	if got := r.in8(t, 0x1f3); got != 1 {
+		t.Errorf("sector number signature = %d, want 1", got)
+	}
+	if got := r.in8(t, 0x1f1); got != 0x01 {
+		t.Errorf("error register after diagnostics = %#x, want 0x01", got)
+	}
+}
+
+func TestIdentify(t *testing.T) {
+	r := newRig(t, 32)
+	r.out8(t, 0x1f6, 0xa0) // master
+	r.out8(t, 0x1f7, ide.CmdIdentify)
+	s := r.waitNotBusy(t)
+	if s&ide.StatusDataRequest == 0 {
+		t.Fatalf("no DRQ after identify: status %#x", s)
+	}
+	data := r.readDataSector(t)
+	total := binary.LittleEndian.Uint16(data[120:]) // word 60
+	if int(total) != 32 {
+		t.Errorf("identify total sectors = %d, want 32", total)
+	}
+	// Model string is byte-swapped ASCII in words 27..46.
+	if data[27*2+1] != 'T' { // "TESTDISK" with pairs swapped: "ET..."?
+		// byte order: buf[27*2+(0^1)] = model[0] ⇒ buf[55] = 'T'
+		t.Errorf("model string byte = %q", data[27*2+1])
+	}
+	// After 256 words the data phase ends.
+	if st := r.in8(t, 0x1f7); st&ide.StatusDataRequest != 0 {
+		t.Errorf("DRQ still set after full transfer: %#x", st)
+	}
+}
+
+func TestReadSectorsLBA(t *testing.T) {
+	r := newRig(t, 32)
+	r.out8(t, 0x1f6, 0xe0) // master, LBA
+	r.out8(t, 0x1f2, 2)    // two sectors
+	r.out8(t, 0x1f3, 5)    // LBA 5
+	r.out8(t, 0x1f4, 0)
+	r.out8(t, 0x1f5, 0)
+	r.out8(t, 0x1f7, ide.CmdReadSectors)
+	for sector := 0; sector < 2; sector++ {
+		s := r.waitNotBusy(t)
+		if s&ide.StatusDataRequest == 0 {
+			t.Fatalf("no DRQ for sector %d: status %#x", sector, s)
+		}
+		data := r.readDataSector(t)
+		want := byte(5 + sector)
+		if data[0] != want || data[511] != want {
+			t.Errorf("sector %d content = %d/%d, want %d", sector, data[0], data[511], want)
+		}
+	}
+	if s := r.in8(t, 0x1f7); s&ide.StatusError != 0 {
+		t.Errorf("error after read: %#x", s)
+	}
+}
+
+func TestReadCHS(t *testing.T) {
+	r := newRig(t, 64)
+	// Geometry is 4 heads × 8 spt. CHS (cyl 1, head 1, sec 3) = LBA
+	// (1*4+1)*8+3-1 = 42.
+	r.out8(t, 0x1f6, 0xa1) // CHS, head 1
+	r.out8(t, 0x1f2, 1)
+	r.out8(t, 0x1f3, 3) // sector 3 (1-based)
+	r.out8(t, 0x1f4, 1) // cyl low = 1
+	r.out8(t, 0x1f5, 0)
+	r.out8(t, 0x1f7, ide.CmdReadSectors)
+	r.waitNotBusy(t)
+	data := r.readDataSector(t)
+	if data[0] != 42 {
+		t.Errorf("CHS read got sector %d, want 42", data[0])
+	}
+}
+
+func TestWriteSectors(t *testing.T) {
+	r := newRig(t, 16)
+	r.out8(t, 0x1f6, 0xe0)
+	r.out8(t, 0x1f2, 1)
+	r.out8(t, 0x1f3, 9)
+	r.out8(t, 0x1f4, 0)
+	r.out8(t, 0x1f5, 0)
+	r.out8(t, 0x1f7, ide.CmdWriteSectors)
+	s := r.in8(t, 0x1f7)
+	if s&ide.StatusDataRequest == 0 {
+		t.Fatalf("no DRQ for write: %#x", s)
+	}
+	for i := 0; i < 256; i++ {
+		if err := r.bus.Out16(0x1f0, uint16(0x1111*(i%4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.waitNotBusy(t)
+	if r.disk.Sectors[9][2] != 0x11 {
+		t.Errorf("disk sector 9 not written: % x", r.disk.Sectors[9][:4])
+	}
+}
+
+func TestOutOfRangeLBAFails(t *testing.T) {
+	r := newRig(t, 8)
+	r.out8(t, 0x1f6, 0xe0)
+	r.out8(t, 0x1f2, 1)
+	r.out8(t, 0x1f3, 200) // beyond the 8-sector disk
+	r.out8(t, 0x1f4, 0)
+	r.out8(t, 0x1f5, 0)
+	r.out8(t, 0x1f7, ide.CmdReadSectors)
+	s := r.in8(t, 0x1f7)
+	if s&ide.StatusError == 0 {
+		t.Errorf("out-of-range read did not error: %#x", s)
+	}
+	if e := r.in8(t, 0x1f1); e&ide.ErrIDNotFound == 0 {
+		t.Errorf("error register = %#x, want IDNF", e)
+	}
+}
+
+func TestUnknownCommandAborts(t *testing.T) {
+	r := newRig(t, 8)
+	r.out8(t, 0x1f7, 0x99)
+	s := r.in8(t, 0x1f7)
+	if s&ide.StatusError == 0 {
+		t.Errorf("unknown command did not abort: %#x", s)
+	}
+	if e := r.in8(t, 0x1f1); e&ide.ErrAborted == 0 {
+		t.Errorf("error register = %#x, want ABRT", e)
+	}
+}
+
+func TestSlaveAbsent(t *testing.T) {
+	r := newRig(t, 8)
+	r.out8(t, 0x1f6, 0xb0) // slave select
+	if s := r.in8(t, 0x1f7); s != 0 {
+		t.Errorf("absent slave status = %#x, want 0", s)
+	}
+	r.out8(t, 0x1f7, ide.CmdIdentify) // ignored
+	r.clock.Tick(500)
+	if s := r.in8(t, 0x1f7); s != 0 {
+		t.Errorf("absent slave acted on a command: %#x", s)
+	}
+	// Back to master: alive again.
+	r.out8(t, 0x1f6, 0xa0)
+	if s := r.in8(t, 0x1f7); s&ide.StatusReady == 0 {
+		t.Errorf("master not ready after reselect: %#x", s)
+	}
+}
+
+func TestDataPortWithoutDRQFloats(t *testing.T) {
+	r := newRig(t, 8)
+	w, err := r.bus.In16(0x1f0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0xffff {
+		t.Errorf("data read without DRQ = %#x, want 0xffff", w)
+	}
+	// 8-bit pokes at the 16-bit data port yield garbage, not data.
+	if v := r.in8(t, 0x1f0); v != 0xff {
+		t.Errorf("8-bit data read = %#x, want 0xff", v)
+	}
+}
+
+func TestCommandsIgnoredWhileBusy(t *testing.T) {
+	r := newRig(t, 8)
+	r.out8(t, 0x1f6, 0xe0)
+	r.out8(t, 0x1f2, 1)
+	r.out8(t, 0x1f3, 1)
+	r.out8(t, 0x1f4, 0)
+	r.out8(t, 0x1f5, 0)
+	r.out8(t, 0x1f7, ide.CmdReadSectors)
+	if s := r.in8(t, 0x1f7); s&ide.StatusBusy == 0 {
+		t.Fatalf("not busy right after command: %#x", s)
+	}
+	r.out8(t, 0x1f7, ide.CmdIdentify) // must be ignored
+	r.waitNotBusy(t)
+	data := r.readDataSector(t)
+	if data[0] != 1 {
+		t.Errorf("read was pre-empted: sector content %d, want 1", data[0])
+	}
+}

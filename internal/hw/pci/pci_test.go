@@ -1,0 +1,84 @@
+package pci_test
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/hw/pci"
+)
+
+func newRig(t *testing.T) (*hw.Bus, *hw.Clock, *pci.BusMaster) {
+	t.Helper()
+	clock := &hw.Clock{}
+	bus := hw.NewBus()
+	bm := pci.New(clock)
+	if err := bus.Map(0xc000, 1, bm.Command()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Map(0xc002, 1, bm.Status()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Map(0xc004, 1, bm.Descriptor()); err != nil {
+		t.Fatal(err)
+	}
+	return bus, clock, bm
+}
+
+func TestDescriptorAlignment(t *testing.T) {
+	bus, _, bm := newRig(t)
+	if err := bus.Out32(0xc004, 0x12345677); err != nil {
+		t.Fatal(err)
+	}
+	if got := bm.DescriptorTable(); got != 0x12345674 {
+		t.Errorf("descriptor table = %#x, want dword-aligned 0x12345674", got)
+	}
+	v, err := bus.In32(0xc004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x12345674 {
+		t.Errorf("readback = %#x", v)
+	}
+}
+
+func TestDMAEngineLifecycle(t *testing.T) {
+	bus, clock, _ := newRig(t)
+	// Start a read transfer.
+	if err := bus.Out8(0xc000, pci.BMStart|pci.BMReadMode); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := bus.In8(0xc002)
+	if s&pci.BMActive == 0 {
+		t.Fatalf("engine not active after start: %#x", s)
+	}
+	clock.Tick(100)
+	s, _ = bus.In8(0xc002)
+	if s&pci.BMActive != 0 {
+		t.Errorf("engine still active after completion: %#x", s)
+	}
+	if s&pci.BMInterrupt == 0 {
+		t.Errorf("completion interrupt not latched: %#x", s)
+	}
+	// Write-1-to-clear the interrupt.
+	if err := bus.Out8(0xc002, pci.BMInterrupt); err != nil {
+		t.Fatal(err)
+	}
+	s, _ = bus.In8(0xc002)
+	if s&pci.BMInterrupt != 0 {
+		t.Errorf("interrupt latch survived clear: %#x", s)
+	}
+}
+
+func TestStopCancelsTransfer(t *testing.T) {
+	bus, _, _ := newRig(t)
+	if err := bus.Out8(0xc000, pci.BMStart); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Out8(0xc000, 0); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := bus.In8(0xc002)
+	if s&pci.BMActive != 0 {
+		t.Errorf("engine active after stop: %#x", s)
+	}
+}

@@ -1,0 +1,195 @@
+// Package permedia models the 3Dlabs Permedia 2 control aperture of
+// specs/permedia.dil: reset, interrupt enable/flag pairs, the DMA engine,
+// the video timing generator with a free-running line counter, and the
+// graphics-processor input FIFO.
+package permedia
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// Control-register dword indices within the aperture.
+const (
+	regResetStatus = 0
+	regIntEnable   = 1
+	regIntFlags    = 2
+	regInFIFOSpace = 3
+	regOutFIFO     = 4
+	regDMAAddress  = 5
+	regDMACount    = 6
+	regFIFODiscon  = 7
+	regChipConfig  = 8
+	regScreenBase  = 9
+	regStride      = 10
+	regHTotal      = 11
+	regVTotal      = 16
+	regVideoCtl    = 20
+	regLineCount   = 21
+	regFBReadMode  = 22
+	regFBWriteMode = 23
+	numRegs        = 24
+)
+
+// Interrupt flag bits.
+const (
+	IntDMA      = 0x01
+	IntSync     = 0x02
+	IntExternal = 0x04
+	IntError    = 0x08
+	IntVRetrace = 0x10
+)
+
+const (
+	resetTicks   = 100
+	fifoCapacity = 32
+	dmaTickRate  = 8 // dwords drained per tick
+)
+
+// GPU is the Permedia 2 model.
+type GPU struct {
+	regs       [numRegs]uint32
+	resetUntil uint64
+	fifo       []uint32
+	clock      *hw.Clock
+	lastNow    uint64
+	drained    uint64 // total FIFO words consumed by the core
+}
+
+// New attaches a GPU model to the clock.
+func New(clock *hw.Clock) *GPU {
+	g := &GPU{clock: clock}
+	clock.OnTick(g.tick)
+	return g
+}
+
+func (g *GPU) tick(now uint64) {
+	// Clock listeners are invoked once per Tick batch, so the model works
+	// in elapsed virtual time rather than per invocation.
+	elapsed := now - g.lastNow
+	g.lastNow = now
+	if elapsed == 0 {
+		return
+	}
+	// The graphics core drains the input FIFO.
+	drain := int(elapsed) * dmaTickRate
+	if drain > len(g.fifo) {
+		drain = len(g.fifo)
+	}
+	if drain > 0 {
+		g.fifo = g.fifo[drain:]
+		g.drained += uint64(drain)
+	}
+	// DMA engine: counts down, raising the DMA interrupt at zero.
+	if cnt := g.regs[regDMACount]; cnt > 0 {
+		step := uint32(elapsed) * dmaTickRate
+		if step > cnt {
+			step = cnt
+		}
+		g.regs[regDMACount] = cnt - step
+		if g.regs[regDMACount] == 0 {
+			g.regs[regIntFlags] |= IntDMA
+		}
+	}
+	// Video timing: the line counter runs whenever video is enabled.
+	if g.regs[regVideoCtl]&0x01 != 0 {
+		vtotal := g.regs[regVTotal] & 0xfff
+		if vtotal == 0 {
+			vtotal = 1024
+		}
+		line := g.regs[regLineCount] + uint32(elapsed)
+		if line >= vtotal {
+			g.regs[regIntFlags] |= IntVRetrace
+		}
+		g.regs[regLineCount] = line % vtotal
+	}
+}
+
+// Drained reports how many FIFO words the core has consumed.
+func (g *GPU) Drained() uint64 { return g.drained }
+
+// control is the control-aperture endpoint.
+type control struct{ g *GPU }
+
+// fifoPort is the GP input FIFO endpoint.
+type fifoPort struct{ g *GPU }
+
+var (
+	_ hw.Device = (*control)(nil)
+	_ hw.Device = (*fifoPort)(nil)
+)
+
+// Control returns the control-aperture endpoint (24 dword registers).
+func (g *GPU) Control() hw.Device { return &control{g: g} }
+
+// FIFO returns the input-FIFO endpoint.
+func (g *GPU) FIFO() hw.Device { return &fifoPort{g: g} }
+
+// Name implements hw.Device.
+func (c *control) Name() string { return "permedia2" }
+
+// Read implements hw.Device.
+func (c *control) Read(offset hw.Port, width hw.AccessWidth) (uint32, error) {
+	g := c.g
+	if int(offset) >= numRegs {
+		return 0, fmt.Errorf("permedia: read of nonexistent register %d", offset)
+	}
+	switch int(offset) {
+	case regResetStatus:
+		if g.clock.Now() < g.resetUntil {
+			return 1 << 31, nil
+		}
+		return 0, nil
+	case regInFIFOSpace:
+		return uint32(fifoCapacity - len(g.fifo)), nil
+	case regOutFIFO:
+		return 0, nil
+	default:
+		return g.regs[offset], nil
+	}
+}
+
+// Write implements hw.Device.
+func (c *control) Write(offset hw.Port, width hw.AccessWidth, value uint32) error {
+	g := c.g
+	if int(offset) >= numRegs {
+		return fmt.Errorf("permedia: write of nonexistent register %d", offset)
+	}
+	switch int(offset) {
+	case regResetStatus:
+		g.resetUntil = g.clock.Now() + resetTicks
+		for i := range g.regs {
+			g.regs[i] = 0
+		}
+		g.fifo = nil
+	case regIntFlags:
+		g.regs[regIntFlags] &^= value // write 1 to clear
+	case regInFIFOSpace, regOutFIFO, regLineCount:
+		// read-only
+	default:
+		g.regs[offset] = value
+	}
+	return nil
+}
+
+// Name implements hw.Device.
+func (f *fifoPort) Name() string { return "permedia2-fifo" }
+
+// Read implements hw.Device: the FIFO port is write-only; reads float.
+func (f *fifoPort) Read(offset hw.Port, width hw.AccessWidth) (uint32, error) {
+	return 0xffffffff, nil
+}
+
+// Write implements hw.Device: push a word into the GP input FIFO. An
+// overflowing FIFO raises the error interrupt and drops the word — the
+// misbehaviour drivers must avoid by polling InFIFOSpace.
+func (f *fifoPort) Write(offset hw.Port, width hw.AccessWidth, value uint32) error {
+	g := f.g
+	if len(g.fifo) >= fifoCapacity {
+		g.regs[regIntFlags] |= IntError
+		return nil
+	}
+	g.fifo = append(g.fifo, value)
+	return nil
+}

@@ -1,0 +1,118 @@
+package permedia_test
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/hw/permedia"
+)
+
+func newRig(t *testing.T) (*hw.Bus, *hw.Clock, *permedia.GPU) {
+	t.Helper()
+	clock := &hw.Clock{}
+	bus := hw.NewBus()
+	gpu := permedia.New(clock)
+	if err := bus.Map(0x8000, 24, gpu.Control()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Map(0x9000, 1, gpu.FIFO()); err != nil {
+		t.Fatal(err)
+	}
+	return bus, clock, gpu
+}
+
+func TestSoftwareReset(t *testing.T) {
+	bus, clock, _ := newRig(t)
+	if err := bus.Out32(0x8009, 0xdead); err != nil { // scribble ScreenBase
+		t.Fatal(err)
+	}
+	if err := bus.Out32(0x8000, 1); err != nil { // trigger reset
+		t.Fatal(err)
+	}
+	v, _ := bus.In32(0x8000)
+	if v>>31 != 1 {
+		t.Fatalf("reset not in progress: %#x", v)
+	}
+	clock.Tick(200)
+	v, _ = bus.In32(0x8000)
+	if v>>31 != 0 {
+		t.Errorf("reset still pending after delay: %#x", v)
+	}
+	v, _ = bus.In32(0x8009)
+	if v != 0 {
+		t.Errorf("registers not cleared by reset: ScreenBase=%#x", v)
+	}
+}
+
+func TestFIFOFlowControl(t *testing.T) {
+	bus, clock, gpu := newRig(t)
+	space, _ := bus.In32(0x8003)
+	if space == 0 {
+		t.Fatal("no FIFO space at power-on")
+	}
+	for i := uint32(0); i < space; i++ {
+		if err := bus.Out32(0x9000, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s, _ := bus.In32(0x8003); s != 0 {
+		t.Errorf("FIFO space after filling = %d, want 0", s)
+	}
+	// Overflow raises the error interrupt.
+	if err := bus.Out32(0x9000, 0xffffffff); err != nil {
+		t.Fatal(err)
+	}
+	if flags, _ := bus.In32(0x8002); flags&permedia.IntError == 0 {
+		t.Errorf("overflow did not raise error interrupt: %#x", flags)
+	}
+	// The core drains the FIFO over time.
+	clock.Tick(16)
+	if s, _ := bus.In32(0x8003); s == 0 {
+		t.Error("core did not drain the FIFO")
+	}
+	if gpu.Drained() == 0 {
+		t.Error("drain counter did not advance")
+	}
+}
+
+func TestVerticalRetraceInterrupt(t *testing.T) {
+	bus, clock, _ := newRig(t)
+	if err := bus.Out32(0x8010, 100); err != nil { // VTotal
+		t.Fatal(err)
+	}
+	if err := bus.Out32(0x8014, 1); err != nil { // VideoControl: enable
+		t.Fatal(err)
+	}
+	clock.Tick(150)
+	line, _ := bus.In32(0x8015)
+	if line == 0 || line >= 100 {
+		t.Errorf("line counter = %d, want 1..99", line)
+	}
+	if flags, _ := bus.In32(0x8002); flags&permedia.IntVRetrace == 0 {
+		t.Errorf("no vertical retrace interrupt after a full frame: %#x", flags)
+	}
+	// Write-1-to-clear.
+	if err := bus.Out32(0x8002, permedia.IntVRetrace); err != nil {
+		t.Fatal(err)
+	}
+	if flags, _ := bus.In32(0x8002); flags&permedia.IntVRetrace != 0 {
+		t.Error("retrace flag survived clear")
+	}
+}
+
+func TestDMACompletionInterrupt(t *testing.T) {
+	bus, clock, _ := newRig(t)
+	if err := bus.Out32(0x8005, 0x1000); err != nil { // DMAAddress
+		t.Fatal(err)
+	}
+	if err := bus.Out32(0x8006, 64); err != nil { // DMACount
+		t.Fatal(err)
+	}
+	clock.Tick(16)
+	if cnt, _ := bus.In32(0x8006); cnt != 0 {
+		t.Errorf("DMA count did not drain: %d", cnt)
+	}
+	if flags, _ := bus.In32(0x8002); flags&permedia.IntDMA == 0 {
+		t.Errorf("DMA completion interrupt missing: %#x", flags)
+	}
+}

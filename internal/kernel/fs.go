@@ -1,0 +1,310 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// SectorSize is the disk sector size in bytes.
+const SectorSize = 512
+
+// The simulated filesystem ("SFS") layout:
+//
+//	LBA 0              master boot record: partition entry + 0x55AA magic
+//	LBA partStart      superblock: magic, file count, dirty flag
+//	LBA partStart+1    file table: one 32-byte entry per file
+//	LBA partStart+2..  file data, each file starting on a sector boundary
+//
+// The layout is deliberately simple but checkable: every file carries a
+// checksum, so any corruption a mutated driver introduces — whether by
+// writing to the wrong sector or by returning garbage reads — is visible to
+// the post-boot audit, reproducing the paper's "Damaged boot" class and its
+// "crashed the partition table, required reformatting" anecdote.
+
+const (
+	fsMagic       = 0x31534653 // "SFS1" little-endian
+	mbrMagicOff   = 510
+	partEntryOff  = 446
+	fileEntrySize = 32
+	maxFileName   = 15
+)
+
+// File is one file of the simulated filesystem.
+type File struct {
+	Name string
+	Data []byte
+}
+
+// FSImage is a fully materialised disk image plus its layout metadata.
+type FSImage struct {
+	// Sectors is the disk content, indexed by LBA.
+	Sectors [][]byte
+	// PartStart is the LBA of the partition (superblock).
+	PartStart uint32
+	// PartLen is the partition length in sectors.
+	PartLen uint32
+	// Files are the files the image was built from.
+	Files []File
+}
+
+// checksum is the simple rolling checksum stored in file table entries.
+func checksum(data []byte) uint32 {
+	var a, b uint32 = 1, 0
+	for _, c := range data {
+		a = (a + uint32(c)) % 65521
+		b = (b + a) % 65521
+	}
+	return b<<16 | a
+}
+
+// DefaultFiles returns the boot-critical files used by the evaluation: the
+// same set on every run, so audits are deterministic.
+func DefaultFiles() []File {
+	mkdata := func(seed byte, n int) []byte {
+		d := make([]byte, n)
+		x := uint32(seed) + 1
+		for i := range d {
+			x = x*1664525 + 1013904223
+			d[i] = byte(x >> 24)
+		}
+		return d
+	}
+	return []File{
+		{Name: "vmunix", Data: mkdata(1, 3*SectorSize)},
+		{Name: "init", Data: mkdata(2, 2*SectorSize)},
+		{Name: "fstab", Data: mkdata(3, 200)},
+		{Name: "passwd", Data: mkdata(4, 700)},
+	}
+}
+
+// BuildImage materialises a disk image holding the given files behind a
+// partition starting at partStart.
+func BuildImage(files []File, partStart uint32) (*FSImage, error) {
+	if partStart < 1 {
+		return nil, fmt.Errorf("fs: partition must start after the MBR")
+	}
+	// Lay out files after the superblock and file table.
+	dataStart := partStart + 2
+	type placed struct {
+		lba     uint32
+		sectors uint32
+	}
+	placements := make([]placed, len(files))
+	next := dataStart
+	for i, f := range files {
+		if len(f.Name) > maxFileName {
+			return nil, fmt.Errorf("fs: file name %q too long", f.Name)
+		}
+		n := uint32((len(f.Data) + SectorSize - 1) / SectorSize)
+		if n == 0 {
+			n = 1
+		}
+		placements[i] = placed{lba: next, sectors: n}
+		next += n
+	}
+	totalSectors := next + 4 // slack so stray in-range writes are detectable
+	img := &FSImage{
+		Sectors:   make([][]byte, totalSectors),
+		PartStart: partStart,
+		PartLen:   totalSectors - partStart,
+		Files:     files,
+	}
+	for i := range img.Sectors {
+		img.Sectors[i] = make([]byte, SectorSize)
+	}
+
+	// MBR: one partition entry + magic.
+	mbr := img.Sectors[0]
+	mbr[partEntryOff] = 0x80 // bootable
+	mbr[partEntryOff+4] = 0x83
+	binary.LittleEndian.PutUint32(mbr[partEntryOff+8:], partStart)
+	binary.LittleEndian.PutUint32(mbr[partEntryOff+12:], img.PartLen)
+	mbr[mbrMagicOff] = 0x55
+	mbr[mbrMagicOff+1] = 0xaa
+
+	// Superblock.
+	sb := img.Sectors[partStart]
+	binary.LittleEndian.PutUint32(sb[0:], fsMagic)
+	binary.LittleEndian.PutUint32(sb[4:], uint32(len(files)))
+	sb[8] = 0 // clean
+
+	// File table.
+	ft := img.Sectors[partStart+1]
+	if len(files)*fileEntrySize > SectorSize {
+		return nil, fmt.Errorf("fs: too many files for a one-sector table")
+	}
+	for i, f := range files {
+		e := ft[i*fileEntrySize:]
+		copy(e[0:maxFileName], f.Name)
+		binary.LittleEndian.PutUint32(e[16:], placements[i].lba)
+		binary.LittleEndian.PutUint32(e[20:], uint32(len(f.Data)))
+		binary.LittleEndian.PutUint32(e[24:], checksum(f.Data))
+	}
+
+	// File data.
+	for i, f := range files {
+		lba := placements[i].lba
+		for off := 0; off < len(f.Data); off += SectorSize {
+			end := off + SectorSize
+			if end > len(f.Data) {
+				end = len(f.Data)
+			}
+			copy(img.Sectors[lba], f.Data[off:end])
+			lba++
+		}
+	}
+	return img, nil
+}
+
+// Clone deep-copies the image (the pristine snapshot kept for the audit).
+func (img *FSImage) Clone() *FSImage {
+	c := &FSImage{
+		PartStart: img.PartStart,
+		PartLen:   img.PartLen,
+		Files:     img.Files,
+		Sectors:   make([][]byte, len(img.Sectors)),
+	}
+	for i, s := range img.Sectors {
+		c.Sectors[i] = append([]byte(nil), s...)
+	}
+	return c
+}
+
+// BlockDriver is the interface the kernel's mount path uses to reach the
+// disk: in the evaluation it is backed by the mutated driver under test.
+type BlockDriver interface {
+	// ReadSectors reads count sectors starting at lba into a new buffer.
+	ReadSectors(lba uint32, count int) ([]byte, error)
+	// WriteSectors writes len(data)/SectorSize sectors starting at lba.
+	WriteSectors(lba uint32, data []byte) error
+}
+
+// BootReport is the result of the mount-and-audit phase.
+type BootReport struct {
+	// Mounted reports whether the filesystem mounted (valid MBR + superblock).
+	Mounted bool
+	// FilesOK counts files whose checksums verified.
+	FilesOK int
+	// FilesBad counts files missing or corrupt as seen through the driver.
+	FilesBad int
+	// Problems lists human-readable damage descriptions.
+	Problems []string
+}
+
+// Damaged reports whether the boot left visible damage.
+func (r *BootReport) Damaged() bool {
+	return !r.Mounted || r.FilesBad > 0 || len(r.Problems) > 0
+}
+
+// MountAndCheck performs the boot-time filesystem activity through the
+// driver: read the MBR, locate the partition, validate it against the
+// drive geometry the driver's IDENTIFY reported (totalSectors; 0 skips the
+// check), validate the superblock, mark it dirty (one legitimate write),
+// then read every file and verify its checksum. It mirrors what the
+// paper's test kernel does between driver initialisation and the end of
+// boot.
+func (k *Kernel) MountAndCheck(drv BlockDriver, pristine *FSImage, totalSectors uint32) (*BootReport, error) {
+	rep := &BootReport{}
+	mbr, err := drv.ReadSectors(0, 1)
+	if err != nil {
+		return rep, err
+	}
+	if len(mbr) < SectorSize || mbr[mbrMagicOff] != 0x55 || mbr[mbrMagicOff+1] != 0xaa {
+		rep.Problems = append(rep.Problems, "invalid partition table magic")
+		k.Printk("VFS: unable to read partition table")
+		return rep, nil
+	}
+	partStart := binary.LittleEndian.Uint32(mbr[partEntryOff+8:])
+	partLen := binary.LittleEndian.Uint32(mbr[partEntryOff+12:])
+	if partStart == 0 || partLen == 0 || partStart != pristine.PartStart {
+		rep.Problems = append(rep.Problems, "corrupt partition entry")
+		k.Printk("VFS: corrupt partition entry")
+		return rep, nil
+	}
+	if totalSectors != 0 && partStart+partLen > totalSectors {
+		// The geometry the driver reported cannot hold the partition: the
+		// kernel refuses to mount rather than address past the drive.
+		rep.Problems = append(rep.Problems, "partition exceeds reported drive capacity")
+		k.Printk("VFS: partition exceeds drive capacity")
+		return rep, nil
+	}
+
+	sb, err := drv.ReadSectors(partStart, 1)
+	if err != nil {
+		return rep, err
+	}
+	if binary.LittleEndian.Uint32(sb[0:]) != fsMagic {
+		rep.Problems = append(rep.Problems, "bad superblock magic")
+		k.Printk("VFS: cannot mount root fs")
+		return rep, nil
+	}
+	fileCount := binary.LittleEndian.Uint32(sb[4:])
+	rep.Mounted = true
+	k.Printk("VFS: mounted root filesystem")
+
+	// Mark the superblock dirty: the boot's one legitimate disk write.
+	sb[8] = 1
+	if err := drv.WriteSectors(partStart, sb[:SectorSize]); err != nil {
+		return rep, err
+	}
+
+	ft, err := drv.ReadSectors(partStart+1, 1)
+	if err != nil {
+		return rep, err
+	}
+	for i := uint32(0); i < fileCount && int(i)*fileEntrySize < SectorSize; i++ {
+		e := ft[i*fileEntrySize:]
+		name := string(bytes.TrimRight(e[0:maxFileName], "\x00"))
+		lba := binary.LittleEndian.Uint32(e[16:])
+		size := binary.LittleEndian.Uint32(e[20:])
+		want := binary.LittleEndian.Uint32(e[24:])
+		if size > uint32(len(pristine.Sectors))*SectorSize {
+			rep.FilesBad++
+			rep.Problems = append(rep.Problems, fmt.Sprintf("file %q: absurd size %d", name, size))
+			continue
+		}
+		nsec := int((size + SectorSize - 1) / SectorSize)
+		data, err := drv.ReadSectors(lba, nsec)
+		if err != nil {
+			return rep, err
+		}
+		if uint32(len(data)) < size || checksum(data[:size]) != want {
+			rep.FilesBad++
+			rep.Problems = append(rep.Problems, fmt.Sprintf("file %q: checksum mismatch", name))
+			k.Printk(fmt.Sprintf("EXT: checksum error on %q", name))
+			continue
+		}
+		rep.FilesOK++
+	}
+	return rep, nil
+}
+
+// AuditDisk compares the raw disk content after boot against the pristine
+// image plus the expected legitimate mutation (the dirty flag). Any other
+// difference is damage a stray driver write inflicted; damage to LBA 0 is
+// the paper's "crashed the partition table" case.
+func AuditDisk(after *FSImage, pristine *FSImage) (damaged []uint32, partitionTableLost bool) {
+	expected := pristine.Clone()
+	expected.Sectors[expected.PartStart][8] = 1 // dirty flag
+	n := len(after.Sectors)
+	if len(expected.Sectors) < n {
+		n = len(expected.Sectors)
+	}
+	for lba := 0; lba < n; lba++ {
+		if bytes.Equal(after.Sectors[lba], expected.Sectors[lba]) {
+			continue
+		}
+		// The superblock is legitimately either clean (mount never got that
+		// far) or dirty (mount completed); anything else is damage.
+		if uint32(lba) == pristine.PartStart &&
+			bytes.Equal(after.Sectors[lba], pristine.Sectors[lba]) {
+			continue
+		}
+		damaged = append(damaged, uint32(lba))
+		if lba == 0 {
+			partitionTableLost = true
+		}
+	}
+	return damaged, partitionTableLost
+}

@@ -1,0 +1,183 @@
+package kernel_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+)
+
+// imageDriver serves reads and writes directly from an FSImage — a
+// perfect, bug-free "driver" for exercising the mount path.
+type imageDriver struct {
+	img *kernel.FSImage
+}
+
+func (d *imageDriver) ReadSectors(lba uint32, count int) ([]byte, error) {
+	out := make([]byte, 0, count*kernel.SectorSize)
+	for i := 0; i < count; i++ {
+		idx := int(lba) + i
+		if idx < len(d.img.Sectors) {
+			out = append(out, d.img.Sectors[idx]...)
+		} else {
+			out = append(out, make([]byte, kernel.SectorSize)...)
+		}
+	}
+	return out, nil
+}
+
+func (d *imageDriver) WriteSectors(lba uint32, data []byte) error {
+	for off := 0; off < len(data); off += kernel.SectorSize {
+		idx := int(lba) + off/kernel.SectorSize
+		if idx < len(d.img.Sectors) {
+			copy(d.img.Sectors[idx], data[off:])
+		}
+	}
+	return nil
+}
+
+func buildTestImage(t *testing.T) (*kernel.FSImage, *kernel.FSImage) {
+	t.Helper()
+	img, err := kernel.BuildImage(kernel.DefaultFiles(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, img.Clone()
+}
+
+func TestMountCleanImage(t *testing.T) {
+	img, pristine := buildTestImage(t)
+	k := kernel.New(&hw.Clock{})
+	rep, err := k.MountAndCheck(&imageDriver{img: img}, pristine, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Mounted {
+		t.Fatal("clean image did not mount")
+	}
+	if rep.Damaged() {
+		t.Errorf("clean image reported damage: %+v", rep)
+	}
+	if rep.FilesOK != len(kernel.DefaultFiles()) {
+		t.Errorf("files ok = %d, want %d", rep.FilesOK, len(kernel.DefaultFiles()))
+	}
+	// The dirty flag is the only post-boot difference.
+	damaged, lost := kernel.AuditDisk(img, pristine)
+	if len(damaged) != 0 || lost {
+		t.Errorf("audit flagged a clean boot: %v %v", damaged, lost)
+	}
+}
+
+func TestMountBadMagic(t *testing.T) {
+	img, pristine := buildTestImage(t)
+	img.Sectors[0][510] = 0 // destroy the MBR magic
+	k := kernel.New(&hw.Clock{})
+	rep, err := k.MountAndCheck(&imageDriver{img: img}, pristine, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mounted || !rep.Damaged() {
+		t.Errorf("bad MBR mounted: %+v", rep)
+	}
+}
+
+func TestMountGeometryCheck(t *testing.T) {
+	img, pristine := buildTestImage(t)
+	k := kernel.New(&hw.Clock{})
+	// The partition extends past a drive that claims only 4 sectors.
+	rep, err := k.MountAndCheck(&imageDriver{img: img}, pristine, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mounted || !rep.Damaged() {
+		t.Errorf("impossible geometry mounted: %+v", rep)
+	}
+}
+
+func TestCorruptFileDetected(t *testing.T) {
+	img, pristine := buildTestImage(t)
+	// Flip one byte in the first file's data area.
+	img.Sectors[pristine.PartStart+2][100] ^= 0xff
+	k := kernel.New(&hw.Clock{})
+	rep, err := k.MountAndCheck(&imageDriver{img: img}, pristine, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesBad == 0 {
+		t.Error("corrupt file escaped the checksum")
+	}
+}
+
+// TestAnySingleByteFileCorruptionDetected property: flipping any byte of
+// any file-data sector is caught by mount checksums or the disk audit.
+func TestAnySingleByteFileCorruptionDetected(t *testing.T) {
+	prop := func(sectorSeed, byteOff uint16, flip byte) bool {
+		if flip == 0 {
+			return true // not a corruption
+		}
+		img, pristine := buildTestImage(t)
+		dataStart := int(pristine.PartStart) + 2
+		nData := len(img.Sectors) - dataStart - 4 // exclude the slack
+		sector := dataStart + int(sectorSeed)%nData
+		off := int(byteOff) % kernel.SectorSize
+		img.Sectors[sector][off] ^= flip
+		k := kernel.New(&hw.Clock{})
+		rep, err := k.MountAndCheck(&imageDriver{img: img}, pristine, 0)
+		if err != nil {
+			return false
+		}
+		damaged, _ := kernel.AuditDisk(img, pristine)
+		return rep.Damaged() || len(damaged) > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuditDetectsPartitionTableLoss(t *testing.T) {
+	img, pristine := buildTestImage(t)
+	img.Sectors[0][0] = 0x42
+	damaged, lost := kernel.AuditDisk(img, pristine)
+	if !lost {
+		t.Error("partition table loss not flagged")
+	}
+	if len(damaged) != 1 || damaged[0] != 0 {
+		t.Errorf("damaged = %v, want [0]", damaged)
+	}
+}
+
+func TestAuditAcceptsDirtyOrCleanSuperblock(t *testing.T) {
+	img, pristine := buildTestImage(t)
+	// Clean superblock (mount never ran): no damage.
+	if damaged, _ := kernel.AuditDisk(img, pristine); len(damaged) != 0 {
+		t.Errorf("clean superblock flagged: %v", damaged)
+	}
+	// Dirty superblock (mount ran): no damage either.
+	img.Sectors[pristine.PartStart][8] = 1
+	if damaged, _ := kernel.AuditDisk(img, pristine); len(damaged) != 0 {
+		t.Errorf("dirty superblock flagged: %v", damaged)
+	}
+	// Any other superblock change is damage.
+	img.Sectors[pristine.PartStart][0] = 0x42
+	if damaged, _ := kernel.AuditDisk(img, pristine); len(damaged) != 1 {
+		t.Errorf("corrupt superblock not flagged: %v", damaged)
+	}
+}
+
+func TestBuildImageValidation(t *testing.T) {
+	if _, err := kernel.BuildImage(nil, 0); err == nil {
+		t.Error("partition at LBA 0 accepted")
+	}
+	long := []kernel.File{{Name: "this-name-is-way-too-long", Data: []byte("x")}}
+	if _, err := kernel.BuildImage(long, 8); err == nil {
+		t.Error("over-long file name accepted")
+	}
+	many := make([]kernel.File, 17)
+	for i := range many {
+		many[i] = kernel.File{Name: string(rune('a' + i)), Data: []byte("x")}
+	}
+	if _, err := kernel.BuildImage(many, 8); err == nil {
+		t.Error("oversized file table accepted")
+	}
+}

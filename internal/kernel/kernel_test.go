@@ -1,0 +1,142 @@
+package kernel_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/devil/codegen"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+)
+
+func TestWatchdog(t *testing.T) {
+	k := kernel.New(&hw.Clock{})
+	k.SetBudget(10)
+	for i := 0; i < 10; i++ {
+		if err := k.Step(); err != nil {
+			t.Fatalf("step %d tripped early: %v", i, err)
+		}
+	}
+	err := k.Step()
+	var wd *kernel.WatchdogError
+	if !errors.As(err, &wd) {
+		t.Fatalf("got %v, want WatchdogError", err)
+	}
+	if wd.Budget != 10 {
+		t.Errorf("budget in error = %d", wd.Budget)
+	}
+}
+
+func TestDelayChargesWatchdogAndClock(t *testing.T) {
+	clock := &hw.Clock{}
+	k := kernel.New(clock)
+	k.SetBudget(100)
+	if err := k.Delay(50); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() != 50 {
+		t.Errorf("clock = %d, want 50", clock.Now())
+	}
+	if err := k.Delay(100); err == nil {
+		t.Error("oversized delay did not trip the watchdog")
+	}
+	if err := k.Delay(-5); err == nil {
+		t.Log("negative delay treated as zero (ok)")
+	}
+}
+
+func TestPanicGoesToConsole(t *testing.T) {
+	k := kernel.New(&hw.Clock{})
+	err := k.Panic("ide: timeout")
+	var pe *kernel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want PanicError", err)
+	}
+	console := k.Console()
+	if len(console) != 1 || console[0] != "Kernel panic: ide: timeout" {
+		t.Errorf("console = %v", console)
+	}
+}
+
+func TestBufferBounds(t *testing.T) {
+	k := kernel.New(&hw.Clock{})
+	if err := k.BufWrite16(0, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := k.BufRead16(0)
+	if err != nil || v != 0xbeef {
+		t.Fatalf("round trip = %#x, %v", v, err)
+	}
+	_, err = k.BufRead8(int64(len(k.Buf())))
+	var crash *kernel.CrashError
+	if !errors.As(err, &crash) {
+		t.Errorf("wild read: got %v, want CrashError", err)
+	}
+	if err := k.BufWrite8(-1, 0); !errors.As(err, &crash) {
+		t.Errorf("wild write: got %v, want CrashError", err)
+	}
+}
+
+// TestBuf16RoundTrip property: 16-bit buffer accesses are little-endian
+// and lossless.
+func TestBuf16RoundTrip(t *testing.T) {
+	k := kernel.New(&hw.Clock{})
+	prop := func(off uint16, v uint16) bool {
+		o := int64(off) % int64(len(k.Buf())-2)
+		if err := k.BufWrite16(o, v); err != nil {
+			return false
+		}
+		got, err := k.BufRead16(o)
+		if err != nil {
+			return false
+		}
+		lo, _ := k.BufRead8(o)
+		return got == v && lo == uint8(v)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		err  error
+		want kernel.Outcome
+	}{
+		{nil, kernel.OutcomeBoot},
+		{&codegen.AssertError{Variable: "Drive", Msg: "type"}, kernel.OutcomeRuntimeCheck},
+		{&kernel.PanicError{Msg: "x"}, kernel.OutcomeHalt},
+		{&kernel.WatchdogError{Budget: 1}, kernel.OutcomeInfiniteLoop},
+		{&kernel.CrashError{Cause: errors.New("boom")}, kernel.OutcomeCrash},
+		{&hw.BusFaultError{Port: 1}, kernel.OutcomeCrash},
+		{errors.New("anything else"), kernel.OutcomeCrash},
+		{fmt.Errorf("wrapped: %w", &kernel.PanicError{Msg: "y"}), kernel.OutcomeHalt},
+	}
+	for _, tt := range tests {
+		if got := kernel.Classify(tt.err); got != tt.want {
+			t.Errorf("Classify(%v) = %v, want %v", tt.err, got, tt.want)
+		}
+	}
+}
+
+func TestOutcomeSemantics(t *testing.T) {
+	if !kernel.OutcomeRuntimeCheck.Detected() {
+		t.Error("run-time check must count as detected")
+	}
+	for _, o := range []kernel.Outcome{
+		kernel.OutcomeBoot, kernel.OutcomeCrash, kernel.OutcomeHalt,
+		kernel.OutcomeInfiniteLoop, kernel.OutcomeDamagedBoot, kernel.OutcomeDeadCode,
+	} {
+		if o.Detected() {
+			t.Errorf("%v must not count as detected", o)
+		}
+	}
+	if !kernel.OutcomeBoot.Silent() || kernel.OutcomeHalt.Silent() {
+		t.Error("silence classification wrong")
+	}
+	if kernel.OutcomeBoot.String() != "Boot" || kernel.Outcome(99).String() != "Unknown" {
+		t.Error("outcome names wrong")
+	}
+}

@@ -1,0 +1,75 @@
+// Package kernel simulates the operating-system context the paper boots
+// mutated drivers in: a boot sequence that exercises the driver, a panic
+// facility, a watchdog that bounds execution, and a filesystem whose
+// integrity can be audited after boot.
+//
+// Each mutant run terminates in exactly one Outcome, reproducing the
+// classification of §4.2:
+//
+//  1. Run-time check — a Devil assertion fired; the source line is known.
+//  2. Dead code      — the mutated site was never executed.
+//  3. Boot           — the kernel booted with no observable damage (the
+//     worst case: the error is latent).
+//  4. Crash          — the machine crashed with no information printed.
+//  5. Infinite loop  — the boot never completed (watchdog expired).
+//  6. Halt           — the kernel halted with a panic message.
+//  7. Damaged boot   — the boot completed but left visible damage.
+//
+// Compile-time detection happens before a kernel is ever built and is
+// classified by the experiment harness, not here.
+package kernel
+
+// Outcome classifies the terminal state of one boot.
+type Outcome int
+
+// Boot outcomes, ordered as in the paper's presentation.
+const (
+	// OutcomeRuntimeCheck is case 1: a Devil run-time assertion detected
+	// the error and identified the faulty line.
+	OutcomeRuntimeCheck Outcome = iota + 1
+	// OutcomeDeadCode is case 2: the mutation sits on a path the boot never
+	// executes; the run is irrelevant.
+	OutcomeDeadCode
+	// OutcomeBoot is case 3: the kernel booted and no damage is observable,
+	// the worst situation for the developer.
+	OutcomeBoot
+	// OutcomeCrash is case 4: the kernel crashed printing nothing.
+	OutcomeCrash
+	// OutcomeInfiniteLoop is case 5: the boot never completed.
+	OutcomeInfiniteLoop
+	// OutcomeHalt is case 6: the kernel halted with a panic message.
+	OutcomeHalt
+	// OutcomeDamagedBoot is case 7: the boot completed but with visible
+	// damage (unmounted filesystem, missing or corrupted files).
+	OutcomeDamagedBoot
+)
+
+var outcomeNames = map[Outcome]string{
+	OutcomeRuntimeCheck: "Run-time check",
+	OutcomeDeadCode:     "Dead code",
+	OutcomeBoot:         "Boot",
+	OutcomeCrash:        "Crash",
+	OutcomeInfiniteLoop: "Infinite loop",
+	OutcomeHalt:         "Halt",
+	OutcomeDamagedBoot:  "Damaged boot",
+}
+
+// String returns the paper's name for the outcome.
+func (o Outcome) String() string {
+	if s, ok := outcomeNames[o]; ok {
+		return s
+	}
+	return "Unknown"
+}
+
+// Detected reports whether the outcome counts as a detected error in the
+// paper's accounting: the developer is told, at a precise location, that
+// something is wrong. Only run-time checks qualify among boot outcomes
+// (compile-time checks are accounted separately); crashes, hangs and halts
+// signal a bug but require tedious tracking, and are reported in their own
+// rows.
+func (o Outcome) Detected() bool { return o == OutcomeRuntimeCheck }
+
+// Silent reports whether the outcome is the worst case: the error stays
+// completely invisible.
+func (o Outcome) Silent() bool { return o == OutcomeBoot }

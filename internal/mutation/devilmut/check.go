@@ -1,0 +1,12 @@
+package devilmut
+
+import (
+	"repro/internal/devil/ast"
+	"repro/internal/devil/check"
+)
+
+// devilcheck adapts the checker to the error interface.
+func devilcheck(dev *ast.Device) (*check.Info, error) {
+	info, errs := check.Check(dev)
+	return info, errs.Err()
+}

@@ -1,0 +1,278 @@
+// Package devilmut implements the Devil specification mutation rules of
+// §3.2 over Devil token streams:
+//
+//   - literals: the §3.1 typo model per semantic class — decimal and
+//     hexadecimal constants, bit strings (0, 1, *) and bit patterns
+//     (0, 1, *, .);
+//   - operators: swaps within the two operator classes — the integer-range
+//     operators ("," and "..") and the type-mapping operators ("<=", "=>"
+//     and "<=>");
+//   - identifiers: swaps within the same semantic class (port parameter,
+//     register, variable), never at the declaration site of a variable
+//     name (renaming a declaration only renames the generated stub).
+package devilmut
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/devil/ast"
+	"repro/internal/devil/parser"
+	"repro/internal/devil/scanner"
+	"repro/internal/devil/token"
+	"repro/internal/mutation"
+)
+
+// SiteKind classifies a mutation site.
+type SiteKind string
+
+// Site kinds.
+const (
+	SiteLiteral  SiteKind = "literal"
+	SiteOperator SiteKind = "operator"
+	SiteIdent    SiteKind = "identifier"
+)
+
+// Site is one mutable token position.
+type Site struct {
+	Index int
+	Pos   token.Pos
+	Kind  SiteKind
+}
+
+// Mutant is one single-token substitution of a specification.
+type Mutant struct {
+	ID          int
+	SiteIndex   int
+	TokenIndex  int
+	Replacement token.Token
+	Description string
+}
+
+// Result is a full mutant enumeration for one specification.
+type Result struct {
+	Tokens  []token.Token
+	Sites   []Site
+	Mutants []Mutant
+}
+
+// Apply materialises a mutant's token stream.
+func (r *Result) Apply(m Mutant) []token.Token {
+	out := make([]token.Token, len(r.Tokens))
+	copy(out, r.Tokens)
+	out[m.TokenIndex] = m.Replacement
+	return out
+}
+
+// Render materialises a mutant as specification source text.
+func (r *Result) Render(m Mutant) string {
+	return scanner.Render(r.Apply(m))
+}
+
+// operatorClasses maps each mutable Devil operator to its replacements.
+var operatorClasses = map[token.Kind][]token.Kind{
+	token.Comma:   {token.DotDot},
+	token.DotDot:  {token.Comma},
+	token.MapTo:   {token.MapFrom, token.MapBoth},
+	token.MapFrom: {token.MapTo, token.MapBoth},
+	token.MapBoth: {token.MapTo, token.MapFrom},
+}
+
+// Enumerate generates every mutant of a specification source. The source
+// must compile (mutants are derived from correct specifications).
+func Enumerate(src string) (*Result, error) {
+	toks, lexErrs := scanner.ScanAll(src)
+	if len(lexErrs) > 0 {
+		return nil, fmt.Errorf("enumerate: source does not lex: %v", lexErrs[0])
+	}
+	dev, perrs := parser.Parse(src)
+	if len(perrs) > 0 {
+		return nil, fmt.Errorf("enumerate: source does not parse: %v", perrs[0])
+	}
+
+	// Symbol classes and excluded declaration positions.
+	var ports, regs, vars []string
+	declPos := make(map[int]bool)
+	for _, p := range dev.Params {
+		ports = append(ports, p.Name)
+		declPos[p.NamePos.Offset] = true
+	}
+	for _, r := range dev.Registers() {
+		regs = append(regs, r.Name)
+		// Register declaration names stay mutable: renaming a declaration
+		// into an existing register name is a uniqueness violation the
+		// checker must catch. Only variable declaration names are excluded
+		// (§3.2: such a mutation would only affect the stub name).
+	}
+	for _, v := range dev.Variables() {
+		vars = append(vars, v.Name)
+		declPos[v.NamePos.Offset] = true
+	}
+	sort.Strings(ports)
+	sort.Strings(regs)
+	sort.Strings(vars)
+	classOf := make(map[string][]string)
+	for _, n := range ports {
+		classOf[n] = ports
+	}
+	for _, n := range regs {
+		classOf[n] = regs
+	}
+	for _, n := range vars {
+		classOf[n] = vars
+	}
+	// Enum case names have no uses and are declaration-only: excluded.
+	for _, v := range dev.Variables() {
+		if v.Type != nil {
+			for _, cs := range v.Type.Cases {
+				declPos[cs.NamePos.Offset] = true
+			}
+		}
+	}
+
+	res := &Result{Tokens: toks}
+	for i, t := range toks {
+		switch t.Kind {
+		case token.Int:
+			res.literalSite(i, t, "", mutation.AlphabetDecimal)
+		case token.HexInt:
+			res.literalSite(i, t, "0x", mutation.AlphabetHex)
+		case token.BitString:
+			res.bitSite(i, t, mutation.AlphabetBitString)
+		case token.BitPattern:
+			res.bitSite(i, t, mutation.AlphabetBitPattern)
+		case token.Comma, token.DotDot, token.MapTo, token.MapFrom, token.MapBoth:
+			res.operatorSite(i, t)
+		case token.Ident:
+			if declPos[t.Pos.Offset] {
+				continue
+			}
+			pool := classOf[t.Lit]
+			if len(pool) < 2 {
+				continue
+			}
+			site := res.addSite(Site{Index: i, Pos: t.Pos, Kind: SiteIdent})
+			for _, name := range pool {
+				if name == t.Lit {
+					continue
+				}
+				repl := t
+				repl.Lit = name
+				res.addMutant(site, i, repl,
+					fmt.Sprintf("identifier %s -> %s at %s", t.Lit, name, t.Pos))
+			}
+		}
+	}
+	return res, nil
+}
+
+func (r *Result) addSite(s Site) int {
+	r.Sites = append(r.Sites, s)
+	return len(r.Sites) - 1
+}
+
+func (r *Result) addMutant(siteIdx, tokIdx int, repl token.Token, desc string) {
+	r.Mutants = append(r.Mutants, Mutant{
+		ID:          len(r.Mutants),
+		SiteIndex:   siteIdx,
+		TokenIndex:  tokIdx,
+		Replacement: repl,
+		Description: desc,
+	})
+}
+
+// literalSite expands the typo model over a numeric literal.
+func (r *Result) literalSite(i int, t token.Token, prefix, alphabet string) {
+	digits := t.Lit[len(prefix):]
+	edits := mutation.LiteralEdits(digits, alphabet)
+	if len(edits) == 0 {
+		return
+	}
+	site := r.addSite(Site{Index: i, Pos: t.Pos, Kind: SiteLiteral})
+	orig := numValue(digits, alphabet)
+	for _, e := range edits {
+		// Mutants must differ semantically.
+		if numValue(e.Text, alphabet) == orig {
+			continue
+		}
+		repl := t
+		repl.Lit = prefix + e.Text
+		r.addMutant(site, i, repl,
+			fmt.Sprintf("%s literal %s -> %s at %s", e.Kind, t.Lit, repl.Lit, t.Pos))
+	}
+}
+
+// bitSite expands the typo model over a bit string or pattern; any textual
+// change to a bit literal is semantic (width or bit roles change).
+func (r *Result) bitSite(i int, t token.Token, alphabet string) {
+	edits := mutation.LiteralEdits(t.Lit, alphabet)
+	if len(edits) == 0 {
+		return
+	}
+	site := r.addSite(Site{Index: i, Pos: t.Pos, Kind: SiteLiteral})
+	for _, e := range edits {
+		repl := t
+		repl.Lit = e.Text
+		// Bit patterns degrading to pure bit strings (or vice versa) keep
+		// their original token kind irrelevant: the scanner re-classifies
+		// on render, and the parser accepts both kinds in mask/enum
+		// positions.
+		r.addMutant(site, i, repl,
+			fmt.Sprintf("%s bit literal '%s' -> '%s' at %s", e.Kind, t.Lit, e.Text, t.Pos))
+	}
+}
+
+func (r *Result) operatorSite(i int, t token.Token) {
+	site := r.addSite(Site{Index: i, Pos: t.Pos, Kind: SiteOperator})
+	for _, nk := range operatorClasses[t.Kind] {
+		repl := t
+		repl.Kind = nk
+		repl.Lit = nk.String()
+		r.addMutant(site, i, repl,
+			fmt.Sprintf("operator %s -> %s at %s", t.Kind, nk, t.Pos))
+	}
+}
+
+// numValue evaluates digits in the base implied by the alphabet.
+func numValue(digits, alphabet string) int64 {
+	base := int64(len(alphabet))
+	var v int64
+	for i := 0; i < len(digits); i++ {
+		var d int64
+		c := digits[i]
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		}
+		v = v*base + d
+	}
+	return v
+}
+
+// CheckMutant compiles a mutated specification and reports whether the
+// Devil compiler detected it (Table 2's detection criterion), along with
+// the diagnostic when detected.
+func CheckMutant(res *Result, m Mutant, filename string) (detected bool, diag string) {
+	src := res.Render(m)
+	if err := compile(filename, src); err != nil {
+		return true, err.Error()
+	}
+	return false, ""
+}
+
+// compile runs the full Devil front end (scanner, parser, checker).
+func compile(filename, src string) error {
+	dev, perrs := parser.Parse(src)
+	if err := perrs.Err(); err != nil {
+		return err
+	}
+	return checkDevice(dev)
+}
+
+// checkDevice is split out for testability.
+func checkDevice(dev *ast.Device) error {
+	_, errs := devilcheck(dev)
+	return errs
+}

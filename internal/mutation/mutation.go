@@ -1,0 +1,128 @@
+// Package mutation holds the language-independent core of the error model
+// of §3.1: typographical mutations of literals (character insertion,
+// deletion and replacement within a semantic character class) and
+// deterministic sampling of mutant populations.
+//
+// The language-specific rule sets build on it: mutation/cmut implements
+// the C rules of §3.3 and Table 1, mutation/devilmut the Devil rules of
+// §3.2.
+package mutation
+
+// EditKind classifies a literal character edit.
+type EditKind int
+
+// Edit kinds.
+const (
+	EditDelete EditKind = iota + 1
+	EditInsert
+	EditReplace
+)
+
+// String names the edit kind.
+func (k EditKind) String() string {
+	switch k {
+	case EditDelete:
+		return "delete"
+	case EditInsert:
+		return "insert"
+	case EditReplace:
+		return "replace"
+	}
+	return "?"
+}
+
+// LiteralEdit is one typographical variant of a literal's character string.
+type LiteralEdit struct {
+	Kind EditKind
+	// Text is the mutated character string.
+	Text string
+}
+
+// LiteralEdits enumerates the §3.1 typo model over a character string:
+// every single-character deletion (unless it would empty the string),
+// every insertion of an alphabet character at every position, and every
+// replacement of a character by a different alphabet character.
+//
+// Duplicates (edits yielding the same text, e.g. deleting either '5' of
+// "55") are emitted once. The given example of the paper — a 2-digit
+// base-10 number yields 2 deletions + 30 insertions + 18 replacements = 50
+// mutants — holds when no duplicates arise.
+func LiteralEdits(text string, alphabet string) []LiteralEdit {
+	seen := make(map[string]bool, 4*len(text)*len(alphabet))
+	seen[text] = true // never regenerate the original
+	var out []LiteralEdit
+	emit := func(kind EditKind, s string) {
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		out = append(out, LiteralEdit{Kind: kind, Text: s})
+	}
+	// Deletions.
+	if len(text) > 1 {
+		for i := 0; i < len(text); i++ {
+			emit(EditDelete, text[:i]+text[i+1:])
+		}
+	}
+	// Insertions.
+	for i := 0; i <= len(text); i++ {
+		for j := 0; j < len(alphabet); j++ {
+			emit(EditInsert, text[:i]+string(alphabet[j])+text[i:])
+		}
+	}
+	// Replacements.
+	for i := 0; i < len(text); i++ {
+		for j := 0; j < len(alphabet); j++ {
+			if alphabet[j] == text[i] {
+				continue
+			}
+			emit(EditReplace, text[:i]+string(alphabet[j])+text[i+1:])
+		}
+	}
+	return out
+}
+
+// Alphabets of the literal semantic classes.
+const (
+	AlphabetDecimal    = "0123456789"
+	AlphabetOctal      = "01234567"
+	AlphabetHex        = "0123456789abcdef"
+	AlphabetBitString  = "01*"
+	AlphabetBitPattern = "01*."
+)
+
+// Sample returns k distinct indices from [0, n) drawn with a deterministic
+// linear-congruential generator, in increasing order. It reproduces the
+// paper's "randomly tested 25% of the generated mutants" step without
+// pulling in global randomness (runs must be reproducible).
+func Sample(n, k int, seed uint64) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Partial Fisher-Yates over an index permutation.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	state := seed*6364136223846793005 + 1442695040888963407
+	next := func(bound int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(bound))
+	}
+	for i := 0; i < k; i++ {
+		j := i + next(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	picked := idx[:k]
+	// Sort the selection (insertion sort: k is modest).
+	for i := 1; i < len(picked); i++ {
+		for j := i; j > 0 && picked[j-1] > picked[j]; j-- {
+			picked[j-1], picked[j] = picked[j], picked[j-1]
+		}
+	}
+	return picked
+}

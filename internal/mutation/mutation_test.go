@@ -1,0 +1,145 @@
+package mutation_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mutation"
+)
+
+// TestPaperExampleCount reproduces the §3.1 arithmetic: a 2-digit base-10
+// number yields 2 deletions + 30 insertions + 18 replacements = 50
+// mutants (when digits are distinct and no edit collides).
+func TestPaperExampleCount(t *testing.T) {
+	edits := mutation.LiteralEdits("50", mutation.AlphabetDecimal)
+	var del, ins, repl int
+	for _, e := range edits {
+		switch e.Kind {
+		case mutation.EditDelete:
+			del++
+		case mutation.EditInsert:
+			ins++
+		case mutation.EditReplace:
+			repl++
+		}
+	}
+	// "55" insertion at position 0 and 1 both give "555" etc., so exact
+	// counts hold only for distinct digits. "50" has distinct digits but
+	// inserting '5' before or after the existing '5' both give "550";
+	// duplicates are removed, so slightly fewer than the paper's upper
+	// bound survive.
+	if del != 2 {
+		t.Errorf("deletions = %d, want 2", del)
+	}
+	if ins < 25 || ins > 30 {
+		t.Errorf("insertions = %d, want close to 30", ins)
+	}
+	if repl != 18 {
+		t.Errorf("replacements = %d, want 18", repl)
+	}
+}
+
+func TestSingleCharNoDeletion(t *testing.T) {
+	for _, e := range mutation.LiteralEdits("7", mutation.AlphabetDecimal) {
+		if e.Kind == mutation.EditDelete {
+			t.Fatalf("deleted the only character: %+v", e)
+		}
+	}
+}
+
+// TestEditsProperties: no edit reproduces the original, none are
+// duplicated, and all stay within the alphabet.
+func TestEditsProperties(t *testing.T) {
+	prop := func(raw uint32) bool {
+		// Build a 1-4 digit decimal string from the seed.
+		digits := "0123456789"
+		var text []byte
+		n := int(raw%4) + 1
+		for i := 0; i < n; i++ {
+			text = append(text, digits[(raw>>(4*uint(i)))%10])
+		}
+		edits := mutation.LiteralEdits(string(text), mutation.AlphabetDecimal)
+		seen := map[string]bool{string(text): true}
+		for _, e := range edits {
+			if seen[e.Text] {
+				return false
+			}
+			seen[e.Text] = true
+			for i := 0; i < len(e.Text); i++ {
+				if e.Text[i] < '0' || e.Text[i] > '9' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitPatternAlphabet(t *testing.T) {
+	edits := mutation.LiteralEdits("1.0", mutation.AlphabetBitPattern)
+	found := map[string]bool{}
+	for _, e := range edits {
+		found[e.Text] = true
+	}
+	for _, want := range []string{"1.", "*.0", "1.00", "1*0"} {
+		if !found[want] {
+			t.Errorf("expected edit %q missing", want)
+		}
+	}
+}
+
+func TestSampleDeterministicAndValid(t *testing.T) {
+	a := mutation.Sample(1000, 250, 42)
+	b := mutation.Sample(1000, 250, 42)
+	c := mutation.Sample(1000, 250, 43)
+	if len(a) != 250 {
+		t.Fatalf("sample size = %d", len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if !same {
+		t.Error("same seed produced different samples")
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical samples")
+	}
+	// Sorted, in range, distinct.
+	seen := map[int]bool{}
+	for i, v := range a {
+		if v < 0 || v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+		if i > 0 && a[i-1] >= v {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestSampleWholePopulation(t *testing.T) {
+	all := mutation.Sample(10, 100, 1)
+	if len(all) != 10 {
+		t.Fatalf("oversample size = %d", len(all))
+	}
+	for i, v := range all {
+		if v != i {
+			t.Errorf("oversample[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package specs embeds the Devil specifications of the five devices the
+// paper's Table 2 evaluates: the Logitech busmouse, the Intel 82371FB PCI
+// bus-master IDE function, the Intel PIIX4 IDE disk interface, the NE2000
+// (ns8390) Ethernet controller, and the 3Dlabs Permedia 2 graphics chip.
+//
+// The busmouse specification is transcribed from the paper's Figure 3; the
+// others are reconstructions from the register maps of the public datasheets
+// the original specifications were written against, sized comparably to the
+// line counts reported in Table 2.
+package specs
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed *.dil
+var files embed.FS
+
+// Spec is one embedded specification.
+type Spec struct {
+	// Name is the short device name ("busmouse", "ide", ...).
+	Name string
+	// Title is the device description used in Table 2.
+	Title string
+	// Filename is the embedded file name.
+	Filename string
+	// Source is the specification text.
+	Source string
+}
+
+// Lines counts the non-blank, non-comment-only source lines, matching the
+// "Number of lines" column of Table 2.
+func (s Spec) Lines() int {
+	n := 0
+	for _, line := range strings.Split(s.Source, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+var titles = map[string]string{
+	"busmouse": "Logitech Busmouse",
+	"pci":      "PCI Bus Master (Intel 82371FB)",
+	"ide":      "IDE (Intel PIIX4)",
+	"dma":      "DMA controller (Intel 8237)",
+	"ne2000":   "Ethernet NE2000 (ns8390)",
+	"permedia": "Graphic card (Permedia 2)",
+}
+
+// tableOrder is the row order of Table 2.
+var tableOrder = []string{"busmouse", "pci", "ide", "ne2000", "permedia"}
+
+// Load returns the named specification.
+func Load(name string) (Spec, error) {
+	fn := name + ".dil"
+	data, err := files.ReadFile(fn)
+	if err != nil {
+		return Spec{}, fmt.Errorf("specs: unknown specification %q", name)
+	}
+	title := titles[name]
+	if title == "" {
+		title = name
+	}
+	return Spec{Name: name, Title: title, Filename: fn, Source: string(data)}, nil
+}
+
+// All returns every embedded specification in Table 2 row order, followed by
+// any extras in lexical order.
+func All() []Spec {
+	seen := make(map[string]bool, len(tableOrder))
+	var out []Spec
+	for _, name := range tableOrder {
+		if s, err := Load(name); err == nil {
+			out = append(out, s)
+			seen[name] = true
+		}
+	}
+	entries, err := files.ReadDir(".")
+	if err != nil {
+		return out
+	}
+	var extras []string
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".dil")
+		if !seen[name] {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		if s, err := Load(name); err == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package specs_test
+
+import (
+	"testing"
+
+	"repro/internal/devil"
+	"repro/internal/specs"
+)
+
+// TestAllSpecsCompile guards the Table 2 corpus: every embedded
+// specification must pass the full Devil front end with zero diagnostics.
+func TestAllSpecsCompile(t *testing.T) {
+	all := specs.All()
+	if len(all) < 5 {
+		t.Fatalf("expected at least the 5 Table-2 specifications, got %d", len(all))
+	}
+	for _, s := range all {
+		t.Run(s.Name, func(t *testing.T) {
+			compiled, err := devil.Compile(s.Filename, s.Source)
+			if err != nil {
+				if ce, ok := err.(*devil.CompileError); ok {
+					for _, e := range ce.All() {
+						t.Errorf("  %v", e)
+					}
+				}
+				t.Fatalf("compile %s: %v", s.Name, err)
+			}
+			if compiled.AST.Name == "" {
+				t.Error("empty device name")
+			}
+			if s.Lines() == 0 {
+				t.Error("empty specification")
+			}
+		})
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := specs.Load("nonexistent"); err == nil {
+		t.Error("loading an unknown spec should fail")
+	}
+}

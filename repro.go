@@ -1,0 +1,22 @@
+// Package repro reproduces "Improving Driver Robustness: an Evaluation of
+// the Devil Approach" (Réveillère & Muller, DSN 2001 / INRIA RR-4136) as a
+// self-contained Go library.
+//
+// The system has three layers:
+//
+//   - The Devil compiler (internal/devil and subpackages): scanner, parser,
+//     the §2.2 consistency checker, and the §2.3 stub generator with
+//     production and debug modes, including the Figure-4 C emitter.
+//   - The substrates: a simulated ISA port space with device models
+//     (internal/hw and subpackages), a boot kernel with a damage-auditable
+//     filesystem (internal/kernel), and an hwC driver-language front end
+//     and interpreter with permissive/strict typing (internal/cdriver).
+//   - The evaluation: the §3 mutation rules (internal/mutation, cmut,
+//     devilmut) and the experiment harness regenerating Tables 1–4 and
+//     Figures 1/3/4 (internal/experiment).
+//
+// Binaries: cmd/devilc (the compiler), cmd/devilmut (spec mutation),
+// cmd/driverlab (the full evaluation). Runnable walkthroughs live under
+// examples/. The benchmark harness in bench_test.go regenerates each table
+// and figure under `go test -bench`.
+package repro
