@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/devil"
 	"repro/internal/devil/codegen"
 	"repro/internal/drivers"
@@ -272,6 +273,67 @@ func BenchmarkDevilMutantCheck(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		devilmut.CheckMutant(res, res.Mutants[i%len(res.Mutants)], s.Filename)
 	}
+}
+
+// BenchmarkCampaignThroughput measures end-to-end campaign execution —
+// enumeration amortised, per-worker machine reuse, JSONL-shaped records
+// into an in-memory store — and reports boots per second, the headline
+// throughput number of the batch engine.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	for _, driver := range []string{"ide_c", "ide_devil"} {
+		driver := driver
+		b.Run(driver, func(b *testing.B) {
+			wl := experiment.NewWorkload()
+			spec := experiment.CampaignSpec(driver,
+				experiment.MutationOptions{SamplePct: 2, Seed: 2001})
+			boots := 0
+			for i := 0; i < b.N; i++ {
+				store := campaign.NewMemStore()
+				sum, err := campaign.Run(spec, wl, store, campaign.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				boots += sum.Ran
+			}
+			b.ReportMetric(float64(boots)/b.Elapsed().Seconds(), "boots/s")
+			b.ReportMetric(float64(boots)/float64(b.N), "boots/op")
+		})
+	}
+}
+
+// BenchmarkMachineReuse isolates the campaign engine's hot-path saving:
+// booting the clean CDevil driver on a freshly built machine per boot
+// versus Reset-and-reuse of one machine.
+func BenchmarkMachineReuse(b *testing.B) {
+	src, err := drivers.Load("ide_devil")
+	if err != nil {
+		b.Fatal(err)
+	}
+	toks, err := experiment.ParseDriver(src.Text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := experiment.BootInput{Tokens: toks, Devil: true, Budget: experiment.ExperimentBudget}
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.Boot(input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		m, err := experiment.NewMachine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			if _, err := experiment.BootOn(m, input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkMutantBoot measures one mutant boot (the unit of Table 3/4's

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/experiment"
+)
+
+// runCampaign dispatches the campaign subcommands: run, resume, merge,
+// report.
+func runCampaign(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("campaign: want a verb: run, resume, merge or report")
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "run":
+		return campaignRun(rest, false)
+	case "resume":
+		return campaignRun(rest, true)
+	case "merge":
+		return campaignMerge(rest)
+	case "report":
+		return campaignReport(rest)
+	default:
+		return fmt.Errorf("campaign: unknown verb %q (want run, resume, merge or report)", verb)
+	}
+}
+
+// parseShards parses "-shard 0,2,5" into indices.
+func parseShards(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad shard list %q: %w", s, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// storedSpec extracts the spec record of an existing store.
+func storedSpec(store campaign.Store) (campaign.Spec, bool) {
+	for _, r := range store.Records() {
+		if r.Kind == campaign.KindSpec && r.Spec != nil {
+			return *r.Spec, true
+		}
+	}
+	return campaign.Spec{}, false
+}
+
+// campaignRun executes (or resumes) a campaign against a JSONL store.
+// Resume takes its spec from the store, so it only accepts execution
+// flags; the run-shaping flags are rejected rather than silently
+// ignored.
+func campaignRun(args []string, resume bool) error {
+	verb := "run"
+	if resume {
+		verb = "resume"
+	}
+	fs := flag.NewFlagSet("driverlab campaign "+verb, flag.ContinueOnError)
+	store := fs.String("store", "", "JSONL result store (required)")
+	shard := fs.String("shard", "", "comma-separated shard indices to run (default: all)")
+	workers := fs.Int("workers", 0, "boot worker count (default: GOMAXPROCS)")
+	quiet := fs.Bool("quiet", false, "suppress live progress")
+	var name, driversFlag, stub *string
+	var sample, shards *int
+	var seed *uint64
+	var permissive *bool
+	if !resume {
+		name = fs.String("name", "campaign", "campaign name")
+		driversFlag = fs.String("drivers", "ide_c,ide_devil",
+			"comma-separated driver list (ide_c, ide_devil, busmouse_c, busmouse_devil)")
+		sample = fs.Int("sample", 25, "percentage of mutants to boot (paper: 25)")
+		seed = fs.Uint64("seed", 2001, "sampling seed")
+		shards = fs.Int("shards", 1, "shard count the work-list partitions into")
+		stub = fs.String("stub", "", "Devil stub mode: debug (default) or production")
+		permissive = fs.Bool("permissive", false, "downgrade CDevil typing to plain C rules")
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *store == "" {
+		return fmt.Errorf("campaign run: -store is required")
+	}
+	shardSel, err := parseShards(*shard)
+	if err != nil {
+		return err
+	}
+
+	st, err := campaign.OpenFile(*store)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	var spec campaign.Spec
+	if resume {
+		// Resume takes the spec from the store itself; no flags needed.
+		prior, ok := storedSpec(st)
+		if !ok {
+			return fmt.Errorf("campaign resume: %s holds no spec record", *store)
+		}
+		spec = prior
+		fmt.Fprintf(os.Stderr, "campaign: resuming %q from %s\n", spec.Name, *store)
+	} else {
+		// Run builds the spec from flags; on an existing store the engine
+		// rejects it if the fingerprint differs from the stored spec.
+		var driverList []string
+		for _, d := range strings.Split(*driversFlag, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				driverList = append(driverList, d)
+			}
+		}
+		spec = campaign.Spec{
+			Name:       *name,
+			Drivers:    driverList,
+			SamplePct:  *sample,
+			Seed:       *seed,
+			Shards:     *shards,
+			StubMode:   *stub,
+			Permissive: *permissive,
+		}
+	}
+
+	opts := campaign.Options{Workers: *workers, Shards: shardSel}
+	if !*quiet {
+		opts.Progress = progressPrinter()
+	}
+	sum, err := campaign.Run(spec, experiment.NewWorkload(), st, opts)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign %q: %d selected, %d already stored, %d booted this run\n",
+		spec.Normalized().Name, sum.Total, sum.Skipped, sum.Ran)
+	for _, line := range campaign.Completion(st.Records()) {
+		fmt.Println("  " + line)
+	}
+	return nil
+}
+
+// progressPrinter returns a rate-limited live progress callback.
+func progressPrinter() func(done, total int) {
+	start := time.Now()
+	var last time.Time
+	return func(done, total int) {
+		now := time.Now()
+		if done < total && now.Sub(last) < 200*time.Millisecond {
+			return
+		}
+		last = now
+		rate := float64(done) / now.Sub(start).Seconds()
+		fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d booted (%.1f%%, %.1f boots/s)   ",
+			done, total, 100*float64(done)/float64(total), rate)
+	}
+}
+
+// campaignMerge folds shard stores into one.
+func campaignMerge(args []string) error {
+	fs := flag.NewFlagSet("driverlab campaign merge", flag.ContinueOnError)
+	out := fs.String("out", "", "merged JSONL store to write (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ins := fs.Args()
+	if *out == "" || len(ins) == 0 {
+		return fmt.Errorf("campaign merge: want -out merged.jsonl plus input stores")
+	}
+	dst, err := campaign.OpenFile(*out)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	var sources []campaign.Store
+	for _, path := range ins {
+		src, err := campaign.OpenFile(path)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		sources = append(sources, src)
+	}
+	if err := campaign.Merge(dst, sources...); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d stores into %s\n", len(ins), *out)
+	for _, line := range campaign.Completion(dst.Records()) {
+		fmt.Println("  " + line)
+	}
+	return nil
+}
+
+// campaignReport re-derives the paper's tables from a store.
+func campaignReport(args []string) error {
+	fs := flag.NewFlagSet("driverlab campaign report", flag.ContinueOnError)
+	store := fs.String("store", "", "JSONL result store (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *store == "" {
+		return fmt.Errorf("campaign report: -store is required")
+	}
+	st, err := campaign.OpenFile(*store)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	spec, ok := storedSpec(st)
+	if !ok {
+		return fmt.Errorf("campaign report: %s holds no spec record", *store)
+	}
+	tables, order, err := campaign.Aggregate(st.Records())
+	if err != nil {
+		return err
+	}
+	for _, driver := range order {
+		t := tables[driver]
+		status := "complete"
+		if !t.Complete() {
+			status = fmt.Sprintf("partial: %d/%d booted", t.Results, t.Selected)
+		}
+		caption := fmt.Sprintf("Campaign %q: mutations on %s (%d%% sample, seed %d; %s)",
+			spec.Name, driver, spec.SamplePct, spec.Seed, status)
+		fmt.Println(experiment.FormatDriverTable(experiment.TableFromCampaign(t), caption))
+	}
+	return nil
+}

@@ -13,6 +13,14 @@
 //
 // Sampling: -sample selects the percentage of driver mutants booted (the
 // paper used 25); -seed makes the selection reproducible.
+//
+// Campaigns — sharded, resumable, persisted mutation runs — live under
+// the campaign subcommand:
+//
+//	driverlab campaign run    -store c.jsonl -drivers ide_c,ide_devil ...
+//	driverlab campaign resume -store c.jsonl
+//	driverlab campaign merge  -out merged.jsonl shard0.jsonl shard1.jsonl
+//	driverlab campaign report -store c.jsonl
 package main
 
 import (
@@ -37,6 +45,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "campaign" {
+		return runCampaign(args[1:])
+	}
 	fs := flag.NewFlagSet("driverlab", flag.ContinueOnError)
 	table := fs.String("table", "", "table to regenerate: 1, 2, 3, 4, 5 (busmouse extension) or all")
 	figure := fs.String("figure", "", "figure to regenerate: 1, 3 or 4")
@@ -48,6 +59,11 @@ func run(args []string) error {
 	}
 	if *table == "" && *figure == "" && !*ablation {
 		*table = "all"
+	}
+	switch *table {
+	case "", "1", "2", "3", "4", "5", "all":
+	default:
+		return fmt.Errorf("unknown table %q (want 1, 2, 3, 4, 5 or all)", *table)
 	}
 	opts := experiment.MutationOptions{SamplePct: *sample, Seed: *seed}
 

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // TestFastPaths exercises the non-mutation paths of the CLI (the mutation
 // tables are covered by the experiment package and the benchmarks).
@@ -17,8 +21,90 @@ func TestFastPaths(t *testing.T) {
 	}
 }
 
+// TestAdvertisedTables runs every value the -table help text promises,
+// with a minimal sample so the mutation tables stay affordable.
+func TestAdvertisedTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table sweep is not short")
+	}
+	for _, args := range [][]string{
+		{"-table", "1"},
+		{"-table", "2"},
+		{"-table", "3", "-sample", "1"},
+		{"-table", "4", "-sample", "1"},
+		{"-table", "5", "-sample", "2"},
+		{"-table", "all", "-sample", "1"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("driverlab %v: %v", args, err)
+		}
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	if err := run([]string{"-figure", "99"}); err == nil {
 		t.Error("unknown figure accepted")
 	}
+	if err := run([]string{"-table", "9"}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := run([]string{"-table", "busmouse"}); err == nil {
+		t.Error("non-numeric table accepted")
+	}
+}
+
+// TestCampaignCLI drives the full campaign lifecycle through the
+// subcommand surface: sharded runs into separate stores, merge, report,
+// and an idempotent resume.
+func TestCampaignCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign CLI test is not short")
+	}
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	m := filepath.Join(dir, "m.jsonl")
+	base := []string{"-drivers", "busmouse_c", "-sample", "10", "-seed", "11",
+		"-shards", "2", "-quiet"}
+
+	if err := run(append([]string{"campaign", "run", "-store", a, "-shard", "0"}, base...)); err != nil {
+		t.Fatalf("campaign run shard 0: %v", err)
+	}
+	if err := run(append([]string{"campaign", "run", "-store", b, "-shard", "1"}, base...)); err != nil {
+		t.Fatalf("campaign run shard 1: %v", err)
+	}
+	if err := run([]string{"campaign", "merge", "-out", m, a, b}); err != nil {
+		t.Fatalf("campaign merge: %v", err)
+	}
+	if err := run([]string{"campaign", "report", "-store", m}); err != nil {
+		t.Fatalf("campaign report: %v", err)
+	}
+	if err := run([]string{"campaign", "resume", "-store", m, "-quiet"}); err != nil {
+		t.Fatalf("campaign resume: %v", err)
+	}
+}
+
+func TestCampaignCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"campaign"}); err == nil {
+		t.Error("missing campaign verb accepted")
+	}
+	if err := run([]string{"campaign", "destroy"}); err == nil {
+		t.Error("unknown campaign verb accepted")
+	}
+	if err := run([]string{"campaign", "run"}); err == nil {
+		t.Error("campaign run without -store accepted")
+	}
+	if err := run([]string{"campaign", "resume", "-store",
+		filepath.Join(dir, "empty.jsonl"), "-quiet"}); err == nil {
+		t.Error("resume of an empty store accepted")
+	}
+	if err := run([]string{"campaign", "merge", "-out", filepath.Join(dir, "out.jsonl")}); err == nil {
+		t.Error("merge without inputs accepted")
+	}
+	if err := run([]string{"campaign", "run", "-store", filepath.Join(dir, "s.jsonl"),
+		"-drivers", "busmouse_c", "-sample", "10", "-shards", "2", "-shard", "7", "-quiet"}); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	_ = os.Remove(filepath.Join(dir, "s.jsonl"))
 }

@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TableData is the per-driver aggregate a record stream reduces to: the
+// exact inputs of the paper's Table 3/4 rendering. Aggregation is
+// order-independent and duplicate-tolerant (first result per mutant
+// wins), so serial, sharded and merged stores of the same spec reduce to
+// identical tables.
+type TableData struct {
+	Driver string
+	// Counts maps a row label to its mutant count.
+	Counts map[string]int
+	// SiteSets maps a row label to the contributing site set.
+	SiteSets map[string]map[int]bool
+	// TotalSites, Enumerated, Selected mirror the driver's meta record.
+	TotalSites int
+	Enumerated int
+	Selected   int
+	// Results is the number of distinct result records aggregated; a
+	// complete campaign has Results == Selected.
+	Results int
+	// Losses counts partition-table destructions.
+	Losses int
+}
+
+// Complete reports whether every selected mutant has a stored result.
+func (d *TableData) Complete() bool { return d.Results == d.Selected }
+
+// Aggregate reduces a record stream to per-driver table data, returning
+// the drivers in first-appearance order alongside the map.
+func Aggregate(records []Record) (map[string]*TableData, []string, error) {
+	tables := make(map[string]*TableData)
+	var order []string
+	get := func(driver string) *TableData {
+		t, ok := tables[driver]
+		if !ok {
+			t = &TableData{
+				Driver:   driver,
+				Counts:   make(map[string]int),
+				SiteSets: make(map[string]map[int]bool),
+			}
+			tables[driver] = t
+			order = append(order, driver)
+		}
+		return t
+	}
+	seen := make(map[string]bool)
+	for _, r := range records {
+		switch r.Kind {
+		case KindMeta:
+			t := get(r.Driver)
+			if t.Selected == 0 { // first meta wins
+				t.TotalSites = r.Sites
+				t.Enumerated = r.Enumerated
+				t.Selected = r.Selected
+			}
+		case KindResult:
+			if r.Row == "" {
+				return nil, nil, fmt.Errorf("campaign: result record for %s#%d has no row",
+					r.Driver, r.Mutant)
+			}
+			key := TaskKey(r.Driver, r.Mutant)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			t := get(r.Driver)
+			t.Counts[r.Row]++
+			if t.SiteSets[r.Row] == nil {
+				t.SiteSets[r.Row] = make(map[int]bool)
+			}
+			t.SiteSets[r.Row][r.Site] = true
+			if r.Lost {
+				t.Losses++
+			}
+			t.Results++
+		}
+	}
+	return tables, order, nil
+}
+
+// Merge folds the records of every source store into dst, validating
+// that all stores carry the same spec fingerprint and deduplicating meta
+// and result records. Results already present in dst are kept.
+func Merge(dst Store, sources ...Store) error {
+	want := ""
+	haveMeta := make(map[string]bool)
+	seen := make(map[string]bool)
+	for _, r := range dst.Records() {
+		switch r.Kind {
+		case KindSpec:
+			want = r.Fingerprint
+		case KindMeta:
+			haveMeta[r.Driver] = true
+		case KindResult:
+			seen[TaskKey(r.Driver, r.Mutant)] = true
+		}
+	}
+	for i, src := range sources {
+		for _, r := range src.Records() {
+			switch r.Kind {
+			case KindSpec:
+				if want == "" {
+					want = r.Fingerprint
+					if err := dst.Append(r); err != nil {
+						return err
+					}
+				} else if r.Fingerprint != want {
+					return fmt.Errorf("campaign merge: source %d has fingerprint %s, want %s",
+						i+1, r.Fingerprint, want)
+				}
+			case KindMeta:
+				if !haveMeta[r.Driver] {
+					haveMeta[r.Driver] = true
+					if err := dst.Append(r); err != nil {
+						return err
+					}
+				}
+			case KindResult:
+				key := TaskKey(r.Driver, r.Mutant)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if err := dst.Append(r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Completion summarises a store's progress per driver, sorted by driver
+// name: how many of the selected mutants have results.
+func Completion(records []Record) []string {
+	tables, order, err := Aggregate(records)
+	if err != nil {
+		return []string{fmt.Sprintf("unaggregatable store: %v", err)}
+	}
+	sort.Strings(order)
+	var out []string
+	for _, driver := range order {
+		t := tables[driver]
+		out = append(out, fmt.Sprintf("%s: %d/%d booted", driver, t.Results, t.Selected))
+	}
+	return out
+}

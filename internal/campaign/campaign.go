@@ -1,0 +1,158 @@
+// Package campaign turns the paper's evaluation into a scalable batch
+// execution engine: a declarative Spec expands into a deterministic
+// mutant work-list, the work-list partitions into hash-assigned shards,
+// shards execute on a worker pool with per-worker machine reuse, and
+// every boot outcome is appended to a Store as one JSONL record.
+//
+// The record stream — not the in-memory run — is the source of truth:
+// an interrupted campaign resumes by skipping mutants the store already
+// holds, independent shard runs merge by concatenation and
+// deduplication, and the paper's Tables 3/4 are re-derived purely from
+// stored records, so a serial run and a 4-way sharded run of the same
+// spec aggregate to identical tables.
+//
+// The package is deliberately free of repository-specific knowledge:
+// what a "mutant" is and how one boots comes in through the Workload
+// interface (implemented by internal/experiment), so the engine, store,
+// sharding and aggregation logic are reusable for any enumerate-execute
+// -classify campaign.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// Spec declares one campaign: the cross-product of target drivers with a
+// sampling policy and execution knobs. Specs are pure data — the same
+// spec always expands to the same work-list — and are persisted as the
+// first record of every store so a campaign can be resumed or audited
+// from the file alone.
+type Spec struct {
+	// Name labels the campaign in stores and reports.
+	Name string `json:"name"`
+	// Drivers lists the embedded driver sources to mutate (e.g. "ide_c",
+	// "ide_devil", "busmouse_c", "busmouse_devil").
+	Drivers []string `json:"drivers"`
+	// SamplePct selects the percentage of mutants to boot (the paper used
+	// 25); 0 or 100 boots everything.
+	SamplePct int `json:"sample_pct"`
+	// Seed drives the deterministic sampler.
+	Seed uint64 `json:"seed"`
+	// Shards is the partition count of the work-list (default 1).
+	Shards int `json:"shards,omitempty"`
+	// StubMode overrides the Devil stub mode: "", "debug" or "production".
+	StubMode string `json:"stub_mode,omitempty"`
+	// Permissive downgrades CDevil type checking to plain C rules.
+	Permissive bool `json:"permissive,omitempty"`
+	// Budget overrides the per-boot watchdog budget when non-zero.
+	Budget int64 `json:"budget,omitempty"`
+}
+
+// Normalized returns the spec with defaults applied.
+func (s Spec) Normalized() Spec {
+	if s.Shards <= 0 {
+		s.Shards = 1
+	}
+	if s.Name == "" {
+		s.Name = "campaign"
+	}
+	return s
+}
+
+// Fingerprint is a stable hash of the normalized spec, stored in every
+// spec record; resume and merge refuse stores whose fingerprints differ.
+func (s Spec) Fingerprint() string {
+	n := s.Normalized()
+	n.Shards = 1 // shard count does not change the work-list, only its partition
+	data, err := json.Marshal(n)
+	if err != nil {
+		return "unhashable"
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Task is one unit of campaign work: boot one mutant of one driver.
+// Mutant is the absolute mutant ID within the driver's enumeration, so a
+// task's identity is stable across runs, shards and resumes.
+type Task struct {
+	Driver string
+	Mutant int
+	Shard  int
+}
+
+// Key is the task's stable identity in stores.
+func (t Task) Key() string { return TaskKey(t.Driver, t.Mutant) }
+
+// TaskKey builds the stable identity of a (driver, mutant) pair.
+func TaskKey(driver string, mutant int) string {
+	return fmt.Sprintf("%s#%d", driver, mutant)
+}
+
+// ShardOf assigns a task to a shard by hashing its stable key, so the
+// partition is independent of enumeration order and worker count.
+func ShardOf(driver string, mutant int, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", driver, mutant)
+	return int(h.Sum64() % uint64(shards))
+}
+
+// Meta is the per-driver enumeration metadata a run captures so tables
+// can be re-derived from the store without re-enumerating.
+type Meta struct {
+	Driver     string
+	Sites      int
+	Enumerated int
+	Selected   int
+}
+
+// Record kinds.
+const (
+	KindSpec   = "spec"   // first record: the campaign spec + fingerprint
+	KindMeta   = "meta"   // one per driver: enumeration metadata
+	KindResult = "result" // one per booted mutant
+)
+
+// Record is one line of a campaign store. A single flat schema keeps the
+// JSONL human-greppable; Kind selects which fields are meaningful.
+type Record struct {
+	Kind string `json:"kind"`
+
+	// Spec fields (KindSpec).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Spec        *Spec  `json:"spec,omitempty"`
+
+	// Driver is set on meta and result records.
+	Driver string `json:"driver,omitempty"`
+
+	// Meta fields (KindMeta).
+	Sites      int `json:"sites,omitempty"`
+	Enumerated int `json:"enumerated,omitempty"`
+	Selected   int `json:"selected,omitempty"`
+
+	// Result fields (KindResult).
+	Mutant int    `json:"mutant"`
+	Site   int    `json:"site"`
+	Row    string `json:"row,omitempty"`
+	Lost   bool   `json:"lost,omitempty"`
+	Steps  int64  `json:"steps,omitempty"`
+	Shard  int    `json:"shard"`
+}
+
+// SpecRecord builds the leading store record for a spec.
+func SpecRecord(s Spec) Record {
+	n := s.Normalized()
+	return Record{Kind: KindSpec, Fingerprint: n.Fingerprint(), Spec: &n}
+}
+
+// MetaRecord builds the store record for one driver's enumeration.
+func MetaRecord(m Meta) Record {
+	return Record{Kind: KindMeta, Driver: m.Driver, Sites: m.Sites,
+		Enumerated: m.Enumerated, Selected: m.Selected}
+}

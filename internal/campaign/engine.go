@@ -1,0 +1,271 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome is a worker's classification of one booted mutant.
+type Outcome struct {
+	// Row is the Table 3/4 row label the boot landed in.
+	Row string
+	// Site is the mutation-site index the mutant belongs to.
+	Site int
+	// Lost reports partition-table destruction (the paper's anecdote).
+	Lost bool
+	// Steps is the watchdog step count the boot consumed.
+	Steps int64
+}
+
+// Worker executes tasks. A worker is owned by exactly one pool goroutine,
+// so implementations can keep heavyweight per-worker state — notably a
+// simulated machine that is Reset between boots instead of rebuilt.
+type Worker interface {
+	Boot(Task) (Outcome, error)
+	Close()
+}
+
+// Workload binds the engine to a concrete experiment: how a spec expands
+// into tasks, and how one task boots.
+type Workload interface {
+	// Expand deterministically derives the per-driver metadata and the
+	// full selected work-list, in enumeration order, shards unassigned.
+	Expand(Spec) ([]Meta, []Task, error)
+	// NewWorker builds one worker. Called once per pool goroutine.
+	NewWorker(Spec) (Worker, error)
+}
+
+// Options tunes one engine run.
+type Options struct {
+	// Workers is the pool size (default: GOMAXPROCS).
+	Workers int
+	// Shards selects which shard indices to run; nil means all of them.
+	// Tasks of unselected shards are neither run nor counted in Total.
+	Shards []int
+	// Progress, when non-nil, is called after every recorded boot with
+	// the number of selected tasks already in the store and the total.
+	Progress func(done, total int)
+}
+
+// Summary reports what one Run did.
+type Summary struct {
+	// Total is the number of selected tasks (after shard filtering).
+	Total int
+	// Skipped is how many of them the store already held (resume).
+	Skipped int
+	// Ran is how many booted in this run.
+	Ran int
+	// Rows histograms the outcomes of this run's boots.
+	Rows map[string]int
+}
+
+// Run executes a campaign: expand, shard, skip already-stored results,
+// boot the remainder on a worker pool, and append every outcome to the
+// store. Run is idempotent — rerunning a completed campaign boots
+// nothing — and crash-safe: killing it mid-run loses at most one record,
+// and the next Run picks up where the store ends.
+func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
+	spec = spec.Normalized()
+	fp := spec.Fingerprint()
+
+	wantShard := func(int) bool { return true }
+	if opts.Shards != nil {
+		sel := make(map[int]bool, len(opts.Shards))
+		for _, sh := range opts.Shards {
+			if sh < 0 || sh >= spec.Shards {
+				return nil, fmt.Errorf("campaign: shard %d outside [0..%d)", sh, spec.Shards)
+			}
+			sel[sh] = true
+		}
+		wantShard = func(sh int) bool { return sel[sh] }
+	}
+
+	existing := store.Records()
+	done := make(map[string]bool)
+	haveSpec := false
+	haveMeta := make(map[string]bool)
+	for _, r := range existing {
+		switch r.Kind {
+		case KindSpec:
+			if r.Fingerprint != fp {
+				return nil, fmt.Errorf("campaign: store belongs to a different spec (fingerprint %s, want %s)",
+					r.Fingerprint, fp)
+			}
+			haveSpec = true
+		case KindMeta:
+			haveMeta[r.Driver] = true
+		case KindResult:
+			done[TaskKey(r.Driver, r.Mutant)] = true
+		}
+	}
+
+	metas, tasks, err := wl.Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !haveSpec {
+		if err := store.Append(SpecRecord(spec)); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range metas {
+		if !haveMeta[m.Driver] {
+			if err := store.Append(MetaRecord(m)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	sum := &Summary{Rows: make(map[string]int)}
+	var pending []Task
+	for _, t := range tasks {
+		t.Shard = ShardOf(t.Driver, t.Mutant, spec.Shards)
+		if !wantShard(t.Shard) {
+			continue
+		}
+		sum.Total++
+		if done[t.Key()] {
+			sum.Skipped++
+			continue
+		}
+		pending = append(pending, t)
+	}
+	if len(pending) == 0 {
+		return sum, nil
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	var (
+		mu       sync.Mutex // guards sum, recorded, firstErr
+		recorded = sum.Skipped
+		firstErr error
+		stopped  atomic.Bool // aborts the feed after the first error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	feed := make(chan Task)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, err := wl.NewWorker(spec)
+			if err != nil {
+				fail(err)
+				for range feed {
+				} // drain
+				return
+			}
+			defer w.Close()
+			for t := range feed {
+				if stopped.Load() {
+					continue // drain: the campaign is aborting
+				}
+				out, err := w.Boot(t)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				rec := Record{Kind: KindResult, Driver: t.Driver, Mutant: t.Mutant,
+					Site: out.Site, Row: out.Row, Lost: out.Lost, Steps: out.Steps,
+					Shard: t.Shard}
+				if err := store.Append(rec); err != nil {
+					fail(err)
+					continue
+				}
+				mu.Lock()
+				sum.Ran++
+				sum.Rows[out.Row]++
+				recorded++
+				prog := recorded
+				mu.Unlock()
+				if opts.Progress != nil {
+					opts.Progress(prog, sum.Total)
+				}
+			}
+		}()
+	}
+	for _, t := range pending {
+		if stopped.Load() {
+			break
+		}
+		feed <- t
+	}
+	close(feed)
+	wg.Wait()
+	if firstErr != nil {
+		return sum, firstErr
+	}
+	return sum, nil
+}
+
+// ParallelDo runs fn over [0,n) with a bounded worker pool and waits —
+// the generic fan-out primitive the experiment package's in-memory loops
+// delegate to.
+func ParallelDo(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// ShardPlan reports how a spec's work-list distributes over its shards —
+// the operator-facing preview of a sharded campaign.
+func ShardPlan(spec Spec, tasks []Task) map[int]int {
+	spec = spec.Normalized()
+	plan := make(map[int]int, spec.Shards)
+	for _, t := range tasks {
+		plan[ShardOf(t.Driver, t.Mutant, spec.Shards)]++
+	}
+	return plan
+}
+
+// SortShards returns the shard indices of a plan in order.
+func SortShards(plan map[int]int) []int {
+	out := make([]int, 0, len(plan))
+	for sh := range plan {
+		out = append(out, sh)
+	}
+	sort.Ints(out)
+	return out
+}

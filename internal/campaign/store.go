@@ -1,0 +1,153 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Store is an append-only result store. Append must be safe for
+// concurrent use; Records returns everything the store held when it was
+// opened plus everything appended since, in order.
+type Store interface {
+	Records() []Record
+	Append(Record) error
+	Close() error
+}
+
+// MemStore is the in-memory store used by the in-process table paths and
+// by tests.
+type MemStore struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Records implements Store.
+func (s *MemStore) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// Append implements Store.
+func (s *MemStore) Append(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, r)
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is the JSONL store: one record per line, appended record by
+// record so a killed campaign loses at most the line being written.
+// OpenFile truncates a torn trailing line (the crash artefact) so that
+// subsequent appends extend the good prefix — the mutant the torn line
+// described simply reruns on resume.
+type FileStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	recs []Record
+}
+
+// OpenFile opens (or creates) a JSONL store at path and loads every
+// complete record already present. A file whose very first record is
+// unparseable is rejected — it is some other file, not a campaign store
+// — while garbage after at least one good record is treated as a crash
+// artefact and truncated away.
+func OpenFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign store: %w", err)
+	}
+	s := &FileStore{f: f}
+	br := bufio.NewReader(f)
+	var off int64 // end offset of the last good record
+	for {
+		line, rerr := br.ReadString('\n')
+		if len(line) > 0 {
+			complete := strings.HasSuffix(line, "\n")
+			trimmed := strings.TrimSpace(line)
+			bad := false
+			if trimmed != "" {
+				var r Record
+				if !complete || json.Unmarshal([]byte(trimmed), &r) != nil {
+					bad = true
+				} else {
+					s.recs = append(s.recs, r)
+				}
+			}
+			if bad {
+				if len(s.recs) == 0 {
+					f.Close()
+					return nil, fmt.Errorf("campaign store %s: not a campaign store (unparseable first record)", path)
+				}
+				if err := f.Truncate(off); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("campaign store %s: truncate crash artefact: %w", path, err)
+				}
+				break
+			}
+			off += int64(len(line))
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			f.Close()
+			return nil, fmt.Errorf("campaign store %s: %w", path, rerr)
+		}
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign store %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Records implements Store.
+func (s *FileStore) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// Append implements Store: one JSON line per record, written atomically
+// with respect to other Append calls.
+func (s *FileStore) Append(r Record) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("campaign store: marshal: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("campaign store: append: %w", err)
+	}
+	s.recs = append(s.recs, r)
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,64 @@
+/*
+ * busmouse_c.c — traditional Logitech busmouse driver.
+ *
+ * The motion counters live behind a single data port, one nibble at a
+ * time, selected by writes to the control port — the masking and
+ * shifting the paper's Figure 1 quotes verbatim.
+ */
+
+//@hw
+#define MSE_DATA_PORT    0x23c
+#define MSE_SIGNATURE    0x23d
+#define MSE_CONTROL_PORT 0x23e
+#define MSE_CONFIG_PORT  0x23f
+
+#define MSE_READ_X_LOW   0x80
+#define MSE_READ_X_HIGH  0xa0
+#define MSE_READ_Y_LOW   0xc0
+#define MSE_READ_Y_HIGH  0xe0
+
+#define MSE_SIG_BYTE     0xa5
+#define MSE_CONFIG_BYTE  0x91
+//@endhw
+
+/* Select one counter nibble and read it. */
+static int read_nibble(int sel)
+{
+    //@hw
+    outb(sel, MSE_CONTROL_PORT);
+    return inb(MSE_DATA_PORT) & 0xf;
+    //@endhw
+}
+
+int mouse_init(void)
+{
+    //@hw
+    outb(MSE_SIG_BYTE, MSE_SIGNATURE);
+    if (inb(MSE_SIGNATURE) != MSE_SIG_BYTE) {
+        printk("busmouse: no adapter found");
+        return 1;
+    }
+    outb(MSE_CONFIG_BYTE, MSE_CONFIG_PORT);
+    outb(MSE_READ_X_LOW, MSE_CONTROL_PORT);
+    //@endhw
+    printk("busmouse: adapter configured");
+    return 0;
+}
+
+/* Poll the counters: dx in the low byte, dy in the second byte, buttons
+ * in the third. */
+int mouse_poll(void)
+{
+    int dx;
+    int dy;
+    int b;
+    //@hw
+    dx = read_nibble(MSE_READ_X_LOW);
+    dx = dx | (read_nibble(MSE_READ_X_HIGH) << 4);
+    dy = read_nibble(MSE_READ_Y_LOW);
+    outb(MSE_READ_Y_HIGH, MSE_CONTROL_PORT);
+    b = inb(MSE_DATA_PORT);
+    dy = dy | ((b & 0xf) << 4);
+    //@endhw
+    return dx | (dy << 8) | (((b >> 5) & 0x7) << 16);
+}

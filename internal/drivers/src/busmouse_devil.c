@@ -1,0 +1,38 @@
+/*
+ * busmouse_devil.c — the busmouse driver re-engineered over Devil stubs.
+ *
+ * The Figure 1 contrast: buttons = get_buttons(); dy = get_dy(); — the
+ * index pre-actions, masks and shifts all live in the specification.
+ */
+
+#define MOUSE_SIG_BYTE 165
+
+int mouse_init(void)
+{
+    //@hw
+    set_signature(MOUSE_SIG_BYTE);
+    if (get_signature() != MOUSE_SIG_BYTE) {
+        printk("busmouse: no adapter found");
+        return 1;
+    }
+    set_config(CONFIGURATION);
+    set_interrupt(ENABLE);
+    //@endhw
+    printk("busmouse: adapter configured");
+    return 0;
+}
+
+/* Poll the counters: dx in the low byte, dy in the second byte, buttons
+ * in the third. */
+int mouse_poll(void)
+{
+    int dx;
+    int dy;
+    int b;
+    //@hw
+    dx = get_dx();
+    dy = get_dy();
+    b = get_buttons();
+    //@endhw
+    return (dx & 0xff) | ((dy & 0xff) << 8) | (b << 16);
+}

@@ -1,0 +1,165 @@
+/*
+ * ide_c.c — traditional hand-written IDE disk driver.
+ *
+ * Hardware operating code (port numbers, status masks, the four-way LBA
+ * split) is marked with the //@hw tags the mutation methodology of the
+ * paper requires. Everything the Devil re-engineering would generate is
+ * written out by hand here: busy-waits on the status byte, the task-file
+ * register protocol, and word-at-a-time PIO through the data port.
+ */
+
+//@hw
+#define IDE_DATA     0x1f0
+#define IDE_ERROR    0x1f1
+#define IDE_NSECTOR  0x1f2
+#define IDE_SECTOR   0x1f3
+#define IDE_LCYL     0x1f4
+#define IDE_HCYL     0x1f5
+#define IDE_SELECT   0x1f6
+#define IDE_STATUS   0x1f7
+#define IDE_COMMAND  0x1f7
+#define IDE_CONTROL  0x3f6
+
+#define ST_ERROR     0x01
+#define ST_DRQ       0x08
+#define ST_WFAULT    0x20
+#define ST_READY     0x40
+#define ST_BUSY      0x80
+
+#define WIN_RESTORE  0x10
+#define WIN_READ     0x20
+#define WIN_WRITE    0x30
+#define WIN_IDENTIFY 0xec
+
+#define SEL_DEFAULT  0xa0
+#define SEL_LBA      0xe0
+
+#define CTL_RESET    0x0a
+#define CTL_IRQOFF   0x02
+
+#define IDE_TIMEOUT  20000
+//@endhw
+
+/* Unbounded wait for the controller to leave the busy phase, exactly as
+ * the era's drivers spelled it. */
+static void wait_not_busy(void)
+{
+    //@hw
+    while (inb(IDE_STATUS) & ST_BUSY) {
+    }
+    //@endhw
+}
+
+/* Bounded wait for drive-ready; a drive that never comes ready is a
+ * configuration error the driver reports. */
+static int wait_ready(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < IDE_TIMEOUT; t++) {
+        if (inb(IDE_STATUS) & ST_READY)
+            return 0;
+    }
+    //@endhw
+    return 1;
+}
+
+/* Bounded wait for the data-request phase of a transfer. */
+static int wait_drq(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < IDE_TIMEOUT; t++) {
+        if (inb(IDE_STATUS) & ST_DRQ)
+            return 0;
+    }
+    //@endhw
+    return 1;
+}
+
+int ide_init(void)
+{
+    int i;
+    int w;
+    //@hw
+    outb(CTL_RESET, IDE_CONTROL);
+    udelay(50);
+    outb(CTL_IRQOFF, IDE_CONTROL);
+    wait_not_busy();
+    outb(SEL_DEFAULT, IDE_SELECT);
+    if (wait_ready()) {
+        printk("ide0: drive not ready");
+        return 1;
+    }
+    outb(WIN_IDENTIFY, IDE_COMMAND);
+    if (wait_drq()) {
+        printk("ide0: identify failed");
+        return 1;
+    }
+    for (i = 0; i < 256; i++) {
+        w = inw(IDE_DATA);
+        kbuf_write16(i + i, w);
+    }
+    //@endhw
+    printk("ide0: drive identified");
+    return 0;
+}
+
+int ide_read_sectors(int lba, int count)
+{
+    int s;
+    int i;
+    int w;
+    //@hw
+    wait_not_busy();
+    outb(SEL_LBA, IDE_SELECT);
+    outb(count, IDE_NSECTOR);
+    outb(lba & 0xff, IDE_SECTOR);
+    outb((lba >> 8) & 0xff, IDE_LCYL);
+    outb((lba >> 16) & 0xff, IDE_HCYL);
+    outb(WIN_READ, IDE_COMMAND);
+    for (s = 0; s < count; s++) {
+        if (wait_drq())
+            return 1;
+        for (i = 0; i < 256; i++) {
+            w = inw(IDE_DATA);
+            kbuf_write16((s << 9) + i + i, w);
+        }
+    }
+    //@endhw
+    return 0;
+}
+
+int ide_write_sectors(int lba, int count)
+{
+    int s;
+    int i;
+    int w;
+    //@hw
+    wait_not_busy();
+    outb(SEL_LBA, IDE_SELECT);
+    outb(count, IDE_NSECTOR);
+    outb(lba & 0xff, IDE_SECTOR);
+    outb((lba >> 8) & 0xff, IDE_LCYL);
+    outb((lba >> 16) & 0xff, IDE_HCYL);
+    outb(WIN_WRITE, IDE_COMMAND);
+    for (s = 0; s < count; s++) {
+        if (wait_drq())
+            return 1;
+        for (i = 0; i < 256; i++) {
+            w = kbuf_read16((s << 9) + i + i);
+            outw(w, IDE_DATA);
+        }
+    }
+    wait_not_busy();
+    if (inb(IDE_STATUS) & ST_WFAULT) {
+        printk("ide0: write fault");
+        return 1;
+    }
+    if (inb(IDE_STATUS) & ST_ERROR) {
+        printk("ide0: write error");
+        return 1;
+    }
+    //@endhw
+    return 0;
+}

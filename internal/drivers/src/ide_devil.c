@@ -1,0 +1,137 @@
+/*
+ * ide_devil.c — the IDE driver re-engineered over Devil stubs.
+ *
+ * All hardware knowledge lives in the specification: no port numbers,
+ * no status masks, no LBA splitting. The glue below manipulates typed
+ * device variables (Drive, Busy, Command, Lba, ...) through generated
+ * get_/set_ stubs, compares enumerated values with dil_eq, and moves
+ * sector data with the generated block-transfer stubs.
+ */
+
+#define IDE_TIMEOUT 20000
+
+/* Bounded wait for the controller to leave the busy phase. */
+static int wait_not_busy(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < IDE_TIMEOUT; t++) {
+        if (!dil_eq(get_Busy(), BUSY))
+            return 0;
+    }
+    //@endhw
+    return 1;
+}
+
+/* Bounded wait for drive-ready. */
+static int wait_ready(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < IDE_TIMEOUT; t++) {
+        if (dil_eq(get_Ready(), READY))
+            return 0;
+    }
+    //@endhw
+    return 1;
+}
+
+/* Bounded wait for the data-request phase. */
+static int wait_drq(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < IDE_TIMEOUT; t++) {
+        if (dil_eq(get_DataRequest(), DRQ))
+            return 0;
+    }
+    //@endhw
+    return 1;
+}
+
+/* Post-command status check; the write-fault arm never runs on healthy
+ * hardware. */
+static int end_of_command(void)
+{
+    //@hw
+    if (wait_not_busy())
+        return 1;
+    if (get_WriteFault()) {
+        printk("ide0: write fault");
+        return 1;
+    }
+    if (get_ErrorFlag()) {
+        printk("ide0: command error");
+        return 1;
+    }
+    //@endhw
+    return 0;
+}
+
+int ide_init(void)
+{
+    //@hw
+    set_IrqControl(IRQ_DISABLE);
+    set_SoftReset(ASSERT_RESET);
+    udelay(50);
+    set_SoftReset(RELEASE_RESET);
+    if (wait_not_busy()) {
+        printk("ide0: drive stuck busy");
+        return 1;
+    }
+    set_Drive(MASTER);
+    set_AddressMode(LBA_MODE);
+    if (wait_ready()) {
+        printk("ide0: drive not ready");
+        return 1;
+    }
+    set_Command(CMD_IDENTIFY);
+    if (wait_drq()) {
+        printk("ide0: identify failed");
+        return 1;
+    }
+    get_block_DataWord(0, 256);
+    //@endhw
+    printk("ide0: drive identified");
+    return 0;
+}
+
+int ide_read_sectors(int lba, int count)
+{
+    int s;
+    //@hw
+    if (wait_not_busy())
+        return 1;
+    set_Drive(MASTER);
+    set_AddressMode(LBA_MODE);
+    set_SectorCount(count);
+    set_Lba(lba);
+    set_Command(CMD_READ_SECTORS);
+    for (s = 0; s < count; s++) {
+        if (wait_drq())
+            return 1;
+        get_block_DataWord(s << 9, 256);
+    }
+    //@endhw
+    return 0;
+}
+
+int ide_write_sectors(int lba, int count)
+{
+    int s;
+    //@hw
+    if (wait_not_busy())
+        return 1;
+    set_Drive(MASTER);
+    set_AddressMode(LBA_MODE);
+    set_SectorCount(count);
+    set_Lba(lba);
+    set_Command(CMD_WRITE_SECTORS);
+    for (s = 0; s < count; s++) {
+        if (wait_drq())
+            return 1;
+        set_block_DataWord(s << 9, 256);
+    }
+    //@endhw
+    return end_of_command();
+}

@@ -73,6 +73,17 @@ func NewMachine() (*Machine, error) {
 	}, nil
 }
 
+// Reset returns the machine to its power-on state with a pristine
+// filesystem image: sectors restored in place, controller cold-started,
+// kernel rewound. A campaign worker calls it between boots so the
+// simulated PC and its checksummed disk image are built once per worker
+// instead of once per mutant — the engine's hot-path saving.
+func (m *Machine) Reset() {
+	m.Image.RestoreFrom(m.Pristine)
+	m.Ctrl.Reset()
+	m.Kern.Reset()
+}
+
 // ideSpec caches the compiled IDE specification (it is not mutated in the
 // Table 3/4 experiments).
 var ideSpec = mustCompileIDE()
@@ -184,8 +195,19 @@ func (a *blockAdapter) WriteSectors(lba uint32, data []byte) error {
 	return nil
 }
 
-// Boot compiles and boots one driver build.
+// Boot compiles and boots one driver build on a freshly built machine.
 func Boot(input BootInput) (*BootResult, error) {
+	return boot(nil, input)
+}
+
+// BootOn compiles and boots one driver build on m, which must be freshly
+// built or Reset. Campaign workers use it to amortise machine
+// construction across boots.
+func BootOn(m *Machine, input BootInput) (*BootResult, error) {
+	return boot(m, input)
+}
+
+func boot(m *Machine, input BootInput) (*BootResult, error) {
 	res := &BootResult{}
 
 	// Phase 1: "compilation" — parse plus type check.
@@ -197,9 +219,12 @@ func Boot(input BootInput) (*BootResult, error) {
 		return res, nil
 	}
 
-	m, err := NewMachine()
-	if err != nil {
-		return nil, err
+	if m == nil {
+		var err error
+		m, err = NewMachine()
+		if err != nil {
+			return nil, err
+		}
 	}
 	if input.Budget > 0 {
 		m.Kern.SetBudget(input.Budget)
@@ -212,6 +237,7 @@ func Boot(input BootInput) (*BootResult, error) {
 		if mode == 0 {
 			mode = codegen.Debug
 		}
+		var err error
 		stubs, err = m.IDEStubs(mode)
 		if err != nil {
 			return nil, err

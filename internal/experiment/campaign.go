@@ -1,0 +1,273 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/devil/codegen"
+	"repro/internal/drivers"
+	"repro/internal/hw"
+	"repro/internal/mutation/cmut"
+)
+
+// This file binds the generic campaign engine (internal/campaign) to the
+// repository's drivers: how a spec expands into an enumerated, sampled
+// work-list, and how one task boots. The in-memory table entry points
+// (Table3/Table4/MouseMutation) are thin wrappers that run a one-driver
+// campaign against an in-memory store, so the serial paths and the
+// sharded, persisted `driverlab campaign` paths share every line of
+// execution logic and aggregate to identical tables.
+
+// CampaignSpec translates the historical MutationOptions form into a
+// one-driver campaign spec.
+func CampaignSpec(driver string, opts MutationOptions) campaign.Spec {
+	return campaign.Spec{
+		Name:       "inline",
+		Drivers:    []string{driver},
+		SamplePct:  opts.SamplePct,
+		Seed:       opts.Seed,
+		StubMode:   stubModeName(opts.StubMode),
+		Permissive: opts.ForcePermissive,
+		Budget:     ExperimentBudget,
+	}
+}
+
+func stubModeName(m codegen.Mode) string {
+	switch m {
+	case codegen.Production:
+		return "production"
+	case codegen.Debug:
+		return "debug"
+	default:
+		return ""
+	}
+}
+
+func stubModeFromName(name string) (codegen.Mode, error) {
+	switch name {
+	case "", "debug":
+		return codegen.Debug, nil
+	case "production":
+		return codegen.Production, nil
+	default:
+		return 0, fmt.Errorf("unknown stub mode %q", name)
+	}
+}
+
+// TableFromCampaign renders aggregated campaign data as the DriverTable
+// the paper's formatting works on. TotalMutants is the selected
+// population of the spec, so a partial store renders with its gaps
+// visible rather than silently rescaled.
+func TableFromCampaign(d *campaign.TableData) *DriverTable {
+	return &DriverTable{
+		Driver:               d.Driver,
+		Counts:               d.Counts,
+		SiteSets:             d.SiteSets,
+		TotalSites:           d.TotalSites,
+		TotalMutants:         d.Selected,
+		Enumerated:           d.Enumerated,
+		PartitionTableLosses: d.Losses,
+	}
+}
+
+// driverPlan is the cached enumeration of one driver: computed once per
+// workload and shared (read-only) by Expand and every worker.
+type driverPlan struct {
+	src drivers.Source
+	res *cmut.Result
+}
+
+// workload implements campaign.Workload over the embedded driver corpus.
+type workload struct {
+	mu    sync.Mutex
+	plans map[string]*driverPlan
+}
+
+// NewWorkload returns the campaign workload that enumerates and boots
+// this repository's embedded drivers: ide_* through the full simulated
+// PC (with per-worker machine reuse), busmouse_* through the mouse
+// harness.
+func NewWorkload() campaign.Workload {
+	return &workload{plans: make(map[string]*driverPlan)}
+}
+
+func isMouseDriver(driver string) bool { return strings.HasPrefix(driver, "busmouse") }
+
+// plan returns (building on first use) the enumeration of one driver.
+func (w *workload) plan(driver string) (*driverPlan, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if p, ok := w.plans[driver]; ok {
+		return p, nil
+	}
+	src, err := drivers.Load(driver)
+	if err != nil {
+		return nil, err
+	}
+	toks, err := ParseDriver(src.Text)
+	if err != nil {
+		return nil, err
+	}
+	var iface *codegen.Interface
+	if src.Devil {
+		iface, err = w.interfaceFor(driver)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := cmut.Enumerate(toks, cmut.Options{Interface: iface})
+	if err != nil {
+		return nil, fmt.Errorf("driver %s: %w", driver, err)
+	}
+	p := &driverPlan{src: src, res: res}
+	w.plans[driver] = p
+	return p, nil
+}
+
+// interfaceFor builds the stub interface enumeration needs for a CDevil
+// driver (the identifier-mutation pools).
+func (w *workload) interfaceFor(driver string) (*codegen.Interface, error) {
+	if isMouseDriver(driver) {
+		stubs, err := mouseSpec.Generate(codegen.Config{
+			Bus:   hw.NewBus(),
+			Bases: map[string]hw.Port{"base": mouseBase},
+			Mode:  codegen.Debug,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return stubs.Interface(), nil
+	}
+	m, err := NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	stubs, err := m.IDEStubs(codegen.Debug)
+	if err != nil {
+		return nil, err
+	}
+	return stubs.Interface(), nil
+}
+
+// Expand implements campaign.Workload.
+func (w *workload) Expand(spec campaign.Spec) ([]campaign.Meta, []campaign.Task, error) {
+	if _, err := stubModeFromName(spec.StubMode); err != nil {
+		return nil, nil, err
+	}
+	var metas []campaign.Meta
+	var tasks []campaign.Task
+	for _, driver := range spec.Drivers {
+		p, err := w.plan(driver)
+		if err != nil {
+			return nil, nil, err
+		}
+		selected := selectMutants(len(p.res.Mutants), MutationOptions{
+			SamplePct: spec.SamplePct, Seed: spec.Seed,
+		})
+		metas = append(metas, campaign.Meta{
+			Driver:     driver,
+			Sites:      len(p.res.Sites),
+			Enumerated: len(p.res.Mutants),
+			Selected:   len(selected),
+		})
+		for _, id := range selected {
+			tasks = append(tasks, campaign.Task{Driver: driver, Mutant: id})
+		}
+	}
+	return metas, tasks, nil
+}
+
+// NewWorker implements campaign.Workload.
+func (w *workload) NewWorker(spec campaign.Spec) (campaign.Worker, error) {
+	mode, err := stubModeFromName(spec.StubMode)
+	if err != nil {
+		return nil, err
+	}
+	return &worker{w: w, spec: spec, mode: mode}, nil
+}
+
+// worker boots tasks on a single goroutine, reusing one simulated PC
+// across every ide_* boot (Reset instead of rebuild).
+type worker struct {
+	w    *workload
+	spec campaign.Spec
+	mode codegen.Mode
+	mach *Machine
+}
+
+// Boot implements campaign.Worker.
+func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
+	p, err := wk.w.plan(t.Driver)
+	if err != nil {
+		return campaign.Outcome{}, err
+	}
+	if t.Mutant < 0 || t.Mutant >= len(p.res.Mutants) {
+		return campaign.Outcome{}, fmt.Errorf("driver %s: mutant %d outside enumeration (%d mutants)",
+			t.Driver, t.Mutant, len(p.res.Mutants))
+	}
+	m := p.res.Mutants[t.Mutant]
+	site := p.res.Sites[m.SiteIndex]
+	input := BootInput{
+		Tokens:     p.res.Apply(m),
+		Devil:      p.src.Devil,
+		StubMode:   wk.mode,
+		Permissive: wk.spec.Permissive,
+		Budget:     wk.spec.Budget,
+	}
+	if input.Budget == 0 {
+		input.Budget = ExperimentBudget
+	}
+
+	var br *BootResult
+	if isMouseDriver(t.Driver) {
+		br, err = BootMouse(input)
+	} else {
+		if wk.mach == nil {
+			wk.mach, err = NewMachine()
+			if err != nil {
+				return campaign.Outcome{}, err
+			}
+		} else {
+			wk.mach.Reset()
+		}
+		br, err = BootOn(wk.mach, input)
+	}
+	if err != nil {
+		// Harness-level failure: classified as a crash, like the in-memory
+		// path always has.
+		return campaign.Outcome{Row: RowCrash, Site: m.SiteIndex}, nil
+	}
+	return campaign.Outcome{
+		Row:   classifyRow(br, site),
+		Site:  m.SiteIndex,
+		Lost:  br.PartitionTableLost,
+		Steps: br.Steps,
+	}, nil
+}
+
+// Close implements campaign.Worker.
+func (wk *worker) Close() { wk.mach = nil }
+
+// RunCampaignTable runs a one-driver campaign against an in-memory store
+// and renders the aggregate — the execution core of every Table 3/4
+// style entry point.
+func RunCampaignTable(driver string, opts MutationOptions) (*DriverTable, error) {
+	spec := CampaignSpec(driver, opts)
+	store := campaign.NewMemStore()
+	if _, err := campaign.Run(spec, NewWorkload(), store, campaign.Options{
+		Workers: opts.Workers,
+	}); err != nil {
+		return nil, err
+	}
+	tables, _, err := campaign.Aggregate(store.Records())
+	if err != nil {
+		return nil, err
+	}
+	t, ok := tables[driver]
+	if !ok {
+		return nil, fmt.Errorf("campaign produced no data for driver %s", driver)
+	}
+	return TableFromCampaign(t), nil
+}

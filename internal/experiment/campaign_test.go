@@ -1,0 +1,190 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/kernel"
+)
+
+// campaignTestSpec keeps the determinism tests affordable: a small,
+// seeded sample of the C IDE driver's mutants.
+func campaignTestSpec() campaign.Spec {
+	s := CampaignSpec("ide_c", MutationOptions{SamplePct: 2, Seed: 7})
+	s.Name = "determinism"
+	s.Shards = 4
+	return s
+}
+
+// renderStore reduces a store to the formatted Table-3 text.
+func renderStore(t *testing.T, st campaign.Store) string {
+	t.Helper()
+	tables, _, err := campaign.Aggregate(st.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := tables["ide_c"]
+	if !ok {
+		t.Fatal("no ide_c data in store")
+	}
+	if !data.Complete() {
+		t.Fatalf("store incomplete: %d/%d", data.Results, data.Selected)
+	}
+	return FormatDriverTable(TableFromCampaign(data), "Table 3")
+}
+
+// TestCampaignDeterminism: the same spec and seed produce byte-identical
+// aggregated tables whether the campaign runs serially, sharded four
+// ways into separate stores and merged, or killed halfway and resumed
+// from the JSONL store.
+func TestCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign determinism test is not short")
+	}
+	spec := campaignTestSpec()
+	wl := NewWorkload()
+
+	// Serial reference run (one worker, one shard selection: everything).
+	serial := campaign.NewMemStore()
+	if _, err := campaign.Run(spec, wl, serial, campaign.Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := renderStore(t, serial)
+
+	// Sharded: each shard runs into its own file store; merge and compare.
+	dir := t.TempDir()
+	var stores []campaign.Store
+	for sh := 0; sh < spec.Shards; sh++ {
+		st, err := campaign.OpenFile(filepath.Join(dir, "shard.jsonl"+string(rune('0'+sh))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		if _, err := campaign.Run(spec, wl, st, campaign.Options{Shards: []int{sh}}); err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, st)
+	}
+	merged, err := campaign.OpenFile(filepath.Join(dir, "merged.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if err := campaign.Merge(merged, stores...); err != nil {
+		t.Fatal(err)
+	}
+	if got := renderStore(t, merged); got != want {
+		t.Errorf("sharded+merged table differs from serial:\n--- serial\n%s\n--- sharded\n%s", want, got)
+	}
+
+	// Interrupted: keep only a prefix of the serial store (as a kill mid-
+	// run would), resume, and compare.
+	interrupted, err := campaign.OpenFile(filepath.Join(dir, "interrupted.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer interrupted.Close()
+	recs := serial.Records()
+	for _, r := range recs[:len(recs)/2] {
+		if err := interrupted.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := campaign.Run(spec, wl, interrupted, campaign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ran == 0 {
+		t.Fatal("resume booted nothing; the interruption was not simulated")
+	}
+	if got := renderStore(t, interrupted); got != want {
+		t.Errorf("resumed table differs from serial:\n--- serial\n%s\n--- resumed\n%s", want, got)
+	}
+}
+
+// TestMachineReuseMatchesFreshBoots: booting through a Reset machine
+// must classify identically to booting on a fresh machine — the
+// machine-reuse fast path may not leak state between boots.
+func TestMachineReuseMatchesFreshBoots(t *testing.T) {
+	wl := NewWorkload().(*workload)
+	p, err := wl.plan("ide_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	selected := selectMutants(len(p.res.Mutants), MutationOptions{SamplePct: 1, Seed: 3})
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range selected {
+		mut := p.res.Mutants[id]
+		input := BootInput{Tokens: p.res.Apply(mut), Budget: ExperimentBudget}
+		fresh, err := Boot(input)
+		if err != nil {
+			t.Fatalf("mutant %d: fresh boot: %v", id, err)
+		}
+		m.Reset()
+		reused, err := BootOn(m, input)
+		if err != nil {
+			t.Fatalf("mutant %d: reused boot: %v", id, err)
+		}
+		site := p.res.Sites[mut.SiteIndex]
+		if classifyRow(fresh, site) != classifyRow(reused, site) {
+			t.Errorf("mutant %d: fresh=%s reused=%s", id,
+				classifyRow(fresh, site), classifyRow(reused, site))
+		}
+		if fresh.PartitionTableLost != reused.PartitionTableLost {
+			t.Errorf("mutant %d: partition-loss divergence", id)
+		}
+	}
+}
+
+// TestMachineResetRestoresCleanBoot: after a damaging boot, Reset must
+// return the machine to a state where the clean driver boots cleanly.
+func TestMachineResetRestoresCleanBoot(t *testing.T) {
+	m, err := NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scribble over the image and wedge the controller state, then Reset.
+	for _, s := range m.Image.Sectors {
+		for i := range s {
+			s[i] = 0xaa
+		}
+	}
+	m.Kern.Printk("stale console line")
+	m.Kern.SetBudget(1)
+	m.Reset()
+
+	src := mustLoadDriver(t, "ide_c")
+	toks, err := ParseDriver(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BootOn(m, BootInput{Tokens: toks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != kernel.OutcomeBoot {
+		t.Fatalf("clean boot on reset machine: %v (%v)", res.Outcome, res.RunErr)
+	}
+	if len(res.DamagedSectors) != 0 || res.PartitionTableLost {
+		t.Errorf("audit found damage after Reset: %v", res.DamagedSectors)
+	}
+	for _, line := range res.Console {
+		if line == "stale console line" {
+			t.Error("console not cleared by Reset")
+		}
+	}
+}
+
+func mustLoadDriver(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "drivers", "src", name+".c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

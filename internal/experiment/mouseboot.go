@@ -160,20 +160,9 @@ func runMouseBoot(kern *kernel.Kernel, mouse *busmouse.Mouse, in *cinterp.Interp
 }
 
 // MouseMutation runs the driver-mutation experiment for a busmouse driver
-// ("busmouse_c" or "busmouse_devil").
+// ("busmouse_c" or "busmouse_devil"). It is DriverMutation under a
+// historical name: the campaign workload routes busmouse_* tasks to the
+// mouse harness by driver name.
 func MouseMutation(driver string, opts MutationOptions) (*DriverTable, error) {
-	return runDriverMutation(driver, opts, func(input BootInput) (*BootResult, error) {
-		return BootMouse(input)
-	}, func() (*codegen.Interface, error) {
-		bus := hw.NewBus()
-		stubs, err := mouseSpec.Generate(devil.Config{
-			Bus:   bus,
-			Bases: map[string]hw.Port{"base": mouseBase},
-			Mode:  codegen.Debug,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return stubs.Interface(), nil
-	})
+	return DriverMutation(driver, opts)
 }

@@ -2,13 +2,11 @@ package experiment
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/devil/codegen"
-	"repro/internal/drivers"
 	"repro/internal/kernel"
 	"repro/internal/mutation"
 	"repro/internal/mutation/cmut"
@@ -163,93 +161,14 @@ func Table4(opts MutationOptions) (*DriverTable, error) {
 	return DriverMutation("ide_devil", opts)
 }
 
-// DriverMutation runs the full per-driver mutation experiment for the IDE
-// driver pair.
+// DriverMutation runs the full per-driver mutation experiment (any
+// embedded driver — the workload routes ide_* to the full machine and
+// busmouse_* to the mouse harness) as a one-driver campaign against an
+// in-memory store, so the serial tables and the sharded, persisted
+// `driverlab campaign` runs share execution and aggregation logic end
+// to end.
 func DriverMutation(driver string, opts MutationOptions) (*DriverTable, error) {
-	return runDriverMutation(driver, opts, Boot, func() (*codegen.Interface, error) {
-		m, err := NewMachine()
-		if err != nil {
-			return nil, err
-		}
-		stubs, err := m.IDEStubs(codegen.Debug)
-		if err != nil {
-			return nil, err
-		}
-		return stubs.Interface(), nil
-	})
-}
-
-// runDriverMutation is the generic per-driver mutation experiment: it
-// enumerates mutants of the named driver, boots a (sampled) subset through
-// bootFn, and histograms the outcomes.
-func runDriverMutation(driver string, opts MutationOptions,
-	bootFn func(BootInput) (*BootResult, error),
-	ifaceFn func() (*codegen.Interface, error)) (*DriverTable, error) {
-	src, err := drivers.Load(driver)
-	if err != nil {
-		return nil, err
-	}
-	toks, err := ParseDriver(src.Text)
-	if err != nil {
-		return nil, err
-	}
-	var iface *codegen.Interface
-	if src.Devil {
-		iface, err = ifaceFn()
-		if err != nil {
-			return nil, err
-		}
-	}
-	res, err := cmut.Enumerate(toks, cmut.Options{Interface: iface})
-	if err != nil {
-		return nil, fmt.Errorf("driver %s: %w", driver, err)
-	}
-
-	selected := selectMutants(len(res.Mutants), opts)
-	table := &DriverTable{
-		Driver:       driver,
-		Counts:       make(map[string]int),
-		SiteSets:     make(map[string]map[int]bool),
-		TotalSites:   len(res.Sites),
-		TotalMutants: len(selected),
-		Enumerated:   len(res.Mutants),
-	}
-
-	type verdict struct {
-		row  string
-		site int
-		lost bool
-	}
-	verdicts := make([]verdict, len(selected))
-	parallelDo(len(selected), opts.Workers, func(i int) {
-		m := res.Mutants[selected[i]]
-		site := res.Sites[m.SiteIndex]
-		input := BootInput{
-			Tokens:     res.Apply(m),
-			Devil:      src.Devil,
-			StubMode:   opts.StubMode,
-			Permissive: opts.ForcePermissive,
-			Budget:     ExperimentBudget,
-		}
-		br, err := bootFn(input)
-		if err != nil {
-			verdicts[i] = verdict{row: RowCrash, site: m.SiteIndex}
-			return
-		}
-		verdicts[i] = verdict{row: classifyRow(br, site), site: m.SiteIndex,
-			lost: br.PartitionTableLost}
-	})
-	for _, v := range verdicts {
-		table.Counts[v.row]++
-		if table.SiteSets[v.row] == nil {
-			table.SiteSets[v.row] = make(map[int]bool)
-		}
-		table.SiteSets[v.row][v.site] = true
-		if v.lost {
-			table.PartitionTableLosses++
-		}
-	}
-	return table, nil
+	return RunCampaignTable(driver, opts)
 }
 
 // classifyRow maps a boot result to its table row, applying the dead-code
@@ -294,10 +213,11 @@ func selectMutants(n int, opts MutationOptions) []int {
 	return mutation.Sample(n, k, opts.Seed)
 }
 
-// parallelCount runs pred over [0,n) on all cores and counts true results.
+// parallelCount runs pred over [0,n) on all cores and counts true results,
+// delegating the fan-out to the campaign engine's pool primitive.
 func parallelCount(n int, pred func(i int) bool) int {
 	results := make([]bool, n)
-	parallelDo(n, 0, func(i int) { results[i] = pred(i) })
+	campaign.ParallelDo(n, 0, func(i int) { results[i] = pred(i) })
 	count := 0
 	for _, b := range results {
 		if b {
@@ -305,38 +225,6 @@ func parallelCount(n int, pred func(i int) bool) int {
 		}
 	}
 	return count
-}
-
-// parallelDo runs fn over [0,n) with a bounded worker pool and waits.
-func parallelDo(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }
 
 // FormatTable2 renders Table 2 in the paper's layout.

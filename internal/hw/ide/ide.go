@@ -151,6 +151,27 @@ func NewController(clock *hw.Clock, disk *Disk) *Controller {
 // Name implements hw.Device.
 func (c *Controller) Name() string { return "ide0" }
 
+// Reset returns the controller to its power-on state: task file cleared,
+// transfer state machine idle, status ready. This is a cold start (for
+// the campaign engine's machine-reuse path), not an ATA soft reset — the
+// latter goes through the device-control register and loads the reset
+// signature.
+func (c *Controller) Reset() {
+	c.feature, c.sectorCount, c.sectorNumber = 0, 0, 0
+	c.cylLow, c.cylHigh, c.driveHead = 0, 0, 0
+	c.errorReg = 0
+	c.devControl = 0
+	c.status = StatusReady | StatusSeekDone
+	c.state = stateIdle
+	c.pending = opNone
+	c.busyUntil = 0
+	c.bufPos = 0
+	c.curLBA = 0
+	c.sectorsLeft = 0
+	c.writing = false
+	c.resetting = false
+}
+
 // Disk returns the attached master disk.
 func (c *Controller) Disk() *Disk { return c.disk }
 

@@ -157,6 +157,17 @@ func BuildImage(files []File, partStart uint32) (*FSImage, error) {
 	return img, nil
 }
 
+// RestoreFrom copies the sector contents of src into img in place. Both
+// images must share a layout (src is normally the pristine Clone taken at
+// build time); restoring reuses every allocation, which is what makes
+// machine reuse cheaper than rebuilding and re-checksumming a new image
+// per boot.
+func (img *FSImage) RestoreFrom(src *FSImage) {
+	for i, s := range src.Sectors {
+		copy(img.Sectors[i], s)
+	}
+}
+
 // Clone deep-copies the image (the pristine snapshot kept for the audit).
 func (img *FSImage) Clone() *FSImage {
 	c := &FSImage{

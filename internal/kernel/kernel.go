@@ -64,6 +64,21 @@ func New(clock *hw.Clock) *Kernel {
 // SetBudget overrides the watchdog step budget (tests use small budgets).
 func (k *Kernel) SetBudget(n int64) { k.budget = n }
 
+// Reset returns the kernel to its power-on state — console cleared,
+// watchdog rewound to the default budget, transfer buffer zeroed — so a
+// campaign worker can reuse the kernel across boots instead of allocating
+// a new one per mutant. The clock is shared with the attached device
+// models and deliberately keeps running: devices only measure relative
+// time, so a monotonic clock does not change boot behaviour.
+func (k *Kernel) Reset() {
+	k.console = k.console[:0]
+	k.steps = 0
+	k.budget = DefaultStepBudget
+	for i := range k.buf {
+		k.buf[i] = 0
+	}
+}
+
 // Steps returns the number of steps consumed so far.
 func (k *Kernel) Steps() int64 { return k.steps }
 

@@ -2,7 +2,7 @@
 // the Devil Approach" (Réveillère & Muller, DSN 2001 / INRIA RR-4136) as a
 // self-contained Go library.
 //
-// The system has three layers:
+// The system has four layers:
 //
 //   - The Devil compiler (internal/devil and subpackages): scanner, parser,
 //     the §2.2 consistency checker, and the §2.3 stub generator with
@@ -14,9 +14,19 @@
 //   - The evaluation: the §3 mutation rules (internal/mutation, cmut,
 //     devilmut) and the experiment harness regenerating Tables 1–4 and
 //     Figures 1/3/4 (internal/experiment).
+//   - The campaign engine (internal/campaign): declarative mutation
+//     campaigns expanded into deterministic work-lists, partitioned into
+//     hash-assigned shards, executed on a worker pool with per-worker
+//     machine reuse, and streamed as JSONL records to an append-only
+//     store — so runs persist, resume after interruption, merge across
+//     shards, and re-derive the paper's tables purely from stored
+//     records. The in-memory Table 3/4 paths are thin wrappers over the
+//     same engine.
 //
 // Binaries: cmd/devilc (the compiler), cmd/devilmut (spec mutation),
-// cmd/driverlab (the full evaluation). Runnable walkthroughs live under
+// cmd/driverlab (the full evaluation, including the `driverlab campaign`
+// run/resume/merge/report subcommands). Runnable walkthroughs live under
 // examples/. The benchmark harness in bench_test.go regenerates each table
-// and figure under `go test -bench`.
+// and figure under `go test -bench`, and reports campaign throughput in
+// boots per second.
 package repro
