@@ -276,9 +276,10 @@ func BenchmarkDevilMutantCheck(b *testing.B) {
 }
 
 // BenchmarkCampaignThroughput measures end-to-end campaign execution —
-// enumeration amortised, per-worker machine reuse, JSONL-shaped records
-// into an in-memory store — and reports boots per second, the headline
-// throughput number of the batch engine.
+// enumeration amortised, per-worker machine/stub/env reuse, the compiled
+// execution backend, JSONL-shaped records into an in-memory store — and
+// reports boots per second, the headline throughput number of the batch
+// engine.
 func BenchmarkCampaignThroughput(b *testing.B) {
 	for _, driver := range []string{"ide_c", "ide_devil"} {
 		driver := driver
@@ -297,6 +298,30 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(boots)/b.Elapsed().Seconds(), "boots/s")
 			b.ReportMetric(float64(boots)/float64(b.N), "boots/op")
+		})
+	}
+}
+
+// BenchmarkBackendComparison pits the compiled execution backend against
+// the tree-walking reference oracle on the same campaign, isolating the
+// win of closure compilation from the rest of the engine.
+func BenchmarkBackendComparison(b *testing.B) {
+	for _, backend := range []experiment.Backend{experiment.BackendCompiled, experiment.BackendInterp} {
+		backend := backend
+		b.Run(string(backend), func(b *testing.B) {
+			wl := experiment.NewWorkload()
+			spec := experiment.CampaignSpec("ide_devil",
+				experiment.MutationOptions{SamplePct: 2, Seed: 2001, Backend: backend})
+			boots := 0
+			for i := 0; i < b.N; i++ {
+				store := campaign.NewMemStore()
+				sum, err := campaign.Run(spec, wl, store, campaign.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				boots += sum.Ran
+			}
+			b.ReportMetric(float64(boots)/b.Elapsed().Seconds(), "boots/s")
 		})
 	}
 }

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/experiment"
+)
+
+// BenchDriver is the measured throughput of one driver's campaign.
+type BenchDriver struct {
+	Driver        string  `json:"driver"`
+	Boots         int     `json:"boots"`
+	ElapsedSec    float64 `json:"elapsed_s"`
+	BootsPerSec   float64 `json:"boots_per_s"`
+	AllocsPerBoot float64 `json:"allocs_per_boot"`
+	BytesPerBoot  float64 `json:"bytes_per_boot"`
+}
+
+// BenchReport is the JSON shape of BENCH_campaign.json: one campaign
+// throughput measurement per driver plus the aggregate, keyed by the
+// exact configuration so numbers are comparable across PRs.
+type BenchReport struct {
+	Bench      string        `json:"bench"`
+	Backend    string        `json:"backend"`
+	SamplePct  int           `json:"sample_pct"`
+	Seed       uint64        `json:"seed"`
+	Workers    int           `json:"workers"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Drivers    []BenchDriver `json:"drivers"`
+	Total      BenchDriver   `json:"total"`
+}
+
+// runBench measures end-to-end campaign throughput — the boots/s number
+// every future scenario multiplies against — and optionally persists it.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("driverlab bench", flag.ContinueOnError)
+	driversFlag := fs.String("drivers", "ide_c,ide_devil", "comma-separated driver list to measure")
+	sample := fs.Int("sample", 2, "percentage of mutants to boot per driver")
+	seed := fs.Uint64("seed", 2001, "sampling seed")
+	backendFlag := fs.String("backend", "", "hwC execution backend: compiled (default) or interp")
+	workers := fs.Int("workers", 0, "boot worker count (default: GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "write the report to -out as JSON")
+	out := fs.String("out", "BENCH_campaign.json", "report path for -json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backend, err := experiment.ParseBackend(*backendFlag)
+	if err != nil {
+		return err
+	}
+
+	report := BenchReport{
+		Bench:      "campaign",
+		Backend:    string(backend),
+		SamplePct:  *sample,
+		Seed:       *seed,
+		Workers:    *workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	wl := experiment.NewWorkload()
+	for _, driver := range strings.Split(*driversFlag, ",") {
+		driver = strings.TrimSpace(driver)
+		if driver == "" {
+			continue
+		}
+		opts := experiment.MutationOptions{SamplePct: *sample, Seed: *seed, Backend: backend}
+		spec := experiment.CampaignSpec(driver, opts)
+		spec.Name = "bench"
+
+		// Warm the per-campaign caches (enumeration, spec compilation) so
+		// the measurement is the steady-state hot path.
+		if _, _, err := wl.Expand(spec); err != nil {
+			return err
+		}
+
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		store := campaign.NewMemStore()
+		sum, err := campaign.Run(spec, wl, store, campaign.Options{Workers: *workers})
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", driver, err)
+		}
+		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+
+		boots := sum.Ran
+		d := BenchDriver{
+			Driver:     driver,
+			Boots:      boots,
+			ElapsedSec: elapsed,
+		}
+		if boots > 0 && elapsed > 0 {
+			d.BootsPerSec = float64(boots) / elapsed
+			d.AllocsPerBoot = float64(after.Mallocs-before.Mallocs) / float64(boots)
+			d.BytesPerBoot = float64(after.TotalAlloc-before.TotalAlloc) / float64(boots)
+		}
+		report.Drivers = append(report.Drivers, d)
+		report.Total.Boots += boots
+		report.Total.ElapsedSec += elapsed
+		fmt.Printf("bench %-14s %5d boots  %8.1f boots/s  %8.0f allocs/boot  %10.0f B/boot\n",
+			driver, d.Boots, d.BootsPerSec, d.AllocsPerBoot, d.BytesPerBoot)
+	}
+	report.Total.Driver = "total"
+	if report.Total.Boots > 0 && report.Total.ElapsedSec > 0 {
+		report.Total.BootsPerSec = float64(report.Total.Boots) / report.Total.ElapsedSec
+		var allocs, bytes float64
+		for _, d := range report.Drivers {
+			allocs += d.AllocsPerBoot * float64(d.Boots)
+			bytes += d.BytesPerBoot * float64(d.Boots)
+		}
+		report.Total.AllocsPerBoot = allocs / float64(report.Total.Boots)
+		report.Total.BytesPerBoot = bytes / float64(report.Total.Boots)
+	}
+	fmt.Printf("bench %-14s %5d boots  %8.1f boots/s  %8.0f allocs/boot  %10.0f B/boot\n",
+		"total", report.Total.Boots, report.Total.BootsPerSec,
+		report.Total.AllocsPerBoot, report.Total.BytesPerBoot)
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench report written to %s\n", *out)
+	}
+	return nil
+}

@@ -73,7 +73,7 @@ func campaignRun(args []string, resume bool) error {
 	shard := fs.String("shard", "", "comma-separated shard indices to run (default: all)")
 	workers := fs.Int("workers", 0, "boot worker count (default: GOMAXPROCS)")
 	quiet := fs.Bool("quiet", false, "suppress live progress")
-	var name, driversFlag, stub *string
+	var name, driversFlag, stub, backend *string
 	var sample, shards *int
 	var seed *uint64
 	var permissive *bool
@@ -86,6 +86,7 @@ func campaignRun(args []string, resume bool) error {
 		shards = fs.Int("shards", 1, "shard count the work-list partitions into")
 		stub = fs.String("stub", "", "Devil stub mode: debug (default) or production")
 		permissive = fs.Bool("permissive", false, "downgrade CDevil typing to plain C rules")
+		backend = fs.String("backend", "", "hwC execution backend: compiled (default) or interp")
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +123,12 @@ func campaignRun(args []string, resume bool) error {
 				driverList = append(driverList, d)
 			}
 		}
+		// Aliases of the same engine ("tree", "compiled" vs "") are
+		// canonicalized by Spec.Normalized, so they fingerprint the same;
+		// here only validity is checked.
+		if _, err := experiment.ParseBackend(*backend); err != nil {
+			return err
+		}
 		spec = campaign.Spec{
 			Name:       *name,
 			Drivers:    driverList,
@@ -130,6 +137,7 @@ func campaignRun(args []string, resume bool) error {
 			Shards:     *shards,
 			StubMode:   *stub,
 			Permissive: *permissive,
+			Backend:    *backend,
 		}
 	}
 

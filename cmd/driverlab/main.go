@@ -12,7 +12,9 @@
 //	driverlab -ablation       the weak-typing and production-mode ablations
 //
 // Sampling: -sample selects the percentage of driver mutants booted (the
-// paper used 25); -seed makes the selection reproducible.
+// paper used 25); -seed makes the selection reproducible. -backend forces
+// the hwC execution engine: the closure-compiled hot path (default) or
+// the tree-walking reference interpreter.
 //
 // Campaigns — sharded, resumable, persisted mutation runs — live under
 // the campaign subcommand:
@@ -21,6 +23,12 @@
 //	driverlab campaign resume -store c.jsonl
 //	driverlab campaign merge  -out merged.jsonl shard0.jsonl shard1.jsonl
 //	driverlab campaign report -store c.jsonl
+//
+// The bench subcommand measures campaign throughput (boots/s,
+// allocations per boot) and, with -json, emits BENCH_campaign.json so
+// the perf trajectory is tracked across PRs:
+//
+//	driverlab bench -json
 package main
 
 import (
@@ -48,12 +56,16 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "campaign" {
 		return runCampaign(args[1:])
 	}
+	if len(args) > 0 && args[0] == "bench" {
+		return runBench(args[1:])
+	}
 	fs := flag.NewFlagSet("driverlab", flag.ContinueOnError)
 	table := fs.String("table", "", "table to regenerate: 1, 2, 3, 4, 5 (busmouse extension) or all")
 	figure := fs.String("figure", "", "figure to regenerate: 1, 3 or 4")
 	ablation := fs.Bool("ablation", false, "run the design-choice ablations")
 	sample := fs.Int("sample", 25, "percentage of driver mutants to boot (paper: 25)")
 	seed := fs.Uint64("seed", 2001, "sampling seed")
+	backendFlag := fs.String("backend", "", "hwC execution backend: compiled (default) or interp")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,7 +77,11 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown table %q (want 1, 2, 3, 4, 5 or all)", *table)
 	}
-	opts := experiment.MutationOptions{SamplePct: *sample, Seed: *seed}
+	backend, err := experiment.ParseBackend(*backendFlag)
+	if err != nil {
+		return err
+	}
+	opts := experiment.MutationOptions{SamplePct: *sample, Seed: *seed, Backend: backend}
 
 	switch *figure {
 	case "":

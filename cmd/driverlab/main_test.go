@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -50,6 +51,40 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-table", "busmouse"}); err == nil {
 		t.Error("non-numeric table accepted")
+	}
+	if err := run([]string{"-table", "3", "-backend", "jit"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestBenchCLI runs the throughput bench on a small sample and checks
+// the JSON report lands with the advertised fields.
+func TestBenchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench is not short")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_campaign.json")
+	if err := run([]string{"bench", "-drivers", "busmouse_devil", "-sample", "50",
+		"-json", "-out", out}); err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("bench report missing: %v", err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench report is not JSON: %v", err)
+	}
+	if rep.Bench != "campaign" || rep.Backend != "compiled" {
+		t.Errorf("report header = %q/%q, want campaign/compiled", rep.Bench, rep.Backend)
+	}
+	if rep.Total.Boots == 0 || rep.Total.BootsPerSec <= 0 {
+		t.Errorf("report total = %+v, want >0 boots and boots/s", rep.Total)
+	}
+	if err := run([]string{"bench", "-backend", "jit"}); err == nil {
+		t.Error("bench with unknown backend accepted")
 	}
 }
 

@@ -48,15 +48,26 @@ type Spec struct {
 	Permissive bool `json:"permissive,omitempty"`
 	// Budget overrides the per-boot watchdog budget when non-zero.
 	Budget int64 `json:"budget,omitempty"`
+	// Backend forces the hwC execution backend: "" (the compiled default),
+	// "compiled" or "interp" (the tree-walking reference oracle).
+	Backend string `json:"backend,omitempty"`
 }
 
-// Normalized returns the spec with defaults applied.
+// Normalized returns the spec with defaults applied and the backend
+// name canonicalized, so every spelling of the same engine ("" vs
+// "compiled", "tree" vs "interp") expands — and fingerprints — the same.
 func (s Spec) Normalized() Spec {
 	if s.Shards <= 0 {
 		s.Shards = 1
 	}
 	if s.Name == "" {
 		s.Name = "campaign"
+	}
+	switch s.Backend {
+	case "compiled":
+		s.Backend = "" // the default engine
+	case "tree", "interpreter":
+		s.Backend = "interp"
 	}
 	return s
 }

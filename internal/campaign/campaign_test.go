@@ -196,6 +196,29 @@ func TestFingerprintMismatchRejected(t *testing.T) {
 	}
 }
 
+// TestBackendSpellingsFingerprintIdentically: every spelling of the same
+// execution engine must canonicalize to one fingerprint, so a rerun that
+// names the default explicitly (or uses an alias) still resumes.
+func TestBackendSpellingsFingerprintIdentically(t *testing.T) {
+	base := spec2()
+	want := base.Fingerprint()
+	explicit := spec2()
+	explicit.Backend = "compiled"
+	if explicit.Fingerprint() != want {
+		t.Error(`"compiled" fingerprints differently from the "" default`)
+	}
+	interp := spec2()
+	interp.Backend = "interp"
+	tree := spec2()
+	tree.Backend = "tree"
+	if interp.Fingerprint() != tree.Fingerprint() {
+		t.Error(`"tree" fingerprints differently from "interp"`)
+	}
+	if interp.Fingerprint() == want {
+		t.Error("interp backend fingerprints like the compiled default")
+	}
+}
+
 // TestFileStoreRoundTripAndTornLine: records survive reopen, and a torn
 // final line (the crash artefact) is ignored.
 func TestFileStoreRoundTripAndTornLine(t *testing.T) {

@@ -49,15 +49,25 @@ func (s *MemStore) Append(r Record) error {
 // Close implements Store.
 func (s *MemStore) Close() error { return nil }
 
-// FileStore is the JSONL store: one record per line, appended record by
-// record so a killed campaign loses at most the line being written.
+// flushEvery bounds how many records a crash can lose: the buffered
+// writer is flushed on every flushEvery-th append (a checkpoint) and on
+// Close. Between checkpoints appends cost a buffered memcpy, not a
+// write(2) — the difference is measurable at campaign throughput, where
+// every boot appends one record.
+const flushEvery = 64
+
+// FileStore is the JSONL store: one record per line, encoded straight
+// into a buffered writer that is flushed on checkpoint and Close.
 // OpenFile truncates a torn trailing line (the crash artefact) so that
-// subsequent appends extend the good prefix — the mutant the torn line
-// described simply reruns on resume.
+// subsequent appends extend the good prefix — the mutants the torn or
+// unflushed tail described simply rerun on resume.
 type FileStore struct {
-	mu   sync.Mutex
-	f    *os.File
-	recs []Record
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	enc     *json.Encoder
+	pending int // appends since the last flush
+	recs    []Record
 }
 
 // OpenFile opens (or creates) a JSONL store at path and loads every
@@ -112,6 +122,8 @@ func OpenFile(path string) (*FileStore, error) {
 		f.Close()
 		return nil, fmt.Errorf("campaign store %s: %w", path, err)
 	}
+	s.w = bufio.NewWriter(f)
+	s.enc = json.NewEncoder(s.w)
 	return s, nil
 }
 
@@ -124,30 +136,63 @@ func (s *FileStore) Records() []Record {
 	return out
 }
 
-// Append implements Store: one JSON line per record, written atomically
-// with respect to other Append calls.
+// Append implements Store: one JSON line per record, encoded into the
+// buffered writer atomically with respect to other Append calls. The
+// encoder terminates every record with '\n', preserving the JSONL
+// framing the torn-line recovery depends on.
 func (s *FileStore) Append(r Record) error {
-	data, err := json.Marshal(r)
-	if err != nil {
-		return fmt.Errorf("campaign store: marshal: %w", err)
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.f.Write(append(data, '\n')); err != nil {
+	if s.f == nil {
+		return fmt.Errorf("campaign store: append after Close")
+	}
+	if err := s.enc.Encode(r); err != nil {
 		return fmt.Errorf("campaign store: append: %w", err)
 	}
+	// The record is in the buffer and may still reach the file on a later
+	// flush, so mirror it in memory even if this checkpoint flush fails —
+	// Records() must never under-report what the file can hold.
 	s.recs = append(s.recs, r)
+	s.pending++
+	if s.pending >= flushEvery {
+		if err := s.flushLocked(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// Close implements Store.
+// Flush forces buffered records to the operating system — the explicit
+// checkpoint between the periodic ones.
+func (s *FileStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("campaign store: flush after Close")
+	}
+	return s.flushLocked()
+}
+
+func (s *FileStore) flushLocked() error {
+	s.pending = 0
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("campaign store: flush: %w", err)
+	}
+	return nil
+}
+
+// Close implements Store, flushing buffered records first.
 func (s *FileStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
 		return nil
 	}
+	ferr := s.flushLocked()
 	err := s.f.Close()
 	s.f = nil
+	if err == nil {
+		err = ferr
+	}
 	return err
 }

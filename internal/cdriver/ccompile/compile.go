@@ -1,0 +1,619 @@
+package ccompile
+
+import (
+	"fmt"
+
+	"repro/internal/cdriver/cast"
+	"repro/internal/cdriver/cinterp"
+	"repro/internal/cdriver/ctoken"
+	"repro/internal/devil/codegen"
+	"repro/internal/kernel"
+)
+
+// globalRef is the compile-time view of one file-scope variable.
+type globalRef struct {
+	ord  int // declaration order (for the declsReady guard)
+	slot int
+	typ  cast.CType
+}
+
+// macroRef is the compile-time view of one macro.
+type macroRef struct {
+	ord  int
+	decl *cast.MacroDecl
+}
+
+// localSlot is the compile-time view of one local variable.
+type localSlot struct {
+	idx int
+	typ cast.CType
+}
+
+// compiler holds the one-pass compilation state.
+type compiler struct {
+	prog    *cast.Program
+	stubs   *codegen.Stubs
+	varSigs map[string]codegen.VarSig
+
+	funcIdx   map[string]int
+	funcs     []*cfunc
+	funcDecls []*cast.FuncDecl
+
+	globalIdx   map[string]globalRef
+	globalTypes []cast.CType
+
+	macros     map[string]macroRef
+	macroStack []string
+
+	// Per-function compile state: lexical scopes mapping names to frame
+	// slots, and the slot high-water mark.
+	scopes []map[string]localSlot
+	nslots int
+
+	maxSlots int
+	maxLine  int
+	err      error
+}
+
+// line records a source line for coverage sizing and returns it.
+func (c *compiler) line(pos ctoken.Pos) int {
+	if pos.Line > c.maxLine {
+		c.maxLine = pos.Line
+	}
+	return pos.Line
+}
+
+func (c *compiler) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *compiler) pushScope() { c.scopes = append(c.scopes, make(map[string]localSlot)) }
+func (c *compiler) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+// declareLocal assigns the next frame slot to a name in the top scope.
+func (c *compiler) declareLocal(name string, typ cast.CType) int {
+	idx := c.nslots
+	c.nslots++
+	c.scopes[len(c.scopes)-1][name] = localSlot{idx: idx, typ: typ}
+	return idx
+}
+
+// lookupLocal resolves a name through the lexical scope chain.
+func (c *compiler) lookupLocal(name string) (localSlot, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return localSlot{}, false
+}
+
+// compileFunc fills in a pre-registered cfunc.
+func (c *compiler) compileFunc(f *cfunc, d *cast.FuncDecl) {
+	c.scopes = c.scopes[:0]
+	c.nslots = 0
+	c.pushScope()
+	for _, p := range d.Params {
+		c.declareLocal(p.Name, p.Type)
+		f.params = append(f.params, p.Type)
+	}
+	f.body = c.blockBody(d.Body)
+	c.popScope()
+	f.nslots = c.nslots
+	if c.nslots > c.maxSlots {
+		c.maxSlots = c.nslots
+	}
+}
+
+// blockBody compiles a block's statements under a fresh lexical scope.
+// The caller decides whether the block itself charges a watchdog step
+// (statement blocks do, function bodies do not — as in the interpreter).
+func (c *compiler) blockBody(b *cast.Block) []stmtFn {
+	c.pushScope()
+	out := make([]stmtFn, len(b.Stmts))
+	for i, s := range b.Stmts {
+		out[i] = c.stmt(s)
+	}
+	c.popScope()
+	return out
+}
+
+// runSeq executes a compiled statement sequence with block semantics.
+func runSeq(body []stmtFn, st *state, fr []Value) (flow, Value, error) {
+	for _, sf := range body {
+		fl, v, err := sf(st, fr)
+		if err != nil || fl != flowNormal {
+			return fl, v, err
+		}
+	}
+	return flowNormal, voidValue, nil
+}
+
+// stmt compiles one statement into a closure with the interpreter's
+// execStmt semantics: one watchdog step, the statement's line covered,
+// then the node-specific behaviour.
+func (c *compiler) stmt(s cast.Stmt) stmtFn {
+	line := c.line(s.Pos())
+	switch s := s.(type) {
+	case *cast.Block:
+		body := c.blockBody(s)
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			return runSeq(body, st, fr)
+		}
+
+	case *cast.DeclStmt:
+		d := s.Decl
+		var initFn exprFn
+		if d.Init != nil {
+			initFn = c.expr(d.Init) // compiled before the name is visible
+		}
+		slot := c.declareLocal(d.Name, d.Type)
+		typ := d.Type
+		if initFn != nil {
+			return func(st *state, fr []Value) (flow, Value, error) {
+				if err := st.kern.Step(); err != nil {
+					return flowNormal, voidValue, err
+				}
+				st.cov.Add(line)
+				iv, err := initFn(st, fr)
+				if err != nil {
+					return flowNormal, voidValue, err
+				}
+				fr[slot] = cinterp.Truncate(typ, iv)
+				return flowNormal, voidValue, nil
+			}
+		}
+		def := defaultValue(d.Type)
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			fr[slot] = def
+			return flowNormal, voidValue, nil
+		}
+
+	case *cast.ExprStmt:
+		xf := c.expr(s.X)
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			_, err := xf(st, fr)
+			return flowNormal, voidValue, err
+		}
+
+	case *cast.AssignStmt:
+		return c.assign(s, line)
+
+	case *cast.IncDecStmt:
+		delta := int64(1)
+		if s.Op == ctoken.MinusMinus {
+			delta = -1
+		}
+		store := c.lvalue(s.X)
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			cell, err := store.load(st, fr)
+			if err != nil {
+				return flowNormal, voidValue, err
+			}
+			store.store(st, fr, cinterp.Truncate(store.typ, intValue(cell.I+delta)))
+			return flowNormal, voidValue, nil
+		}
+
+	case *cast.IfStmt:
+		condFn := c.expr(s.Cond)
+		thenFn := c.stmt(s.Then)
+		var elseFn stmtFn
+		if s.Else != nil {
+			elseFn = c.stmt(s.Else)
+		}
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			cond, err := condFn(st, fr)
+			if err != nil {
+				return flowNormal, voidValue, err
+			}
+			if cond.Truthy() {
+				return thenFn(st, fr)
+			}
+			if elseFn != nil {
+				return elseFn(st, fr)
+			}
+			return flowNormal, voidValue, nil
+		}
+
+	case *cast.WhileStmt:
+		condFn := c.expr(s.Cond)
+		bodyFn := c.stmt(s.Body)
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			for {
+				cond, err := condFn(st, fr)
+				if err != nil {
+					return flowNormal, voidValue, err
+				}
+				if !cond.Truthy() {
+					break
+				}
+				fl, v, err := bodyFn(st, fr)
+				if err != nil {
+					return flowNormal, voidValue, err
+				}
+				if fl == flowBreak {
+					break
+				}
+				if fl == flowReturn {
+					return fl, v, nil
+				}
+				if err := st.kern.Step(); err != nil {
+					return flowNormal, voidValue, err
+				}
+			}
+			return flowNormal, voidValue, nil
+		}
+
+	case *cast.DoWhileStmt:
+		bodyFn := c.stmt(s.Body)
+		condFn := c.expr(s.Cond)
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			for {
+				fl, v, err := bodyFn(st, fr)
+				if err != nil {
+					return flowNormal, voidValue, err
+				}
+				if fl == flowBreak {
+					break
+				}
+				if fl == flowReturn {
+					return fl, v, nil
+				}
+				cond, err := condFn(st, fr)
+				if err != nil {
+					return flowNormal, voidValue, err
+				}
+				if !cond.Truthy() {
+					break
+				}
+				if err := st.kern.Step(); err != nil {
+					return flowNormal, voidValue, err
+				}
+			}
+			return flowNormal, voidValue, nil
+		}
+
+	case *cast.ForStmt:
+		c.pushScope() // the init declaration's scope, as in the interpreter
+		var initFn stmtFn
+		if s.Init != nil {
+			initFn = c.stmt(s.Init)
+		}
+		var condFn exprFn
+		if s.Cond != nil {
+			condFn = c.expr(s.Cond)
+		}
+		var postFn stmtFn
+		if s.Post != nil {
+			postFn = c.stmt(s.Post)
+		}
+		bodyFn := c.stmt(s.Body)
+		c.popScope()
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			if initFn != nil {
+				if fl, v, err := initFn(st, fr); err != nil || fl != flowNormal {
+					return fl, v, err
+				}
+			}
+			for {
+				if condFn != nil {
+					cond, err := condFn(st, fr)
+					if err != nil {
+						return flowNormal, voidValue, err
+					}
+					if !cond.Truthy() {
+						break
+					}
+				}
+				fl, v, err := bodyFn(st, fr)
+				if err != nil {
+					return flowNormal, voidValue, err
+				}
+				if fl == flowBreak {
+					break
+				}
+				if fl == flowReturn {
+					return fl, v, nil
+				}
+				if postFn != nil {
+					if fl, v, err := postFn(st, fr); err != nil || fl == flowReturn {
+						return fl, v, err
+					}
+				}
+				if err := st.kern.Step(); err != nil {
+					return flowNormal, voidValue, err
+				}
+			}
+			return flowNormal, voidValue, nil
+		}
+
+	case *cast.SwitchStmt:
+		return c.switchStmt(s, line)
+
+	case *cast.BreakStmt:
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			return flowBreak, voidValue, nil
+		}
+
+	case *cast.ContinueStmt:
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			return flowContinue, voidValue, nil
+		}
+
+	case *cast.ReturnStmt:
+		if s.X == nil {
+			return func(st *state, fr []Value) (flow, Value, error) {
+				if err := st.kern.Step(); err != nil {
+					return flowNormal, voidValue, err
+				}
+				st.cov.Add(line)
+				return flowReturn, voidValue, nil
+			}
+		}
+		xf := c.expr(s.X)
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			v, err := xf(st, fr)
+			if err != nil {
+				return flowNormal, voidValue, err
+			}
+			return flowReturn, v, nil
+		}
+	}
+
+	// Unknown statement kinds execute as a charged no-op, exactly like
+	// the interpreter's execStmt default.
+	return func(st *state, fr []Value) (flow, Value, error) {
+		if err := st.kern.Step(); err != nil {
+			return flowNormal, voidValue, err
+		}
+		st.cov.Add(line)
+		return flowNormal, voidValue, nil
+	}
+}
+
+// cclause is one compiled switch arm.
+type cclause struct {
+	vals      []exprFn
+	caseLine  int
+	body      []stmtFn
+	isDefault bool
+}
+
+func (c *compiler) switchStmt(s *cast.SwitchStmt, line int) stmtFn {
+	tagFn := c.expr(s.Tag)
+	clauses := make([]*cclause, len(s.Clauses))
+	for i, cl := range s.Clauses {
+		cc := &cclause{caseLine: c.line(cl.CasePos), isDefault: cl.Values == nil}
+		for _, vx := range cl.Values {
+			cc.vals = append(cc.vals, c.expr(vx))
+		}
+		c.pushScope()
+		for _, st := range cl.Stmts {
+			cc.body = append(cc.body, c.stmt(st))
+		}
+		c.popScope()
+		clauses[i] = cc
+	}
+	return func(st *state, fr []Value) (flow, Value, error) {
+		if err := st.kern.Step(); err != nil {
+			return flowNormal, voidValue, err
+		}
+		st.cov.Add(line)
+		tag, err := tagFn(st, fr)
+		if err != nil {
+			return flowNormal, voidValue, err
+		}
+		var chosen, deflt *cclause
+		for _, cl := range clauses {
+			if cl.isDefault {
+				deflt = cl
+				continue
+			}
+			for _, vf := range cl.vals {
+				v, err := vf(st, fr)
+				if err != nil {
+					return flowNormal, voidValue, err
+				}
+				if v.I == tag.I {
+					chosen = cl
+					break
+				}
+			}
+			if chosen != nil {
+				break
+			}
+		}
+		if chosen == nil {
+			chosen = deflt
+		}
+		if chosen == nil {
+			return flowNormal, voidValue, nil
+		}
+		st.cov.Add(chosen.caseLine)
+		for _, sf := range chosen.body {
+			fl, v, err := sf(st, fr)
+			if err != nil {
+				return flowNormal, voidValue, err
+			}
+			switch fl {
+			case flowBreak:
+				return flowNormal, voidValue, nil
+			case flowReturn, flowContinue:
+				return fl, v, nil
+			}
+		}
+		return flowNormal, voidValue, nil
+	}
+}
+
+// lval is a compiled storage location: local slot, global slot, or the
+// interpreter's undefined-variable fault.
+type lval struct {
+	typ   cast.CType
+	load  func(st *state, fr []Value) (Value, error)
+	store func(st *state, fr []Value, v Value)
+}
+
+// lvalue resolves an assignment target at compile time, reproducing the
+// interpreter's loadSlot chain (locals, then globals, then a crash).
+func (c *compiler) lvalue(id *cast.Ident) *lval {
+	if ls, ok := c.lookupLocal(id.Name); ok {
+		slot := ls.idx
+		return &lval{
+			typ:   ls.typ,
+			load:  func(st *state, fr []Value) (Value, error) { return fr[slot], nil },
+			store: func(st *state, fr []Value, v Value) { fr[slot] = v },
+		}
+	}
+	if g, ok := c.globalIdx[id.Name]; ok {
+		slot, ord, name := g.slot, g.ord, id.Name
+		return &lval{
+			typ: g.typ,
+			load: func(st *state, fr []Value) (Value, error) {
+				if ord >= st.declsReady {
+					return voidValue, undefVarErr(name)
+				}
+				return st.globals[slot], nil
+			},
+			store: func(st *state, fr []Value, v Value) { st.globals[slot] = v },
+		}
+	}
+	name := id.Name
+	return &lval{
+		typ:   cast.CType{Kind: cast.TypeInt},
+		load:  func(st *state, fr []Value) (Value, error) { return voidValue, undefVarErr(name) },
+		store: func(st *state, fr []Value, v Value) {},
+	}
+}
+
+func undefVarErr(name string) error {
+	return &kernel.CrashError{Cause: fmt.Errorf("read of undefined variable %q", name)}
+}
+
+// assign compiles "lhs op rhs" with the interpreter's order: RHS first,
+// then target resolution, then the op-specific store.
+func (c *compiler) assign(s *cast.AssignStmt, line int) stmtFn {
+	rhsFn := c.expr(s.RHS)
+	target := c.lvalue(s.LHS)
+	typ := target.typ
+	if s.Op == ctoken.Assign {
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			rhs, err := rhsFn(st, fr)
+			if err != nil {
+				return flowNormal, voidValue, err
+			}
+			cur, err := target.load(st, fr)
+			if err != nil {
+				return flowNormal, voidValue, err
+			}
+			// Direct assignment: Devil values flow through unchanged.
+			if cur.Kind == cinterp.ValDevil || rhs.Kind == cinterp.ValDevil {
+				target.store(st, fr, rhs)
+			} else {
+				target.store(st, fr, cinterp.Truncate(typ, intValue(rhs.I)))
+			}
+			return flowNormal, voidValue, nil
+		}
+	}
+	var op func(a, b int64) int64
+	switch s.Op {
+	case ctoken.OrAssign:
+		op = func(a, b int64) int64 { return a | b }
+	case ctoken.AndAssign:
+		op = func(a, b int64) int64 { return a & b }
+	case ctoken.XorAssign:
+		op = func(a, b int64) int64 { return a ^ b }
+	case ctoken.ShlAssign:
+		op = func(a, b int64) int64 { return a << uint(b&63) }
+	case ctoken.ShrAssign:
+		op = func(a, b int64) int64 { return a >> uint(b&63) }
+	case ctoken.AddAssign:
+		op = func(a, b int64) int64 { return a + b }
+	case ctoken.SubAssign:
+		op = func(a, b int64) int64 { return a - b }
+	default:
+		badOp := s.Op
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			rhs, err := rhsFn(st, fr)
+			if err != nil {
+				return flowNormal, voidValue, err
+			}
+			if _, err := target.load(st, fr); err != nil {
+				return flowNormal, voidValue, err
+			}
+			_ = rhs
+			return flowNormal, voidValue,
+				&kernel.CrashError{Cause: fmt.Errorf("bad assignment operator %s", badOp)}
+		}
+	}
+	return func(st *state, fr []Value) (flow, Value, error) {
+		if err := st.kern.Step(); err != nil {
+			return flowNormal, voidValue, err
+		}
+		st.cov.Add(line)
+		rhs, err := rhsFn(st, fr)
+		if err != nil {
+			return flowNormal, voidValue, err
+		}
+		cur, err := target.load(st, fr)
+		if err != nil {
+			return flowNormal, voidValue, err
+		}
+		target.store(st, fr, cinterp.Truncate(typ, intValue(op(cur.I, rhs.I))))
+		return flowNormal, voidValue, nil
+	}
+}

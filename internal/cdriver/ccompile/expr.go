@@ -1,0 +1,722 @@
+package ccompile
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cdriver/cast"
+	"repro/internal/cdriver/cinterp"
+	"repro/internal/cdriver/ctoken"
+	"repro/internal/devil/codegen"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+)
+
+// expr compiles one expression into a closure with the interpreter's
+// evalIn semantics: the expression's line is covered first, then the
+// node-specific evaluation runs.
+func (c *compiler) expr(x cast.Expr) exprFn {
+	line := c.line(x.Pos())
+	switch x := x.(type) {
+	case *cast.IntLit:
+		v := intValue(x.Value)
+		return func(st *state, fr []Value) (Value, error) {
+			st.cov.Add(line)
+			return v, nil
+		}
+
+	case *cast.StringLit:
+		v := Value{Kind: cinterp.ValString, S: x.Value}
+		return func(st *state, fr []Value) (Value, error) {
+			st.cov.Add(line)
+			return v, nil
+		}
+
+	case *cast.Ident:
+		return c.ident(x, line)
+
+	case *cast.CallExpr:
+		return c.call(x, line)
+
+	case *cast.UnaryExpr:
+		xf := c.expr(x.X)
+		switch x.Op {
+		case ctoken.Not:
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				v, err := xf(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				if v.Truthy() {
+					return intValue(0), nil
+				}
+				return intValue(1), nil
+			}
+		case ctoken.BitNot:
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				v, err := xf(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				return intValue(^v.I), nil
+			}
+		case ctoken.Sub:
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				v, err := xf(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				return intValue(-v.I), nil
+			}
+		}
+		badOp := x.Op
+		return func(st *state, fr []Value) (Value, error) {
+			st.cov.Add(line)
+			if _, err := xf(st, fr); err != nil {
+				return voidValue, err
+			}
+			return voidValue, &kernel.CrashError{Cause: fmt.Errorf("bad unary operator %s", badOp)}
+		}
+
+	case *cast.BinaryExpr:
+		return c.binary(x, line)
+
+	case *cast.CondExpr:
+		condFn := c.expr(x.Cond)
+		thenFn := c.expr(x.Then)
+		elseFn := c.expr(x.Else)
+		return func(st *state, fr []Value) (Value, error) {
+			st.cov.Add(line)
+			cond, err := condFn(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			if cond.Truthy() {
+				return thenFn(st, fr)
+			}
+			return elseFn(st, fr)
+		}
+
+	case *cast.CastExpr:
+		xf := c.expr(x.X)
+		to := x.To
+		return func(st *state, fr []Value) (Value, error) {
+			st.cov.Add(line)
+			v, err := xf(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return cinterp.Truncate(to, v), nil
+		}
+	}
+
+	// Unknown expression kinds crash exactly like the interpreter.
+	pos := x.Pos()
+	return func(st *state, fr []Value) (Value, error) {
+		st.cov.Add(line)
+		return voidValue, &kernel.CrashError{Cause: fmt.Errorf("unknown expression at %s", pos)}
+	}
+}
+
+// ident compiles an identifier use, resolving it at compile time through
+// the interpreter's evalIdent chain: locals, globals, macros (inlined at
+// the use site, depth-guarded), Devil enum constants, then an undefined
+// fault. Globals and macros carry the declsReady guard so that during
+// global initialisation the not-yet-declared tail of the file is
+// invisible, falling through to the later links of the chain exactly as
+// the interpreter's incrementally filled maps do.
+func (c *compiler) ident(id *cast.Ident, line int) exprFn {
+	name := id.Name
+	if ls, ok := c.lookupLocal(name); ok {
+		slot := ls.idx
+		return func(st *state, fr []Value) (Value, error) {
+			st.cov.Add(line)
+			return fr[slot], nil
+		}
+	}
+
+	// The links of the chain that follow a global or macro whose
+	// declaration has not run yet (only reachable mid-initialisation).
+	lateFallback := func(st *state) (Value, error) {
+		if st.stubs != nil {
+			if cv, ok := st.stubs.Const(name); ok {
+				return Value{Kind: cinterp.ValDevil, Devil: cv}, nil
+			}
+		}
+		return voidValue, undefIdentErr(name)
+	}
+
+	if g, ok := c.globalIdx[name]; ok {
+		slot, ord := g.slot, g.ord
+		return func(st *state, fr []Value) (Value, error) {
+			st.cov.Add(line)
+			if ord >= st.declsReady {
+				return lateFallback(st)
+			}
+			return st.globals[slot], nil
+		}
+	}
+
+	if m, ok := c.macros[name]; ok {
+		for _, active := range c.macroStack {
+			if active == name {
+				c.fail(fmt.Errorf("%w: macro expansion cycle at %q", ErrUnsupported, name))
+				return func(st *state, fr []Value) (Value, error) {
+					return voidValue, undefIdentErr(name)
+				}
+			}
+		}
+		c.macroStack = append(c.macroStack, name)
+		bodyFn := c.expr(m.decl.Body)
+		c.macroStack = c.macroStack[:len(c.macroStack)-1]
+		ord := m.ord
+		return func(st *state, fr []Value) (Value, error) {
+			st.cov.Add(line)
+			if ord >= st.declsReady {
+				return lateFallback(st)
+			}
+			if st.depth >= maxCallDepth {
+				return voidValue, &kernel.CrashError{
+					Cause: fmt.Errorf("macro expansion too deep at %q", name),
+				}
+			}
+			st.depth++
+			v, err := bodyFn(st, fr)
+			st.depth--
+			return v, err
+		}
+	}
+
+	if c.stubs != nil {
+		if cv, ok := c.stubs.Const(name); ok {
+			v := Value{Kind: cinterp.ValDevil, Devil: cv}
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				return v, nil
+			}
+		}
+	}
+
+	return func(st *state, fr []Value) (Value, error) {
+		st.cov.Add(line)
+		return voidValue, undefIdentErr(name)
+	}
+}
+
+func undefIdentErr(name string) error {
+	return &kernel.CrashError{Cause: fmt.Errorf("use of undefined identifier %q", name)}
+}
+
+// binary compiles a binary operation with a per-operator closure.
+func (c *compiler) binary(x *cast.BinaryExpr, line int) exprFn {
+	lf := c.expr(x.X)
+	// Short-circuit operators first.
+	if x.Op == ctoken.LAnd || x.Op == ctoken.LOr {
+		rf := c.expr(x.Y)
+		and := x.Op == ctoken.LAnd
+		return func(st *state, fr []Value) (Value, error) {
+			st.cov.Add(line)
+			l, err := lf(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			if and && !l.Truthy() {
+				return intValue(0), nil
+			}
+			if !and && l.Truthy() {
+				return intValue(1), nil
+			}
+			r, err := rf(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			if r.Truthy() {
+				return intValue(1), nil
+			}
+			return intValue(0), nil
+		}
+	}
+	rf := c.expr(x.Y)
+
+	eval2 := func(st *state, fr []Value) (int64, int64, error) {
+		st.cov.Add(line)
+		l, err := lf(st, fr)
+		if err != nil {
+			return 0, 0, err
+		}
+		r, err := rf(st, fr)
+		if err != nil {
+			return 0, 0, err
+		}
+		return l.I, r.I, nil
+	}
+	boolVal := func(ok bool) Value {
+		if ok {
+			return intValue(1)
+		}
+		return intValue(0)
+	}
+
+	switch x.Op {
+	case ctoken.Or:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return intValue(a | b), nil
+		}
+	case ctoken.Xor:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return intValue(a ^ b), nil
+		}
+	case ctoken.And:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return intValue(a & b), nil
+		}
+	case ctoken.Shl:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return intValue(a << uint(b&63)), nil
+		}
+	case ctoken.Shr:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return intValue(a >> uint(b&63)), nil
+		}
+	case ctoken.Add:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return intValue(a + b), nil
+		}
+	case ctoken.Sub:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return intValue(a - b), nil
+		}
+	case ctoken.Mul:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return intValue(a * b), nil
+		}
+	case ctoken.Div, ctoken.Mod:
+		mod := x.Op == ctoken.Mod
+		opPos := x.OpPos
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			if b == 0 {
+				return voidValue, &kernel.CrashError{
+					Cause: fmt.Errorf("division by zero at %s", opPos),
+				}
+			}
+			if mod {
+				return intValue(a % b), nil
+			}
+			return intValue(a / b), nil
+		}
+	case ctoken.Eq:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return boolVal(a == b), nil
+		}
+	case ctoken.Ne:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return boolVal(a != b), nil
+		}
+	case ctoken.Lt:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return boolVal(a < b), nil
+		}
+	case ctoken.Gt:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return boolVal(a > b), nil
+		}
+	case ctoken.Le:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return boolVal(a <= b), nil
+		}
+	case ctoken.Ge:
+		return func(st *state, fr []Value) (Value, error) {
+			a, b, err := eval2(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return boolVal(a >= b), nil
+		}
+	}
+	badOp := x.Op
+	return func(st *state, fr []Value) (Value, error) {
+		if _, _, err := eval2(st, fr); err != nil {
+			return voidValue, err
+		}
+		return voidValue, &kernel.CrashError{Cause: fmt.Errorf("bad binary operator %s", badOp)}
+	}
+}
+
+// callImpl consumes evaluated arguments — the compiled analogue of the
+// interpreter's builtin/callFunc dispatch.
+type callImpl func(st *state, args []Value) (Value, error)
+
+// call compiles a call expression: arguments evaluate in order into a
+// pooled buffer, then the pre-resolved implementation runs.
+func (c *compiler) call(x *cast.CallExpr, line int) exprFn {
+	argFns := make([]exprFn, len(x.Args))
+	for i, a := range x.Args {
+		argFns[i] = c.expr(a)
+	}
+	var impl callImpl
+	// Driver-defined functions take priority over builtins of the same
+	// name, as in the interpreter.
+	if idx, ok := c.funcIdx[x.Name]; ok {
+		f := c.funcs[idx]
+		impl = func(st *state, args []Value) (Value, error) {
+			return st.callFunc(f, args)
+		}
+	} else {
+		impl = c.builtin(x)
+	}
+	n := len(argFns)
+	return func(st *state, fr []Value) (Value, error) {
+		st.cov.Add(line)
+		args := st.grabArgs(n)
+		for i, af := range argFns {
+			v, err := af(st, fr)
+			if err != nil {
+				st.releaseArgs(args)
+				return voidValue, err
+			}
+			args[i] = v
+		}
+		v, err := impl(st, args)
+		st.releaseArgs(args)
+		return v, err
+	}
+}
+
+// argI mirrors the interpreter's lenient argument accessor.
+func argI(args []Value, i int) int64 {
+	if i < len(args) {
+		return args[i].I
+	}
+	return 0
+}
+
+// builtin resolves a non-driver call at compile time: kernel builtins,
+// the Devil stub surface, or the undefined-function fault.
+func (c *compiler) builtin(x *cast.CallExpr) callImpl {
+	switch x.Name {
+	case "inb":
+		return func(st *state, args []Value) (Value, error) {
+			v, err := st.bus.Read(hw.Port(argI(args, 0)), hw.Width8)
+			return intValue(int64(v)), err
+		}
+	case "inw":
+		return func(st *state, args []Value) (Value, error) {
+			v, err := st.bus.Read(hw.Port(argI(args, 0)), hw.Width16)
+			return intValue(int64(v)), err
+		}
+	case "inl":
+		return func(st *state, args []Value) (Value, error) {
+			v, err := st.bus.Read(hw.Port(argI(args, 0)), hw.Width32)
+			return intValue(int64(v)), err
+		}
+	case "outb":
+		return func(st *state, args []Value) (Value, error) {
+			return voidValue, st.bus.Write(hw.Port(argI(args, 1)), hw.Width8, uint32(argI(args, 0)))
+		}
+	case "outw":
+		return func(st *state, args []Value) (Value, error) {
+			return voidValue, st.bus.Write(hw.Port(argI(args, 1)), hw.Width16, uint32(argI(args, 0)))
+		}
+	case "outl":
+		return func(st *state, args []Value) (Value, error) {
+			return voidValue, st.bus.Write(hw.Port(argI(args, 1)), hw.Width32, uint32(argI(args, 0)))
+		}
+	case "panic":
+		namePos := x.NamePos
+		return func(st *state, args []Value) (Value, error) {
+			msg := "panic"
+			if len(args) > 0 && args[0].Kind == cinterp.ValString {
+				msg = args[0].S
+			}
+			return voidValue, st.kern.Panic(fmt.Sprintf("%s (at %s)", msg, namePos))
+		}
+	case "printk":
+		return func(st *state, args []Value) (Value, error) {
+			st.kern.Printk(cinterp.FormatPrintk(args))
+			return voidValue, nil
+		}
+	case "udelay":
+		return func(st *state, args []Value) (Value, error) {
+			return voidValue, st.kern.Delay(argI(args, 0))
+		}
+	case "kbuf_read8":
+		return func(st *state, args []Value) (Value, error) {
+			v, err := st.kern.BufRead8(argI(args, 0))
+			return intValue(int64(v)), err
+		}
+	case "kbuf_write8":
+		return func(st *state, args []Value) (Value, error) {
+			return voidValue, st.kern.BufWrite8(argI(args, 0), uint8(argI(args, 1)))
+		}
+	case "kbuf_read16":
+		return func(st *state, args []Value) (Value, error) {
+			v, err := st.kern.BufRead16(argI(args, 0))
+			return intValue(int64(v)), err
+		}
+	case "kbuf_write16":
+		return func(st *state, args []Value) (Value, error) {
+			return voidValue, st.kern.BufWrite16(argI(args, 0), uint16(argI(args, 1)))
+		}
+	case "dil_eq":
+		return func(st *state, args []Value) (Value, error) {
+			if st.stubs == nil || len(args) != 2 {
+				return voidValue, &kernel.CrashError{Cause: fmt.Errorf("dil_eq without stubs")}
+			}
+			eq, err := st.stubs.Eq(toDevil(args[0]), toDevil(args[1]))
+			if err != nil {
+				return voidValue, err
+			}
+			if eq {
+				return intValue(1), nil
+			}
+			return intValue(0), nil
+		}
+	}
+	if c.stubs != nil {
+		if impl := c.stubCall(x); impl != nil {
+			return impl
+		}
+	}
+	return c.undefinedCall(x)
+}
+
+func toDevil(v Value) codegen.Value {
+	if v.Kind == cinterp.ValDevil {
+		return v.Devil
+	}
+	return codegen.UntypedInt(v.I)
+}
+
+func (c *compiler) undefinedCall(x *cast.CallExpr) callImpl {
+	name, pos := x.Name, x.NamePos
+	return func(st *state, args []Value) (Value, error) {
+		return voidValue, &kernel.CrashError{
+			Cause: fmt.Errorf("call to undefined function %q at %s", name, pos),
+		}
+	}
+}
+
+// stubCall resolves a get_X/set_X/get_block_X/set_block_X call to an
+// indexed accessor dispatch, replacing the interpreter's per-call string
+// prefix matching and stub-table lookups. Returns nil when the name does
+// not resolve to a stub (the undefined-function fault applies).
+func (c *compiler) stubCall(x *cast.CallExpr) callImpl {
+	name := x.Name
+	switch {
+	case strings.HasPrefix(name, "get_block_"), strings.HasPrefix(name, "set_block_"):
+		reading := strings.HasPrefix(name, "get_block_")
+		varName := strings.TrimPrefix(strings.TrimPrefix(name, "get_block_"), "set_block_")
+		sig, ok := c.varSigs[varName]
+		if !ok || !sig.Block {
+			return nil
+		}
+		acc, ok := c.stubs.Accessor(varName)
+		if !ok {
+			return nil
+		}
+		return c.blockCall(name, varName, reading, sig, acc)
+
+	case strings.HasPrefix(name, "get_"):
+		varName := name[len("get_"):]
+		sig, ok := c.varSigs[varName]
+		if !ok {
+			return nil
+		}
+		acc, aok := c.stubs.Accessor(varName)
+		if !aok {
+			return nil
+		}
+		if !acc.Readable() {
+			return modeFaultImpl(varName, acc)
+		}
+		switch {
+		case sig.Kind == codegen.KindEnum:
+			return func(st *state, args []Value) (Value, error) {
+				dv, err := acc.Get()
+				if err != nil {
+					return voidValue, err
+				}
+				return Value{Kind: cinterp.ValDevil, Devil: dv}, nil
+			}
+		case sig.Kind == codegen.KindSignedInt && sig.Width > 0 && sig.Width < 64:
+			shift := uint(64 - sig.Width)
+			return func(st *state, args []Value) (Value, error) {
+				dv, err := acc.Get()
+				if err != nil {
+					return voidValue, err
+				}
+				// Sign-extend the raw field.
+				return intValue(int64(dv.Val) << shift >> shift), nil
+			}
+		default:
+			return func(st *state, args []Value) (Value, error) {
+				dv, err := acc.Get()
+				if err != nil {
+					return voidValue, err
+				}
+				return intValue(int64(dv.Val)), nil
+			}
+		}
+
+	case strings.HasPrefix(name, "set_"):
+		varName := name[len("set_"):]
+		if _, ok := c.varSigs[varName]; !ok {
+			return nil
+		}
+		acc, aok := c.stubs.Accessor(varName)
+		if !aok {
+			return nil
+		}
+		if !acc.Writable() {
+			return modeFaultImpl(varName, acc)
+		}
+		return func(st *state, args []Value) (Value, error) {
+			var dv codegen.Value
+			if len(args) == 1 && args[0].Kind == cinterp.ValDevil {
+				dv = args[0].Devil
+			} else if len(args) == 1 {
+				dv = codegen.UntypedInt(args[0].I)
+			}
+			return voidValue, acc.Set(dv)
+		}
+	}
+	return nil
+}
+
+// modeFaultImpl reproduces the Get/Set access-mode fault of a stub whose
+// direction the call does not have ("device variable X is write-only").
+func modeFaultImpl(varName string, acc *codegen.Accessor) callImpl {
+	mode := acc.ModeString()
+	return func(st *state, args []Value) (Value, error) {
+		return voidValue, fmt.Errorf("device variable %s is %s", varName, mode)
+	}
+}
+
+// blockCall compiles the FIFO block-transfer stubs with the exact
+// element loop of the interpreter: one watchdog step per element, the
+// same buffer access pattern, the same fault order.
+func (c *compiler) blockCall(name, varName string, reading bool,
+	sig codegen.VarSig, acc *codegen.Accessor) callImpl {
+	elem := int64(sig.Width / 8)
+	canRead, canWrite := acc.Readable(), acc.Writable()
+	mode := acc.ModeString()
+	return func(st *state, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return voidValue, &kernel.CrashError{
+				Cause: fmt.Errorf("%s: wrong argument count", name),
+			}
+		}
+		off, count := args[0].I, args[1].I
+		for k := int64(0); k < count; k++ {
+			if err := st.kern.Step(); err != nil {
+				return voidValue, err
+			}
+			byteOff := off + k*elem
+			if reading {
+				if !canRead {
+					return voidValue, fmt.Errorf("device variable %s is %s", varName, mode)
+				}
+				dv, err := acc.Get()
+				if err != nil {
+					return voidValue, err
+				}
+				var werr error
+				if elem == 2 {
+					werr = st.kern.BufWrite16(byteOff, uint16(dv.Val))
+				} else {
+					if werr = st.kern.BufWrite16(byteOff, uint16(dv.Val)); werr == nil {
+						werr = st.kern.BufWrite16(byteOff+2, uint16(dv.Val>>16))
+					}
+				}
+				if werr != nil {
+					return voidValue, werr
+				}
+				continue
+			}
+			var val uint32
+			if elem == 2 {
+				w, err := st.kern.BufRead16(byteOff)
+				if err != nil {
+					return voidValue, err
+				}
+				val = uint32(w)
+			} else {
+				lo, err := st.kern.BufRead16(byteOff)
+				if err != nil {
+					return voidValue, err
+				}
+				hi, err := st.kern.BufRead16(byteOff + 2)
+				if err != nil {
+					return voidValue, err
+				}
+				val = uint32(lo) | uint32(hi)<<16
+			}
+			if !canWrite {
+				return voidValue, fmt.Errorf("device variable %s is %s", varName, mode)
+			}
+			if err := acc.Set(codegen.UntypedInt(int64(val))); err != nil {
+				return voidValue, err
+			}
+		}
+		return voidValue, nil
+	}
+}

@@ -1,0 +1,96 @@
+package ccov
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAddCoveredLen(t *testing.T) {
+	s := New(100)
+	for _, line := range []int{1, 64, 65, 100, 1} {
+		s.Add(line)
+	}
+	s.Add(0)  // "no position" marker: ignored
+	s.Add(-3) // defensive: ignored
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+	for _, line := range []int{1, 64, 65, 100} {
+		if !s.Covered(line) {
+			t.Errorf("line %d not covered", line)
+		}
+	}
+	for _, line := range []int{0, 2, 63, 66, 101, 100000} {
+		if s.Covered(line) {
+			t.Errorf("line %d covered, want not", line)
+		}
+	}
+}
+
+func TestZeroValueGrows(t *testing.T) {
+	var s Set
+	s.Add(5000)
+	if !s.Covered(5000) || s.Len() != 1 {
+		t.Errorf("zero-value set: Covered(5000)=%v Len=%d", s.Covered(5000), s.Len())
+	}
+}
+
+func TestLinesAndSlice(t *testing.T) {
+	s := New(300)
+	want := []int{3, 64, 127, 128, 255, 300}
+	for i := len(want) - 1; i >= 0; i-- {
+		s.Add(want[i])
+	}
+	if got := s.Slice(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Slice = %v, want %v", got, want)
+	}
+	// Early-exit iteration.
+	var first int
+	for line := range s.Lines() {
+		first = line
+		break
+	}
+	if first != 3 {
+		t.Errorf("first line = %d, want 3", first)
+	}
+}
+
+func TestResetKeepsStorage(t *testing.T) {
+	s := New(200)
+	s.Add(7)
+	s.Add(199)
+	words := &s.words[0]
+	s.Reset()
+	if s.Len() != 0 || s.Covered(7) || s.Covered(199) {
+		t.Error("Reset left lines covered")
+	}
+	if &s.words[0] != words {
+		t.Error("Reset reallocated the backing storage")
+	}
+}
+
+func TestEqualAcrossCapacities(t *testing.T) {
+	a := New(64)
+	b := New(4096)
+	for _, line := range []int{2, 40, 60} {
+		a.Add(line)
+		b.Add(line)
+	}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("sets with equal lines but different capacities compare unequal")
+	}
+	b.Add(2000)
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("different sets compare equal")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New(10)
+	a.Add(9)
+	b := a.Clone()
+	a.Add(3)
+	if b.Covered(3) || !b.Covered(9) || b.Len() != 1 {
+		t.Error("Clone is not independent")
+	}
+}

@@ -15,9 +15,11 @@ package cinterp
 
 import (
 	"fmt"
+	"iter"
 	"strings"
 
 	"repro/internal/cdriver/cast"
+	"repro/internal/cdriver/ccov"
 	"repro/internal/cdriver/ctoken"
 	"repro/internal/cdriver/ctypes"
 	"repro/internal/devil/codegen"
@@ -70,8 +72,8 @@ type Interp struct {
 	globals map[string]*slot
 	macros  map[string]cast.Expr
 	varSigs map[string]codegen.VarSig
-	// coverage maps executed source lines.
-	coverage map[int]bool
+	// coverage records executed source lines.
+	coverage *ccov.Set
 	depth    int
 }
 
@@ -92,7 +94,7 @@ func New(prog *cast.Program, env *ctypes.Env, kern *kernel.Kernel, bus *hw.Bus,
 		globals:  make(map[string]*slot),
 		macros:   make(map[string]cast.Expr),
 		varSigs:  make(map[string]codegen.VarSig),
-		coverage: make(map[int]bool),
+		coverage: &ccov.Set{},
 	}
 	if stubs != nil {
 		for _, sig := range stubs.Interface().Vars {
@@ -122,10 +124,14 @@ func New(prog *cast.Program, env *ctypes.Env, kern *kernel.Kernel, bus *hw.Bus,
 }
 
 // Coverage returns the executed-line set.
-func (in *Interp) Coverage() map[int]bool { return in.coverage }
+func (in *Interp) Coverage() *ccov.Set { return in.coverage }
+
+// CoveredLines iterates the executed lines in ascending order without
+// copying the coverage structure.
+func (in *Interp) CoveredLines() iter.Seq[int] { return in.coverage.Lines() }
 
 // Covered reports whether a line was executed.
-func (in *Interp) Covered(line int) bool { return in.coverage[line] }
+func (in *Interp) Covered(line int) bool { return in.coverage.Covered(line) }
 
 // frame is one call activation.
 type frame struct {
@@ -194,9 +200,7 @@ func (in *Interp) callFunc(f *cast.FuncDecl, args []Value) (Value, error) {
 }
 
 func (in *Interp) cover(pos ctoken.Pos) {
-	if pos.Line > 0 {
-		in.coverage[pos.Line] = true
-	}
+	in.coverage.Add(pos.Line)
 }
 
 func (in *Interp) execBlock(fr *frame, b *cast.Block) (flow, Value, error) {
@@ -471,6 +475,10 @@ func (in *Interp) execAssign(fr *frame, s *cast.AssignStmt) error {
 	return nil
 }
 
+// Truncate applies C storage semantics for the declared type. It is
+// exported so the compiled backend shares the exact store semantics.
+func Truncate(t cast.CType, v Value) Value { return truncate(t, v) }
+
 // truncate applies C storage semantics for the declared type.
 func truncate(t cast.CType, v Value) Value {
 	if v.Kind != ValInt {
@@ -710,7 +718,7 @@ func (in *Interp) builtin(x *cast.CallExpr, args []Value) (Value, error) {
 		}
 		return VoidValue, in.kern.Panic(fmt.Sprintf("%s (at %s)", msg, x.NamePos))
 	case "printk":
-		in.kern.Printk(formatPrintk(args))
+		in.kern.Printk(FormatPrintk(args))
 		return VoidValue, nil
 	case "udelay":
 		return VoidValue, in.kern.Delay(argInt(0))
@@ -870,8 +878,10 @@ func (in *Interp) blockCall(name string, args []Value) (Value, bool, error) {
 	return VoidValue, true, nil
 }
 
-// formatPrintk renders a printk call: %d, %x, %s and %% are supported.
-func formatPrintk(args []Value) string {
+// FormatPrintk renders a printk call: %d, %x, %s and %% are supported. It
+// is exported so the compiled backend (ccompile) produces byte-identical
+// console output.
+func FormatPrintk(args []Value) string {
 	if len(args) == 0 || args[0].Kind != ValString {
 		return ""
 	}

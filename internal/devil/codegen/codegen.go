@@ -260,6 +260,62 @@ func fixedBits(r *ast.Register) uint32 {
 // Interface returns the typed stub surface for the strict C front end.
 func (s *Stubs) Interface() *Interface { return s.iface }
 
+// Reset returns the register cache to its power-on seed — the state a
+// freshly generated stub set starts from — so one generated stub set can
+// be reused across boots instead of being regenerated per mutant.
+func (s *Stubs) Reset() {
+	for name, r := range s.info.Registers {
+		s.cache[name] = fixedBits(r)
+	}
+}
+
+// Accessor is a pre-resolved handle to one public device variable. A
+// compiled driver resolves each get_X/set_X call site once and then
+// dispatches through the handle, skipping the per-call name lookup (and
+// its error paths) that Get/Set pay on every invocation.
+type Accessor struct {
+	s  *Stubs
+	vi *check.VarInfo
+}
+
+// Accessor resolves a public device variable to a dispatch handle; ok is
+// false for unknown or private variables (for which the compiler keeps
+// the interpreter's undefined-call behaviour).
+func (s *Stubs) Accessor(name string) (*Accessor, bool) {
+	vi, ok := s.info.Variables[name]
+	if !ok || vi.Decl.Private {
+		return nil, false
+	}
+	return &Accessor{s: s, vi: vi}, true
+}
+
+// Readable reports whether the variable can be read.
+func (a *Accessor) Readable() bool { return a.vi.Mode.CanRead() }
+
+// Writable reports whether the variable can be written.
+func (a *Accessor) Writable() bool { return a.vi.Mode.CanWrite() }
+
+// ModeString renders the variable's access mode (for error messages that
+// must match the unresolved Get/Set paths byte for byte).
+func (a *Accessor) ModeString() string { return fmt.Sprintf("%s", a.vi.Mode) }
+
+// Get reads the variable, with exactly the semantics of Stubs.Get minus
+// the name lookup. The caller must have checked Readable.
+func (a *Accessor) Get() (Value, error) {
+	return a.s.getVar(a.vi)
+}
+
+// Set writes the variable, with exactly the semantics of Stubs.Set minus
+// the name lookup. The caller must have checked Writable.
+func (a *Accessor) Set(v Value) error {
+	if a.s.cfg.Mode == Debug {
+		if err := a.s.assertWriteValue(a.vi, v); err != nil {
+			return err
+		}
+	}
+	return a.s.setVar(a.vi, v)
+}
+
 // Mode returns the generation mode.
 func (s *Stubs) Mode() Mode { return s.cfg.Mode }
 

@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/cdriver/cast"
 	"repro/internal/cdriver/ccheck"
+	"repro/internal/cdriver/ccompile"
+	"repro/internal/cdriver/ccov"
 	"repro/internal/cdriver/cinterp"
 	"repro/internal/cdriver/clexer"
 	"repro/internal/cdriver/cparser"
@@ -29,8 +31,145 @@ const (
 	ideCtlBase hw.Port = 0x3f6
 )
 
+// Backend names an hwC execution engine.
+type Backend string
+
+// The two execution backends. The compiled backend is the campaign hot
+// path; the tree-walking interpreter is the reference oracle the
+// differential test holds it to.
+const (
+	BackendCompiled Backend = "compiled"
+	BackendInterp   Backend = "interp"
+)
+
+// ParseBackend normalises a backend name; the empty string selects the
+// default (compiled) engine.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", string(BackendCompiled):
+		return BackendCompiled, nil
+	case string(BackendInterp), "tree", "interpreter":
+		return BackendInterp, nil
+	}
+	return "", fmt.Errorf("unknown execution backend %q (want compiled or interp)", s)
+}
+
+// envKey indexes the cached type environments: the environment depends
+// only on whether the driver is CDevil and whether checking is permissive.
+type envKey struct {
+	devil      bool
+	permissive bool
+}
+
+// execCaches is the per-worker hot-path state both rig kinds (the IDE
+// Machine and the MouseMachine) carry: generated stubs reset rather than
+// regenerated between boots, type environments, and the compiled
+// backend's pooled execution buffers. ccheck never mutates an
+// environment, so one cached instance serves every boot of a worker.
+type execCaches struct {
+	exec  *ccompile.Mach
+	stubs map[codegen.Mode]*codegen.Stubs
+	envs  map[envKey]*ctypes.Env
+}
+
+func newExecCaches() execCaches {
+	return execCaches{
+		exec:  ccompile.NewMach(),
+		stubs: make(map[codegen.Mode]*codegen.Stubs),
+		envs:  make(map[envKey]*ctypes.Env),
+	}
+}
+
+// stubsFor returns the cached stubs for a mode, rewound to power-on
+// state — generation (spec walk, interface construction, enum tables)
+// happens once per worker, not once per mutant.
+func (c *execCaches) stubsFor(mode codegen.Mode, generate func(codegen.Mode) (*codegen.Stubs, error)) (*codegen.Stubs, error) {
+	if s, ok := c.stubs[mode]; ok {
+		s.Reset()
+		return s, nil
+	}
+	s, err := generate(mode)
+	if err != nil {
+		return nil, err
+	}
+	c.stubs[mode] = s
+	return s, nil
+}
+
+// envFor returns (building on first use) the type environment for a boot
+// configuration.
+func (c *execCaches) envFor(input BootInput, stubs *codegen.Stubs) (*ctypes.Env, error) {
+	key := envKey{devil: input.Devil, permissive: input.Permissive}
+	if env, ok := c.envs[key]; ok {
+		return env, nil
+	}
+	env := ctypes.NewEnv(input.Devil && !input.Permissive)
+	if input.Devil {
+		if err := env.AddStubs(stubs.Interface()); err != nil {
+			return nil, err
+		}
+	}
+	c.envs[key] = env
+	return env, nil
+}
+
+// buildEngine is the shared front half of one boot on either rig: parse
+// the mutated token stream, apply the budget, look up cached stubs and
+// environment, type-check, and construct the selected backend. On return
+// exactly one of ex and res is meaningful: a nil ex means the boot is
+// already decided (compile-time detection or an insmod fault) and res is
+// final; otherwise res is fresh and the caller drives ex.
+func (c *execCaches) buildEngine(kern *kernel.Kernel, bus *hw.Bus,
+	generate func(codegen.Mode) (*codegen.Stubs, error),
+	input BootInput) (execEngine, *BootResult, error) {
+	res := &BootResult{}
+	prog, perrs := cparser.ParseTokens(input.Tokens)
+	if len(perrs) > 0 {
+		for _, e := range perrs {
+			res.CompileErrors = append(res.CompileErrors, e)
+		}
+		return nil, res, nil
+	}
+	if input.Budget > 0 {
+		kern.SetBudget(input.Budget)
+	}
+	var stubs *codegen.Stubs
+	if input.Devil {
+		mode := input.StubMode
+		if mode == 0 {
+			mode = codegen.Debug
+		}
+		var err error
+		stubs, err = c.stubsFor(mode, generate)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	env, err := c.envFor(input, stubs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cerrs := ccheck.Check(prog, env); len(cerrs) > 0 {
+		for _, e := range cerrs {
+			res.CompileErrors = append(res.CompileErrors, e)
+		}
+		return nil, res, nil
+	}
+	ex, rerr := newEngine(input.Backend, prog, env, kern, bus, stubs, c.exec)
+	if rerr != nil {
+		// Global initialiser fault: machine-level failure at insmod time.
+		res.Outcome = kernel.Classify(rerr)
+		res.RunErr = rerr
+		return nil, res, nil
+	}
+	return ex, res, nil
+}
+
 // Machine is one assembled simulated PC: clock, bus, kernel, IDE controller
-// and disk, with a pristine snapshot for the damage audit.
+// and disk, with a pristine snapshot for the damage audit. It also carries
+// the per-worker caches of the campaign hot path: generated stubs (reset,
+// not regenerated, between boots), type environments, and the compiled
+// backend's pooled execution buffers.
 type Machine struct {
 	Clock    *hw.Clock
 	Bus      *hw.Bus
@@ -38,6 +177,8 @@ type Machine struct {
 	Ctrl     *ide.Controller
 	Image    *kernel.FSImage
 	Pristine *kernel.FSImage
+
+	caches execCaches
 }
 
 // NewMachine builds a machine with the default filesystem image.
@@ -70,6 +211,7 @@ func NewMachine() (*Machine, error) {
 		Ctrl:     ctrl,
 		Image:    img,
 		Pristine: pristine,
+		caches:   newExecCaches(),
 	}, nil
 }
 
@@ -127,6 +269,8 @@ type BootInput struct {
 	Permissive bool
 	// Budget overrides the watchdog budget when non-zero.
 	Budget int64
+	// Backend selects the execution engine (compiled when empty).
+	Backend Backend
 }
 
 // BootResult is the classified outcome of one build-and-boot.
@@ -140,7 +284,10 @@ type BootResult struct {
 	// Console is the kernel console log.
 	Console []string
 	// Coverage is the executed-line set (for dead-code classification).
-	Coverage map[int]bool
+	// With the compiled backend it aliases the machine's pooled buffer:
+	// it is valid until the machine that produced it boots again, so
+	// callers that keep results across boots must Clone it.
+	Coverage *ccov.Set
 	// Report is the filesystem mount/check report (nil if boot died first).
 	Report *kernel.BootReport
 	// DamagedSectors lists LBAs the audit found corrupted.
@@ -154,9 +301,37 @@ type BootResult struct {
 // CompileDetected reports whether the mutant died at compile time.
 func (r *BootResult) CompileDetected() bool { return len(r.CompileErrors) > 0 }
 
-// blockAdapter exposes the interpreted driver as a kernel.BlockDriver.
+// execEngine is the surface a boot script drives; both backends satisfy
+// it (cinterp.Interp and ccompile.Proc).
+type execEngine interface {
+	Call(name string, args ...cinterp.Value) (cinterp.Value, error)
+	Coverage() *ccov.Set
+}
+
+// newEngine builds the selected execution backend for a checked program.
+// A non-nil error is a run-time insmod fault (a global initialiser
+// crashed) and classifies like any boot-terminating error. Backend
+// construction itself cannot fail: the rare program shape the compiler
+// rejects (ErrUnsupported) falls back to the reference interpreter, which
+// executes everything.
+func newEngine(b Backend, prog *cast.Program, env *ctypes.Env, kern *kernel.Kernel,
+	bus *hw.Bus, stubs *codegen.Stubs, mach *ccompile.Mach) (execEngine, error) {
+	if b == BackendInterp {
+		return cinterp.New(prog, env, kern, bus, stubs)
+	}
+	p, cerr := ccompile.Compile(prog, kern, bus, stubs, mach)
+	if cerr != nil {
+		return cinterp.New(prog, env, kern, bus, stubs)
+	}
+	if err := p.Init(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// blockAdapter exposes the executing driver as a kernel.BlockDriver.
 type blockAdapter struct {
-	in   *cinterp.Interp
+	ex   execEngine
 	kern *kernel.Kernel
 }
 
@@ -164,7 +339,7 @@ var _ kernel.BlockDriver = (*blockAdapter)(nil)
 
 // ReadSectors implements kernel.BlockDriver.
 func (a *blockAdapter) ReadSectors(lba uint32, count int) ([]byte, error) {
-	ret, err := a.in.Call("ide_read_sectors",
+	ret, err := a.ex.Call("ide_read_sectors",
 		cinterp.IntValue(int64(lba)), cinterp.IntValue(int64(count)))
 	if err != nil {
 		return nil, err
@@ -184,7 +359,7 @@ func (a *blockAdapter) ReadSectors(lba uint32, count int) ([]byte, error) {
 func (a *blockAdapter) WriteSectors(lba uint32, data []byte) error {
 	copy(a.kern.Buf(), data)
 	count := len(data) / kernel.SectorSize
-	ret, err := a.in.Call("ide_write_sectors",
+	ret, err := a.ex.Call("ide_write_sectors",
 		cinterp.IntValue(int64(lba)), cinterp.IntValue(int64(count)))
 	if err != nil {
 		return err
@@ -202,23 +377,13 @@ func Boot(input BootInput) (*BootResult, error) {
 
 // BootOn compiles and boots one driver build on m, which must be freshly
 // built or Reset. Campaign workers use it to amortise machine
-// construction across boots.
+// construction — and, with the compiled backend, stub generation, type
+// environments and execution buffers — across boots.
 func BootOn(m *Machine, input BootInput) (*BootResult, error) {
 	return boot(m, input)
 }
 
 func boot(m *Machine, input BootInput) (*BootResult, error) {
-	res := &BootResult{}
-
-	// Phase 1: "compilation" — parse plus type check.
-	prog, perrs := cparser.ParseTokens(input.Tokens)
-	if len(perrs) > 0 {
-		for _, e := range perrs {
-			res.CompileErrors = append(res.CompileErrors, e)
-		}
-		return res, nil
-	}
-
 	if m == nil {
 		var err error
 		m, err = NewMachine()
@@ -226,44 +391,21 @@ func boot(m *Machine, input BootInput) (*BootResult, error) {
 			return nil, err
 		}
 	}
-	if input.Budget > 0 {
-		m.Kern.SetBudget(input.Budget)
+	// Phase 1: "compilation" — parse plus type check, against the
+	// machine's per-worker caches. Only the mutated token stream is
+	// per-mutant work.
+	ex, res, err := m.caches.buildEngine(m.Kern, m.Bus, m.IDEStubs, input)
+	if err != nil {
+		return nil, err
 	}
-
-	env := ctypes.NewEnv(input.Devil && !input.Permissive)
-	var stubs *codegen.Stubs
-	if input.Devil {
-		mode := input.StubMode
-		if mode == 0 {
-			mode = codegen.Debug
-		}
-		var err error
-		stubs, err = m.IDEStubs(mode)
-		if err != nil {
-			return nil, err
-		}
-		if err := env.AddStubs(stubs.Interface()); err != nil {
-			return nil, err
-		}
-	}
-	if cerrs := ccheck.Check(prog, env); len(cerrs) > 0 {
-		for _, e := range cerrs {
-			res.CompileErrors = append(res.CompileErrors, e)
-		}
+	if ex == nil {
 		return res, nil
 	}
 
 	// Phase 2: boot the kernel with the driver installed.
-	in, err := cinterp.New(prog, env, m.Kern, m.Bus, stubs)
-	if err != nil {
-		// Global initialiser fault: machine-level failure at insmod time.
-		res.Outcome = kernel.Classify(err)
-		res.RunErr = err
-		return res, nil
-	}
-	runErr := runBoot(m, in, res)
+	runErr := runBoot(m, ex, res)
 	res.Console = m.Kern.Console()
-	res.Coverage = in.Coverage()
+	res.Coverage = ex.Coverage()
 	res.Steps = m.Kern.Steps()
 	res.RunErr = runErr
 	res.Outcome = kernel.Classify(runErr)
@@ -280,8 +422,8 @@ func boot(m *Machine, input BootInput) (*BootResult, error) {
 
 // runBoot performs the boot sequence: driver initialisation, then the
 // filesystem mount-and-check through the driver.
-func runBoot(m *Machine, in *cinterp.Interp, res *BootResult) error {
-	ret, err := in.Call("ide_init")
+func runBoot(m *Machine, ex execEngine, res *BootResult) error {
+	ret, err := ex.Call("ide_init")
 	if err != nil {
 		return err
 	}
@@ -294,7 +436,7 @@ func runBoot(m *Machine, in *cinterp.Interp, res *BootResult) error {
 	buf := m.Kern.Buf()
 	totalSectors := uint32(buf[120]) | uint32(buf[121])<<8 |
 		uint32(buf[122])<<16 | uint32(buf[123])<<24
-	adapter := &blockAdapter{in: in, kern: m.Kern}
+	adapter := &blockAdapter{ex: ex, kern: m.Kern}
 	rep, err := m.Kern.MountAndCheck(adapter, m.Pristine, totalSectors)
 	res.Report = rep
 	if err != nil {

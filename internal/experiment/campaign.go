@@ -31,6 +31,7 @@ func CampaignSpec(driver string, opts MutationOptions) campaign.Spec {
 		StubMode:   stubModeName(opts.StubMode),
 		Permissive: opts.ForcePermissive,
 		Budget:     ExperimentBudget,
+		Backend:    string(opts.Backend),
 	}
 }
 
@@ -156,6 +157,9 @@ func (w *workload) Expand(spec campaign.Spec) ([]campaign.Meta, []campaign.Task,
 	if _, err := stubModeFromName(spec.StubMode); err != nil {
 		return nil, nil, err
 	}
+	if _, err := ParseBackend(spec.Backend); err != nil {
+		return nil, nil, err
+	}
 	var metas []campaign.Meta
 	var tasks []campaign.Task
 	for _, driver := range spec.Drivers {
@@ -185,16 +189,24 @@ func (w *workload) NewWorker(spec campaign.Spec) (campaign.Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &worker{w: w, spec: spec, mode: mode}, nil
+	backend, err := ParseBackend(spec.Backend)
+	if err != nil {
+		return nil, err
+	}
+	return &worker{w: w, spec: spec, mode: mode, backend: backend}, nil
 }
 
 // worker boots tasks on a single goroutine, reusing one simulated PC
-// across every ide_* boot (Reset instead of rebuild).
+// across every ide_* boot and one mouse rig across every busmouse_*
+// boot (Reset instead of rebuild), so per-mutant work is only the
+// parse-check-compile-run of the mutated token stream.
 type worker struct {
-	w    *workload
-	spec campaign.Spec
-	mode codegen.Mode
-	mach *Machine
+	w       *workload
+	spec    campaign.Spec
+	mode    codegen.Mode
+	backend Backend
+	mach    *Machine
+	mouse   *MouseMachine
 }
 
 // Boot implements campaign.Worker.
@@ -215,6 +227,7 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 		StubMode:   wk.mode,
 		Permissive: wk.spec.Permissive,
 		Budget:     wk.spec.Budget,
+		Backend:    wk.backend,
 	}
 	if input.Budget == 0 {
 		input.Budget = ExperimentBudget
@@ -222,7 +235,15 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 
 	var br *BootResult
 	if isMouseDriver(t.Driver) {
-		br, err = BootMouse(input)
+		if wk.mouse == nil {
+			wk.mouse, err = NewMouseMachine()
+			if err != nil {
+				return campaign.Outcome{}, err
+			}
+		} else {
+			wk.mouse.Reset()
+		}
+		br, err = BootMouseOn(wk.mouse, input)
 	} else {
 		if wk.mach == nil {
 			wk.mach, err = NewMachine()
@@ -248,7 +269,7 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 }
 
 // Close implements campaign.Worker.
-func (wk *worker) Close() { wk.mach = nil }
+func (wk *worker) Close() { wk.mach, wk.mouse = nil, nil }
 
 // RunCampaignTable runs a one-driver campaign against an in-memory store
 // and renders the aggregate — the execution core of every Table 3/4

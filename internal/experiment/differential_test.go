@@ -1,0 +1,205 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// The differential oracle: the compiled backend exists for throughput,
+// the tree-walking interpreter for trust. These tests boot generated
+// mutants on both backends — through the same per-worker machine-reuse
+// pattern the campaign engine uses — and require identical observable
+// results: compile-time detection, outcome class, terminating error
+// text, console log, covered-line set, watchdog step count, and the
+// Table 3/4 row the mutant lands in.
+
+// diffRig reuses one machine per backend, mirroring a campaign worker.
+type diffRig struct {
+	backend Backend
+	mach    *Machine
+	mouse   *MouseMachine
+}
+
+func (r *diffRig) boot(t *testing.T, p *driverPlan, driver string, mutantID int) *BootResult {
+	t.Helper()
+	m := p.res.Mutants[mutantID]
+	input := BootInput{
+		Tokens:  p.res.Apply(m),
+		Devil:   p.src.Devil,
+		Budget:  ExperimentBudget,
+		Backend: r.backend,
+	}
+	var br *BootResult
+	var err error
+	if isMouseDriver(driver) {
+		if r.mouse == nil {
+			r.mouse, err = NewMouseMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			r.mouse.Reset()
+		}
+		br, err = BootMouseOn(r.mouse, input)
+	} else {
+		if r.mach == nil {
+			r.mach, err = NewMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			r.mach.Reset()
+		}
+		br, err = BootOn(r.mach, input)
+	}
+	if err != nil {
+		t.Fatalf("%s mutant %d (%s): harness error: %v", driver, mutantID, r.backend, err)
+	}
+	return br
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// diffOne compares every observable of one mutant's two boots.
+func diffOne(t *testing.T, driver string, p *driverPlan, id int, interp, comp *BootResult) {
+	t.Helper()
+	m := p.res.Mutants[id]
+	site := p.res.Sites[m.SiteIndex]
+	fail := func(field string, iv, cv interface{}) {
+		t.Errorf("%s mutant %d (%s): %s divergence:\n  interp:   %v\n  compiled: %v",
+			driver, id, m.Description, field, iv, cv)
+	}
+	if interp.CompileDetected() != comp.CompileDetected() {
+		fail("compile detection", interp.CompileErrors, comp.CompileErrors)
+		return
+	}
+	if interp.CompileDetected() {
+		if len(interp.CompileErrors) != len(comp.CompileErrors) ||
+			errText(interp.CompileErrors[0]) != errText(comp.CompileErrors[0]) {
+			fail("compile errors", interp.CompileErrors, comp.CompileErrors)
+		}
+		return
+	}
+	if interp.Outcome != comp.Outcome {
+		fail("outcome", interp.Outcome, comp.Outcome)
+	}
+	if errText(interp.RunErr) != errText(comp.RunErr) {
+		fail("terminating error", errText(interp.RunErr), errText(comp.RunErr))
+	}
+	if fmt.Sprint(interp.Console) != fmt.Sprint(comp.Console) {
+		fail("console", interp.Console, comp.Console)
+	}
+	if !interp.Coverage.Equal(comp.Coverage) {
+		fail("coverage", interp.Coverage.Slice(), comp.Coverage.Slice())
+	}
+	if interp.Steps != comp.Steps {
+		fail("steps", interp.Steps, comp.Steps)
+	}
+	if interp.PartitionTableLost != comp.PartitionTableLost {
+		fail("partition table", interp.PartitionTableLost, comp.PartitionTableLost)
+	}
+	if fmt.Sprint(interp.DamagedSectors) != fmt.Sprint(comp.DamagedSectors) {
+		fail("damaged sectors", interp.DamagedSectors, comp.DamagedSectors)
+	}
+	if ir, cr := classifyRow(interp, site), classifyRow(comp, site); ir != cr {
+		fail("table row", ir, cr)
+	}
+}
+
+// TestDifferentialOracle boots generated mutants of every embedded
+// driver on both backends. The busmouse pair and the CDevil IDE driver
+// run their full enumerations; the C IDE driver (7600+ mutants, the
+// slowest boots) runs a seeded sample.
+func TestDifferentialOracle(t *testing.T) {
+	plans := []struct {
+		driver   string
+		pct      int // sample percentage (0 = all)
+		shortPct int // sample percentage under -short
+	}{
+		{"busmouse_c", 0, 20},
+		{"busmouse_devil", 0, 0},
+		{"ide_devil", 0, 10},
+		{"ide_c", 8, 2},
+	}
+	wl := NewWorkload().(*workload)
+	for _, tc := range plans {
+		t.Run(tc.driver, func(t *testing.T) {
+			p, err := wl.plan(tc.driver)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pct := tc.pct
+			if testing.Short() {
+				pct = tc.shortPct
+			}
+			selected := selectMutants(len(p.res.Mutants), MutationOptions{SamplePct: pct, Seed: 2001})
+			interpRig := &diffRig{backend: BackendInterp}
+			compRig := &diffRig{backend: BackendCompiled}
+			for _, id := range selected {
+				ib := interpRig.boot(t, p, tc.driver, id)
+				cb := compRig.boot(t, p, tc.driver, id)
+				diffOne(t, tc.driver, p, id, ib, cb)
+				if t.Failed() {
+					t.Fatalf("%s: stopping after first divergent mutant", tc.driver)
+				}
+			}
+			t.Logf("%s: %d mutants identical on both backends", tc.driver, len(selected))
+		})
+	}
+}
+
+// TestDifferentialTables runs the paper's Table 3 and Table 4 end to end
+// through the campaign engine on each backend and requires the rendered
+// tables to be byte-identical.
+func TestDifferentialTables(t *testing.T) {
+	sample := 4
+	if testing.Short() {
+		sample = 1
+	}
+	for _, tc := range []struct {
+		driver  string
+		caption string
+	}{
+		{"ide_c", "Table 3"},
+		{"ide_devil", "Table 4"},
+	} {
+		opts := MutationOptions{SamplePct: sample, Seed: 2001, Backend: BackendCompiled}
+		compiled, err := DriverMutation(tc.driver, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Backend = BackendInterp
+		interp, err := DriverMutation(tc.driver, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := FormatDriverTable(compiled, tc.caption)
+		it := FormatDriverTable(interp, tc.caption)
+		if ct != it {
+			t.Errorf("%s differs between backends:\ncompiled:\n%s\ninterp:\n%s", tc.caption, ct, it)
+		}
+	}
+}
+
+// TestCampaignBackendField: a campaign spec naming a backend flows it to
+// every boot, and an unknown backend is rejected at expansion.
+func TestCampaignBackendField(t *testing.T) {
+	spec := CampaignSpec("busmouse_devil", MutationOptions{SamplePct: 20, Seed: 5})
+	spec.Backend = "interp"
+	store := campaign.NewMemStore()
+	if _, err := campaign.Run(spec, NewWorkload(), store, campaign.Options{}); err != nil {
+		t.Fatalf("interp-backend campaign: %v", err)
+	}
+	bad := spec
+	bad.Backend = "jit"
+	if _, _, err := NewWorkload().Expand(bad); err == nil {
+		t.Error("unknown backend accepted by Expand")
+	}
+}

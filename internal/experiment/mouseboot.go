@@ -3,10 +3,7 @@ package experiment
 import (
 	"fmt"
 
-	"repro/internal/cdriver/ccheck"
 	"repro/internal/cdriver/cinterp"
-	"repro/internal/cdriver/cparser"
-	"repro/internal/cdriver/ctypes"
 	"repro/internal/devil"
 	"repro/internal/devil/codegen"
 	"repro/internal/hw"
@@ -49,17 +46,21 @@ var motionScript = []struct {
 	{2, 2, 4}, {-1, -3, 0}, {5, 1, 2}, {-2, 4, 0},
 }
 
-// BootMouse compiles and boots one busmouse driver build.
-func BootMouse(input BootInput) (*BootResult, error) {
-	res := &BootResult{}
-	prog, perrs := cparser.ParseTokens(input.Tokens)
-	if len(perrs) > 0 {
-		for _, e := range perrs {
-			res.CompileErrors = append(res.CompileErrors, e)
-		}
-		return res, nil
-	}
+// MouseMachine is the assembled busmouse rig: clock, bus with the system
+// board and the adapter mapped, kernel, plus the same per-worker caches
+// as the IDE Machine (stubs, type environments, compiled-backend
+// buffers). A campaign worker builds one and Resets it between boots.
+type MouseMachine struct {
+	Clock *hw.Clock
+	Bus   *hw.Bus
+	Kern  *kernel.Kernel
+	Mouse *busmouse.Mouse
 
+	caches execCaches
+}
+
+// NewMouseMachine assembles the busmouse rig.
+func NewMouseMachine() (*MouseMachine, error) {
 	clock := &hw.Clock{}
 	bus := hw.NewBus()
 	bus.SetFloating(true)
@@ -70,48 +71,55 @@ func BootMouse(input BootInput) (*BootResult, error) {
 	if err := bus.Map(mouseBase, 4, mouse); err != nil {
 		return nil, err
 	}
-	kern := kernel.New(clock)
-	if input.Budget > 0 {
-		kern.SetBudget(input.Budget)
-	}
+	return &MouseMachine{
+		Clock:  clock,
+		Bus:    bus,
+		Kern:   kernel.New(clock),
+		Mouse:  mouse,
+		caches: newExecCaches(),
+	}, nil
+}
 
-	env := ctypes.NewEnv(input.Devil && !input.Permissive)
-	var stubs *codegen.Stubs
-	if input.Devil {
-		mode := input.StubMode
-		if mode == 0 {
-			mode = codegen.Debug
-		}
-		var err error
-		stubs, err = mouseSpec.Generate(devil.Config{
-			Bus:   bus,
-			Bases: map[string]hw.Port{"base": mouseBase},
-			Mode:  mode,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := env.AddStubs(stubs.Interface()); err != nil {
-			return nil, err
-		}
-	}
-	if cerrs := ccheck.Check(prog, env); len(cerrs) > 0 {
-		for _, e := range cerrs {
-			res.CompileErrors = append(res.CompileErrors, e)
-		}
-		return res, nil
-	}
+// Reset returns the rig to its power-on state (the system-board devices
+// are stateless, so mouse and kernel are the only state to rewind).
+func (m *MouseMachine) Reset() {
+	m.Mouse.Reset()
+	m.Kern.Reset()
+}
 
-	in, err := cinterp.New(prog, env, kern, bus, stubs)
+// MouseStubs generates busmouse stubs bound to the rig's bus.
+func (m *MouseMachine) MouseStubs(mode codegen.Mode) (*codegen.Stubs, error) {
+	return mouseSpec.Generate(devil.Config{
+		Bus:   m.Bus,
+		Bases: map[string]hw.Port{"base": mouseBase},
+		Mode:  mode,
+	})
+}
+
+// BootMouse compiles and boots one busmouse driver build on a freshly
+// built rig.
+func BootMouse(input BootInput) (*BootResult, error) {
+	m, err := NewMouseMachine()
 	if err != nil {
-		res.Outcome = kernel.Classify(err)
-		res.RunErr = err
+		return nil, err
+	}
+	return BootMouseOn(m, input)
+}
+
+// BootMouseOn compiles and boots one busmouse driver build on m, which
+// must be freshly built or Reset.
+func BootMouseOn(m *MouseMachine, input BootInput) (*BootResult, error) {
+	ex, res, err := m.caches.buildEngine(m.Kern, m.Bus, m.MouseStubs, input)
+	if err != nil {
+		return nil, err
+	}
+	if ex == nil {
 		return res, nil
 	}
-	runErr, damaged := runMouseBoot(kern, mouse, in)
-	res.Console = kern.Console()
-	res.Coverage = in.Coverage()
-	res.Steps = kern.Steps()
+	runErr, damaged := runMouseBoot(m.Kern, m.Mouse, ex)
+	res.Console = m.Kern.Console()
+	res.Coverage = ex.Coverage()
+	res.Steps = m.Kern.Steps()
 	res.RunErr = runErr
 	res.Outcome = kernel.Classify(runErr)
 	if runErr == nil && damaged {
@@ -123,8 +131,8 @@ func BootMouse(input BootInput) (*BootResult, error) {
 // runMouseBoot initialises the driver, feeds the motion script and checks
 // the event stream. The mouse counters accumulate, so the harness compares
 // cumulative positions.
-func runMouseBoot(kern *kernel.Kernel, mouse *busmouse.Mouse, in *cinterp.Interp) (error, bool) {
-	ret, err := in.Call("mouse_init")
+func runMouseBoot(kern *kernel.Kernel, mouse *busmouse.Mouse, ex execEngine) (error, bool) {
+	ret, err := ex.Call("mouse_init")
 	if err != nil {
 		return err, false
 	}
@@ -141,7 +149,7 @@ func runMouseBoot(kern *kernel.Kernel, mouse *busmouse.Mouse, in *cinterp.Interp
 		mouse.SetButtons(ev.buttons)
 		totalX += int8(ev.dx)
 		totalY += int8(ev.dy)
-		v, err := in.Call("mouse_poll")
+		v, err := ex.Call("mouse_poll")
 		if err != nil {
 			return err, false
 		}

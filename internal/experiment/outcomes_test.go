@@ -164,7 +164,7 @@ func TestOutcomeDeadCode(t *testing.T) {
 	if res.Outcome != kernel.OutcomeBoot {
 		t.Fatalf("baseline boot failed: %v", res.Outcome)
 	}
-	if res.Coverage[line] {
+	if res.Coverage.Covered(line) {
 		t.Errorf("write-fault arm (line %d) unexpectedly executed", line)
 	}
 }

@@ -149,6 +149,8 @@ type MutationOptions struct {
 	// ForcePermissive downgrades CDevil type checking to plain C rules
 	// (ablation: how much of Table 4 comes from strict typing alone).
 	ForcePermissive bool
+	// Backend selects the hwC execution engine (compiled when empty).
+	Backend Backend
 }
 
 // Table3 mutates the C IDE driver and boots every (sampled) mutant.
@@ -178,7 +180,7 @@ func classifyRow(br *BootResult, site cmut.Site) string {
 	if br.CompileDetected() {
 		return RowCompile
 	}
-	if br.Outcome == kernel.OutcomeBoot && !br.Coverage[site.Pos.Line] {
+	if br.Outcome == kernel.OutcomeBoot && !br.Coverage.Covered(site.Pos.Line) {
 		return RowDead
 	}
 	switch br.Outcome {

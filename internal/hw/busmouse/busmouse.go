@@ -45,6 +45,12 @@ func New() *Mouse {
 	return &Mouse{signature: 0xa5}
 }
 
+// Reset returns the adapter to its power-on state, so one mouse can be
+// reused across boots instead of being rebuilt per mutant.
+func (m *Mouse) Reset() {
+	*m = Mouse{signature: 0xa5}
+}
+
 // Name implements hw.Device.
 func (m *Mouse) Name() string { return "busmouse" }
 

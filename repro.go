@@ -10,7 +10,10 @@
 //   - The substrates: a simulated ISA port space with device models
 //     (internal/hw and subpackages), a boot kernel with a damage-auditable
 //     filesystem (internal/kernel), and an hwC driver-language front end
-//     and interpreter with permissive/strict typing (internal/cdriver).
+//     with permissive/strict typing and two execution backends — the
+//     closure-compiled campaign hot path (ccompile) and the tree-walking
+//     reference oracle (cinterp) it is differentially tested against
+//     (internal/cdriver).
 //   - The evaluation: the §3 mutation rules (internal/mutation, cmut,
 //     devilmut) and the experiment harness regenerating Tables 1–4 and
 //     Figures 1/3/4 (internal/experiment).
