@@ -130,6 +130,28 @@ func BenchmarkExtensionBusmouseMutations(b *testing.B) {
 	}
 }
 
+// BenchmarkExtensionNE2000Mutations runs the third-driver-pair extension
+// (the interrupt- and DMA-heavy NE2000 adapter) end to end.
+func BenchmarkExtensionNE2000Mutations(b *testing.B) {
+	for _, drv := range []string{"ne2000_c", "ne2000_devil"} {
+		drv := drv
+		b.Run(drv, func(b *testing.B) {
+			var t *experiment.DriverTable
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.DriverMutation(drv,
+					experiment.MutationOptions{SamplePct: 5, Seed: 2001})
+				if err != nil {
+					b.Fatal(err)
+				}
+				t = res
+			}
+			b.ReportMetric(t.DetectedPct(), "%detected")
+			b.ReportMetric(t.SilentPct(), "%silent-boot")
+			b.ReportMetric(float64(t.TotalMutants), "mutants-booted")
+		})
+	}
+}
+
 // BenchmarkFigure1CleanBoot measures the two clean boots of Figure 1's two
 // driver architectures — the baseline every mutant run is compared to.
 func BenchmarkFigure1CleanBoot(b *testing.B) {
@@ -281,7 +303,7 @@ func BenchmarkDevilMutantCheck(b *testing.B) {
 // reports boots per second, the headline throughput number of the batch
 // engine.
 func BenchmarkCampaignThroughput(b *testing.B) {
-	for _, driver := range []string{"ide_c", "ide_devil"} {
+	for _, driver := range []string{"ide_c", "ide_devil", "ne2000_c", "ne2000_devil"} {
 		driver := driver
 		b.Run(driver, func(b *testing.B) {
 			wl := experiment.NewWorkload()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/drivers"
 	"repro/internal/experiment"
 )
 
@@ -41,14 +42,15 @@ type BenchReport struct {
 // every future scenario multiplies against — and optionally persists it.
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("driverlab bench", flag.ContinueOnError)
-	driversFlag := fs.String("drivers", "ide_c,ide_devil", "comma-separated driver list to measure")
+	driversFlag := fs.String("drivers", strings.Join(drivers.Names(), ","),
+		"comma-separated driver list to measure")
 	sample := fs.Int("sample", 2, "percentage of mutants to boot per driver")
 	seed := fs.Uint64("seed", 2001, "sampling seed")
 	backendFlag := fs.String("backend", "", "hwC execution backend: compiled (default) or interp")
 	workers := fs.Int("workers", 0, "boot worker count (default: GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "write the report to -out as JSON")
 	out := fs.String("out", "BENCH_campaign.json", "report path for -json")
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	backend, err := experiment.ParseBackend(*backendFlag)

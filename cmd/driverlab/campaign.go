@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/drivers"
 	"repro/internal/experiment"
 )
 
@@ -80,7 +81,7 @@ func campaignRun(args []string, resume bool) error {
 	if !resume {
 		name = fs.String("name", "campaign", "campaign name")
 		driversFlag = fs.String("drivers", "ide_c,ide_devil",
-			"comma-separated driver list (ide_c, ide_devil, busmouse_c, busmouse_devil)")
+			"comma-separated driver list ("+strings.Join(drivers.Names(), ", ")+")")
 		sample = fs.Int("sample", 25, "percentage of mutants to boot (paper: 25)")
 		seed = fs.Uint64("seed", 2001, "sampling seed")
 		shards = fs.Int("shards", 1, "shard count the work-list partitions into")
@@ -88,7 +89,7 @@ func campaignRun(args []string, resume bool) error {
 		permissive = fs.Bool("permissive", false, "downgrade CDevil typing to plain C rules")
 		backend = fs.String("backend", "", "hwC execution backend: compiled (default) or interp")
 	}
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	if *store == "" {
@@ -180,7 +181,7 @@ func progressPrinter() func(done, total int) {
 func campaignMerge(args []string) error {
 	fs := flag.NewFlagSet("driverlab campaign merge", flag.ContinueOnError)
 	out := fs.String("out", "", "merged JSONL store to write (required)")
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	ins := fs.Args()
@@ -215,7 +216,7 @@ func campaignMerge(args []string) error {
 func campaignReport(args []string) error {
 	fs := flag.NewFlagSet("driverlab campaign report", flag.ContinueOnError)
 	store := fs.String("store", "", "JSONL result store (required)")
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	if *store == "" {

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/drivers"
 )
 
 // TestFastPaths exercises the non-mutation paths of the CLI (the mutation
@@ -34,10 +37,38 @@ func TestAdvertisedTables(t *testing.T) {
 		{"-table", "3", "-sample", "1"},
 		{"-table", "4", "-sample", "1"},
 		{"-table", "5", "-sample", "2"},
+		{"-table", "6", "-sample", "1"},
 		{"-table", "all", "-sample", "1"},
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("driverlab %v: %v", args, err)
+		}
+	}
+}
+
+// TestUsageEnumeratesSurface: the top-level -h banner must name the
+// campaign and bench subcommands, every embedded driver, and both
+// -backend values — the CLI's whole surface, not just the flag list —
+// and asking for help is success, not an error.
+func TestUsageEnumeratesSurface(t *testing.T) {
+	usage := usageText()
+	wants := []string{
+		"campaign", "run", "resume", "merge", "report", "bench",
+		"compiled", "interp", "BENCH_campaign.json",
+	}
+	wants = append(wants, drivers.Names()...)
+	for _, want := range wants {
+		if !strings.Contains(usage, want) {
+			t.Errorf("usage text does not mention %q", want)
+		}
+	}
+	for _, args := range [][]string{
+		{"-h"},
+		{"campaign", "run", "-h"},
+		{"bench", "-h"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) = %v, want nil (help is not an error)", args, err)
 		}
 	}
 }

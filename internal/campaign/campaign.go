@@ -33,7 +33,8 @@ type Spec struct {
 	// Name labels the campaign in stores and reports.
 	Name string `json:"name"`
 	// Drivers lists the embedded driver sources to mutate (e.g. "ide_c",
-	// "ide_devil", "busmouse_c", "busmouse_devil").
+	// "ide_devil", "busmouse_c", "busmouse_devil", "ne2000_c",
+	// "ne2000_devil").
 	Drivers []string `json:"drivers"`
 	// SamplePct selects the percentage of mutants to boot (the paper used
 	// 25); 0 or 100 boots everything.

@@ -1,0 +1,58 @@
+package campaign_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/campaign"
+)
+
+// toyWorkload is a minimal Workload: one "driver" with four mutants,
+// classified by parity. Real campaigns plug in internal/experiment,
+// which boots each mutant on a simulated PC.
+type toyWorkload struct{}
+
+func (toyWorkload) Expand(spec campaign.Spec) ([]campaign.Meta, []campaign.Task, error) {
+	meta := campaign.Meta{Driver: "toy", Sites: 2, Enumerated: 4, Selected: 4}
+	var tasks []campaign.Task
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, campaign.Task{Driver: "toy", Mutant: i})
+	}
+	return []campaign.Meta{meta}, tasks, nil
+}
+
+func (toyWorkload) NewWorker(spec campaign.Spec) (campaign.Worker, error) {
+	return toyWorker{}, nil
+}
+
+type toyWorker struct{}
+
+func (toyWorker) Boot(t campaign.Task) (campaign.Outcome, error) {
+	row := "Boot"
+	if t.Mutant%2 == 1 {
+		row = "Crash"
+	}
+	return campaign.Outcome{Row: row, Site: t.Mutant % 2}, nil
+}
+
+func (toyWorker) Close() {}
+
+// ExampleRun executes a campaign against an in-memory store and
+// re-derives the outcome histogram purely from the stored records —
+// the same records a file store would persist as JSONL.
+func ExampleRun() {
+	spec := campaign.Spec{Name: "toy", Drivers: []string{"toy"}}
+	store := campaign.NewMemStore()
+	sum, err := campaign.Run(spec, toyWorkload{}, store, campaign.Options{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables, _, err := campaign.Aggregate(store.Records())
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := tables["toy"]
+	fmt.Printf("booted %d of %d: Boot=%d Crash=%d\n",
+		sum.Ran, sum.Total, t.Counts["Boot"], t.Counts["Crash"])
+	// Output: booted 4 of 4: Boot=2 Crash=2
+}

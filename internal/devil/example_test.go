@@ -1,0 +1,32 @@
+package devil_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/devil"
+	"repro/internal/specs"
+)
+
+// ExampleCompile parses and checks a Devil specification — here the
+// paper's Figure 3 busmouse — yielding a Spec whose Generate method
+// builds executable stubs for a concrete bus assembly.
+func ExampleCompile() {
+	s, err := specs.Load("busmouse")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := devil.Compile(s.Filename, s.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	public := 0
+	for _, v := range spec.AST.Variables() {
+		if !v.Private {
+			public++
+		}
+	}
+	fmt.Printf("%s: %d registers, %d public variables\n",
+		spec.AST.Name, len(spec.AST.Registers()), public)
+	// Output: logitech_busmouse: 8 registers, 6 public variables
+}

@@ -1,0 +1,8 @@
+// Package drivers embeds the hwC driver corpus of the evaluation: three
+// traditional/CDevil pairs over the same hardware — the PIIX4 IDE disk
+// driver of Tables 3/4 (ide_c, ide_devil), the Logitech busmouse pair
+// (busmouse_c, busmouse_devil), and the NE2000 Ethernet pair (ne2000_c,
+// ne2000_devil). Each _c source hand-codes the port protocol the matching
+// _devil source delegates to generated stubs, and the //@hw markers bound
+// the hardware operating code the mutation rules apply to.
+package drivers

@@ -1,15 +1,32 @@
-// Package drivers embeds the hwC driver sources of the evaluation: the
-// traditional C IDE driver and its CDevil re-engineering, plus a busmouse
-// pair used by examples and tests.
 package drivers
 
 import (
 	"embed"
 	"fmt"
+	"sort"
+	"strings"
 )
 
 //go:embed src/*.c
 var files embed.FS
+
+// Names returns every embedded driver name in sorted order, derived from
+// the src/ directory — the single source of truth the CLI help text,
+// bench defaults and corpus tests build on.
+func Names() []string {
+	entries, err := files.ReadDir("src")
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".c"); ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Source is one embedded driver source file.
 type Source struct {

@@ -1,6 +1,8 @@
 package drivers_test
 
 import (
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 
@@ -9,7 +11,22 @@ import (
 	"repro/internal/drivers"
 )
 
-var corpus = []string{"ide_c", "ide_devil", "busmouse_c", "busmouse_devil"}
+var corpus = []string{
+	"ide_c", "ide_devil",
+	"busmouse_c", "busmouse_devil",
+	"ne2000_c", "ne2000_devil",
+}
+
+// TestNamesMatchesCorpus binds the derived name list to the explicit
+// corpus, so a driver file going missing (or arriving unlisted) fails.
+func TestNamesMatchesCorpus(t *testing.T) {
+	want := append([]string(nil), corpus...)
+	sort.Strings(want)
+	got := drivers.Names()
+	if !slices.Equal(got, want) {
+		t.Errorf("drivers.Names() = %v, want %v", got, want)
+	}
+}
 
 func TestLoadCorpus(t *testing.T) {
 	for _, name := range corpus {
@@ -70,12 +87,12 @@ func TestCorpusHasTaggedRegions(t *testing.T) {
 // TestDevilDriversAreHardwareFree: the CDevil sources must not contain raw
 // port I/O — that is the whole point of the re-engineering.
 func TestDevilDriversAreHardwareFree(t *testing.T) {
-	for _, name := range []string{"ide_devil", "busmouse_devil"} {
+	for _, name := range []string{"ide_devil", "busmouse_devil", "ne2000_devil"} {
 		src, err := drivers.Load(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, forbidden := range []string{"inb(", "outb(", "inw(", "outw(", "0x1f", "0x23c", "0x3f6"} {
+		for _, forbidden := range []string{"inb(", "outb(", "inw(", "outw(", "0x1f", "0x23c", "0x3f6", "0x30", "0x31f"} {
 			if strings.Contains(src.Text, forbidden) {
 				t.Errorf("%s contains raw hardware access %q", name, forbidden)
 			}

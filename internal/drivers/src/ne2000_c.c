@@ -1,0 +1,183 @@
+/*
+ * ne2000_c.c — traditional hand-written NE2000 (DP8390) Ethernet driver.
+ *
+ * Everything the Devil re-engineering derives from the specification is
+ * spelled out by hand here: the banked page-0/page-1 register file behind
+ * one command register, the remote-DMA start/count juggling, and the
+ * word-at-a-time PIO through the data port. The workload is a probe,
+ * frame transmission in internal loopback, and a receive-ring drain.
+ */
+
+//@hw
+#define NE_CMD      0x300
+#define NE_PSTART   0x301
+#define NE_PSTOP    0x302
+#define NE_BNRY     0x303
+#define NE_TPSR     0x304
+#define NE_TBCR0    0x305
+#define NE_TBCR1    0x306
+#define NE_ISR      0x307
+#define NE_RSAR0    0x308
+#define NE_RSAR1    0x309
+#define NE_RBCR0    0x30a
+#define NE_RBCR1    0x30b
+#define NE_RCR      0x30c
+#define NE_TCR      0x30d
+#define NE_DCR      0x30e
+#define NE_IMR      0x30f
+#define NE_PAR0     0x301
+#define NE_CURR     0x307
+#define NE_DATAPORT 0x310
+#define NE_RESET    0x31f
+
+#define CMD_STOP    0x21
+#define CMD_START   0x22
+#define CMD_RREAD   0x0a
+#define CMD_RWRITE  0x12
+#define CMD_TRANS   0x26
+#define CMD_PAGE1   0x62
+#define CMD_PAGE1_STOP 0x61
+
+#define ISR_PRX     0x01
+#define ISR_PTX     0x02
+#define ISR_RST     0x80
+
+#define DCR_WORD    0x49
+#define TCR_LOOP    0x02
+#define RCR_BCAST   0x04
+
+#define TX_PAGE     0x40
+#define RING_START  0x46
+#define RING_STOP   0x60
+
+#define NET_TIMEOUT 20000
+//@endhw
+
+/* Bounded wait for transmit completion. */
+static int tx_wait(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < NET_TIMEOUT; t++) {
+        if (inb(NE_ISR) & ISR_PTX) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+int net_init(void)
+{
+    //@hw
+    outb(0xff, NE_RESET);
+    if ((inb(NE_ISR) & ISR_RST) == 0) {
+        printk("ne2000: no adapter found");
+        return 1;
+    }
+    outb(CMD_STOP, NE_CMD);
+    outb(DCR_WORD, NE_DCR);
+    outb(0x00, NE_RBCR0);
+    outb(0x00, NE_RBCR1);
+    outb(RCR_BCAST, NE_RCR);
+    outb(TCR_LOOP, NE_TCR);
+    outb(RING_START, NE_PSTART);
+    outb(RING_STOP, NE_PSTOP);
+    outb(RING_START, NE_BNRY);
+    outb(0xff, NE_ISR);
+    outb(0x00, NE_IMR);
+    outb(CMD_PAGE1_STOP, NE_CMD);
+    outb(0x02, NE_PAR0);
+    outb(0x11, NE_PAR0 + 1);
+    outb(0x22, NE_PAR0 + 2);
+    outb(0x33, NE_PAR0 + 3);
+    outb(0x44, NE_PAR0 + 4);
+    outb(0x55, NE_PAR0 + 5);
+    outb(RING_START + 1, NE_CURR);
+    outb(CMD_START, NE_CMD);
+    //@endhw
+    printk("ne2000: adapter up");
+    return 0;
+}
+
+/* Transmit the len-byte frame in the kernel buffer: remote-DMA it into
+ * the transmit page, then fire and wait for completion. */
+int net_send(int len)
+{
+    int w;
+    //@hw
+    outb(CMD_START, NE_CMD);
+    outb(0x00, NE_RSAR0);
+    outb(TX_PAGE, NE_RSAR1);
+    outb(len & 0xff, NE_RBCR0);
+    outb(len >> 8, NE_RBCR1);
+    outb(CMD_RWRITE, NE_CMD);
+    for (w = 0; w < (len + 1) / 2; w++) {
+        outw(kbuf_read16(w * 2), NE_DATAPORT);
+    }
+    outb(ISR_PTX, NE_ISR);
+    outb(TX_PAGE, NE_TPSR);
+    outb(len & 0xff, NE_TBCR0);
+    outb(len >> 8, NE_TBCR1);
+    outb(CMD_TRANS, NE_CMD);
+    if (tx_wait()) {
+        printk("ne2000: transmit timeout");
+        return 1;
+    }
+    //@endhw
+    return 0;
+}
+
+/* Drain one frame from the receive ring into the kernel buffer. Returns
+ * the payload length, 0 when the ring is empty, negative on a corrupt
+ * ring header. */
+int net_recv(void)
+{
+    int curr;
+    int page;
+    int next;
+    int status;
+    int total;
+    int hdr;
+    int w;
+    //@hw
+    outb(CMD_PAGE1, NE_CMD);
+    curr = inb(NE_CURR);
+    outb(CMD_START, NE_CMD);
+    page = inb(NE_BNRY) + 1;
+    if (page >= RING_STOP) {
+        page = RING_START;
+    }
+    if (page == curr) {
+        return 0;
+    }
+    outb(0x00, NE_RSAR0);
+    outb(page, NE_RSAR1);
+    outb(4, NE_RBCR0);
+    outb(0, NE_RBCR1);
+    outb(CMD_RREAD, NE_CMD);
+    hdr = inw(NE_DATAPORT);
+    status = hdr & 0xff;
+    next = (hdr >> 8) & 0xff;
+    total = inw(NE_DATAPORT);
+    if ((status & 0x01) == 0 || total < 4) {
+        printk("ne2000: bad ring header");
+        return -1;
+    }
+    outb(4, NE_RSAR0);
+    outb(page, NE_RSAR1);
+    outb((total - 4) & 0xff, NE_RBCR0);
+    outb((total - 4) >> 8, NE_RBCR1);
+    outb(CMD_RREAD, NE_CMD);
+    for (w = 0; w < (total - 4 + 1) / 2; w++) {
+        kbuf_write16(w * 2, inw(NE_DATAPORT));
+    }
+    if (next == RING_START) {
+        outb(RING_STOP - 1, NE_BNRY);
+    } else {
+        outb(next - 1, NE_BNRY);
+    }
+    outb(ISR_PRX, NE_ISR);
+    //@endhw
+    return total - 4;
+}

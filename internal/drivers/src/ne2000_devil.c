@@ -1,0 +1,136 @@
+/*
+ * ne2000_devil.c — the NE2000 driver re-engineered over Devil stubs.
+ *
+ * The banked page-0/page-1 register dance, the remote-DMA start/count
+ * split and the ISR write-1-to-clear protocol all live in the
+ * specification: the glue below manipulates typed device variables
+ * (PageStart, RemoteOp, Loopback, ...) and moves frame data with the
+ * generated block-transfer stubs for the DataWord FIFO.
+ */
+
+#define TX_PAGE     0x40
+#define RING_START  0x46
+#define RING_STOP   0x60
+
+#define NET_TIMEOUT 20000
+
+/* Bounded wait for transmit completion. */
+static int tx_wait(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < NET_TIMEOUT; t++) {
+        if (get_PacketTransmitted()) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+int net_init(void)
+{
+    //@hw
+    set_ResetTrigger(0xff);
+    if (!get_ResetStatus()) {
+        printk("ne2000: no adapter found");
+        return 1;
+    }
+    set_Stop(1);
+    set_WordTransfer(1);
+    set_FifoThreshold(2);
+    set_AcceptBroadcast(1);
+    set_Loopback(LOOP_INTERNAL);
+    set_PageStart(RING_START);
+    set_PageStop(RING_STOP);
+    set_Boundary(RING_START);
+    set_PacketReceived(1);
+    set_PacketTransmitted(1);
+    set_InterruptMask(0);
+    set_PhysAddr0(0x02);
+    set_PhysAddr1(0x11);
+    set_PhysAddr2(0x22);
+    set_PhysAddr3(0x33);
+    set_PhysAddr4(0x44);
+    set_PhysAddr5(0x55);
+    set_CurrentPage(RING_START + 1);
+    set_Stop(0);
+    set_Start(1);
+    //@endhw
+    printk("ne2000: adapter up");
+    return 0;
+}
+
+/* Transmit the len-byte frame in the kernel buffer: remote-DMA it into
+ * the transmit page, then fire and wait for completion. */
+int net_send(int len)
+{
+    //@hw
+    set_RemoteStartLow(0x00);
+    set_RemoteStartHigh(TX_PAGE);
+    set_RemoteCountLow(len & 0xff);
+    set_RemoteCountHigh(len >> 8);
+    set_RemoteOp(DMA_WRITE);
+    set_block_DataWord(0, (len + 1) / 2);
+    set_PacketTransmitted(1);
+    set_TransmitPage(TX_PAGE);
+    set_TxCountLow(len & 0xff);
+    set_TxCountHigh(len >> 8);
+    set_Transmit(TX_START);
+    set_Transmit(TX_IDLE);
+    if (tx_wait()) {
+        printk("ne2000: transmit timeout");
+        return 1;
+    }
+    //@endhw
+    return 0;
+}
+
+/* Drain one frame from the receive ring into the kernel buffer. Returns
+ * the payload length, 0 when the ring is empty, negative on a corrupt
+ * ring header. */
+int net_recv(void)
+{
+    int curr;
+    int page;
+    int next;
+    int status;
+    int total;
+    int hdr;
+    //@hw
+    curr = get_CurrentPage();
+    page = get_Boundary() + 1;
+    if (page >= RING_STOP) {
+        page = RING_START;
+    }
+    if (page == curr) {
+        return 0;
+    }
+    set_RemoteStartLow(0x00);
+    set_RemoteStartHigh(page);
+    set_RemoteCountLow(4);
+    set_RemoteCountHigh(0);
+    set_RemoteOp(DMA_READ);
+    hdr = get_DataWord();
+    status = hdr & 0xff;
+    next = (hdr >> 8) & 0xff;
+    total = get_DataWord();
+    if ((status & 0x01) == 0 || total < 4) {
+        printk("ne2000: bad ring header");
+        return -1;
+    }
+    set_RemoteStartLow(4);
+    set_RemoteStartHigh(page);
+    set_RemoteCountLow((total - 4) & 0xff);
+    set_RemoteCountHigh((total - 4) >> 8);
+    set_RemoteOp(DMA_READ);
+    get_block_DataWord(0, (total - 4 + 1) / 2);
+    if (next == RING_START) {
+        set_Boundary(RING_STOP - 1);
+    } else {
+        set_Boundary(next - 1);
+    }
+    set_PacketReceived(1);
+    //@endhw
+    return total - 4;
+}

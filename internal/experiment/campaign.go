@@ -89,12 +89,14 @@ type workload struct {
 // NewWorkload returns the campaign workload that enumerates and boots
 // this repository's embedded drivers: ide_* through the full simulated
 // PC (with per-worker machine reuse), busmouse_* through the mouse
-// harness.
+// harness, ne2000_* through the network rig.
 func NewWorkload() campaign.Workload {
 	return &workload{plans: make(map[string]*driverPlan)}
 }
 
 func isMouseDriver(driver string) bool { return strings.HasPrefix(driver, "busmouse") }
+
+func isNetDriver(driver string) bool { return strings.HasPrefix(driver, "ne2000") }
 
 // plan returns (building on first use) the enumeration of one driver.
 func (w *workload) plan(driver string) (*driverPlan, error) {
@@ -135,6 +137,19 @@ func (w *workload) interfaceFor(driver string) (*codegen.Interface, error) {
 			Bus:   hw.NewBus(),
 			Bases: map[string]hw.Port{"base": mouseBase},
 			Mode:  codegen.Debug,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return stubs.Interface(), nil
+	}
+	if isNetDriver(driver) {
+		stubs, err := netSpec.Generate(codegen.Config{
+			Bus: hw.NewBus(),
+			Bases: map[string]hw.Port{
+				"reg": netRegBase, "dma": netDataBase, "reset": netResetBase,
+			},
+			Mode: codegen.Debug,
 		})
 		if err != nil {
 			return nil, err
@@ -197,9 +212,10 @@ func (w *workload) NewWorker(spec campaign.Spec) (campaign.Worker, error) {
 }
 
 // worker boots tasks on a single goroutine, reusing one simulated PC
-// across every ide_* boot and one mouse rig across every busmouse_*
-// boot (Reset instead of rebuild), so per-mutant work is only the
-// parse-check-compile-run of the mutated token stream.
+// across every ide_* boot, one mouse rig across every busmouse_* boot,
+// and one network rig across every ne2000_* boot (Reset instead of
+// rebuild), so per-mutant work is only the parse-check-compile-run of
+// the mutated token stream.
 type worker struct {
 	w       *workload
 	spec    campaign.Spec
@@ -207,6 +223,7 @@ type worker struct {
 	backend Backend
 	mach    *Machine
 	mouse   *MouseMachine
+	net     *NetMachine
 }
 
 // Boot implements campaign.Worker.
@@ -244,6 +261,16 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 			wk.mouse.Reset()
 		}
 		br, err = BootMouseOn(wk.mouse, input)
+	} else if isNetDriver(t.Driver) {
+		if wk.net == nil {
+			wk.net, err = NewNetMachine()
+			if err != nil {
+				return campaign.Outcome{}, err
+			}
+		} else {
+			wk.net.Reset()
+		}
+		br, err = BootNetOn(wk.net, input)
 	} else {
 		if wk.mach == nil {
 			wk.mach, err = NewMachine()
@@ -269,7 +296,7 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 }
 
 // Close implements campaign.Worker.
-func (wk *worker) Close() { wk.mach, wk.mouse = nil, nil }
+func (wk *worker) Close() { wk.mach, wk.mouse, wk.net = nil, nil, nil }
 
 // RunCampaignTable runs a one-driver campaign against an in-memory store
 // and renders the aggregate — the execution core of every Table 3/4

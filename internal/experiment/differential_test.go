@@ -20,6 +20,7 @@ type diffRig struct {
 	backend Backend
 	mach    *Machine
 	mouse   *MouseMachine
+	net     *NetMachine
 }
 
 func (r *diffRig) boot(t *testing.T, p *driverPlan, driver string, mutantID int) *BootResult {
@@ -43,6 +44,16 @@ func (r *diffRig) boot(t *testing.T, p *driverPlan, driver string, mutantID int)
 			r.mouse.Reset()
 		}
 		br, err = BootMouseOn(r.mouse, input)
+	} else if isNetDriver(driver) {
+		if r.net == nil {
+			r.net, err = NewNetMachine()
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			r.net.Reset()
+		}
+		br, err = BootNetOn(r.net, input)
 	} else {
 		if r.mach == nil {
 			r.mach, err = NewMachine()
@@ -114,9 +125,10 @@ func diffOne(t *testing.T, driver string, p *driverPlan, id int, interp, comp *B
 }
 
 // TestDifferentialOracle boots generated mutants of every embedded
-// driver on both backends. The busmouse pair and the CDevil IDE driver
-// run their full enumerations; the C IDE driver (7600+ mutants, the
-// slowest boots) runs a seeded sample.
+// driver on both backends. The busmouse pair and the CDevil IDE and
+// NE2000 drivers run their full enumerations; the C IDE and C NE2000
+// drivers (7600+ and 13800+ mutants, the slowest boots) run seeded
+// samples.
 func TestDifferentialOracle(t *testing.T) {
 	plans := []struct {
 		driver   string
@@ -127,6 +139,8 @@ func TestDifferentialOracle(t *testing.T) {
 		{"busmouse_devil", 0, 0},
 		{"ide_devil", 0, 10},
 		{"ide_c", 8, 2},
+		{"ne2000_devil", 0, 5},
+		{"ne2000_c", 8, 2},
 	}
 	wl := NewWorkload().(*workload)
 	for _, tc := range plans {

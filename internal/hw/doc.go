@@ -1,0 +1,11 @@
+// Package hw simulates the port-mapped I/O fabric that device drivers talk
+// to. It stands in for the ISA/PCI bus of the paper's test machine: devices
+// register handler callbacks for ranges of port addresses, and drivers (or
+// Devil-generated stubs) issue 8/16/32-bit reads and writes against the bus.
+//
+// The bus is deliberately unforgiving: an access to an unmapped port, or an
+// access whose width a device rejects, returns a BusFaultError. The kernel
+// simulator treats an unhandled bus fault as a machine crash, which is how
+// the paper's "Crash" outcome class arises from typographical errors in port
+// constants.
+package hw

@@ -1,0 +1,7 @@
+// Package ne2000 models an NE2000 Ethernet adapter (DP8390 core): the
+// paged register file, 16 KiB of on-board packet memory, the remote-DMA
+// engine behind the data port, and loopback transmission into the receive
+// ring — enough to exercise every register of specs/ne2000.dil and to run
+// a full transmit/receive round trip in the examples and the ne2000_*
+// campaign workload.
+package ne2000

@@ -1,8 +1,3 @@
-// Package ne2000 models an NE2000 Ethernet adapter (DP8390 core): the
-// paged register file, 16 KiB of on-board packet memory, the remote-DMA
-// engine behind the data port, and loopback transmission into the receive
-// ring — enough to exercise every register of specs/ne2000.dil and to run
-// a full transmit/receive round trip in the examples.
 package ne2000
 
 import (
@@ -64,6 +59,14 @@ type NIC struct {
 // New returns a NIC in the post-hardware-reset state.
 func New() *NIC {
 	return &NIC{isr: IsrReset, stopped: true, curr: MemStart + 1, bnry: MemStart}
+}
+
+// Reset returns the NIC to the cold power-on state New returns: packet
+// memory cleared, the whole register file rewound. It is the campaign
+// worker's rig-reuse hook — distinct from the warm reset the reset port
+// performs, which only stops the core and raises the reset latch.
+func (n *NIC) Reset() {
+	*n = NIC{isr: IsrReset, stopped: true, curr: MemStart + 1, bnry: MemStart}
 }
 
 // page returns the register page selected by CR bits 7..6.
@@ -243,6 +246,13 @@ func (n *NIC) transmit() {
 func (n *NIC) Receive(frame []byte) {
 	if n.stopped || n.pstart < MemStart || n.pstop > MemStop || n.pstart >= n.pstop {
 		n.isr |= IsrReceiveError
+		return
+	}
+	if n.curr < n.pstart || n.curr >= n.pstop {
+		// A misprogrammed write pointer outside the ring: the real chip
+		// would scribble over arbitrary packet memory; the model flags it.
+		n.isr |= IsrReceiveError
+		n.rsr = 0x02
 		return
 	}
 	total := len(frame) + 4

@@ -1,0 +1,5 @@
+// Package pci models the bus-master IDE function of the Intel 82371FB
+// (PIIX): the primary-channel command, status and descriptor-table-pointer
+// registers of specs/pci.dil, with a simple DMA engine that "completes"
+// after a programmable number of clock ticks.
+package pci

@@ -1,7 +1,3 @@
-// Package permedia models the 3Dlabs Permedia 2 control aperture of
-// specs/permedia.dil: reset, interrupt enable/flag pairs, the DMA engine,
-// the video timing generator with a free-running line counter, and the
-// graphics-processor input FIFO.
 package permedia
 
 import (

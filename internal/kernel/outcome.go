@@ -1,22 +1,3 @@
-// Package kernel simulates the operating-system context the paper boots
-// mutated drivers in: a boot sequence that exercises the driver, a panic
-// facility, a watchdog that bounds execution, and a filesystem whose
-// integrity can be audited after boot.
-//
-// Each mutant run terminates in exactly one Outcome, reproducing the
-// classification of §4.2:
-//
-//  1. Run-time check — a Devil assertion fired; the source line is known.
-//  2. Dead code      — the mutated site was never executed.
-//  3. Boot           — the kernel booted with no observable damage (the
-//     worst case: the error is latent).
-//  4. Crash          — the machine crashed with no information printed.
-//  5. Infinite loop  — the boot never completed (watchdog expired).
-//  6. Halt           — the kernel halted with a panic message.
-//  7. Damaged boot   — the boot completed but left visible damage.
-//
-// Compile-time detection happens before a kernel is ever built and is
-// classified by the experiment harness, not here.
 package kernel
 
 // Outcome classifies the terminal state of one boot.

@@ -1,21 +1,3 @@
-// Package cmut implements the C mutation rules of §3.3 and Table 1 over
-// hwC token streams.
-//
-// Three operator/identifier/literal rule families apply, always inside the
-// //@hw-tagged hardware operating code (for the C driver) or CDevil code
-// (for the Devil driver):
-//
-//   - literals: the §3.1 typo model per base (decimal, octal, hexadecimal);
-//   - operators: swaps within the reconstructed Table 1 classes — the three
-//     bitwise operators, the two logical connectives, the explicit |↔|| and
-//     &↔&& confusions the paper calls out, shift direction, additive
-//     operators, the relational/equality class, and the corresponding
-//     compound-assignment forms;
-//   - identifiers: in C mode any defined identifier can replace any other
-//     ("they are expanded by the pre-processor and only viewed as integers
-//     by the C compiler"); in CDevil mode replacements stay within the
-//     semantic class — get stubs, set stubs, Devil constants, macros, or
-//     plain C identifiers.
 package cmut
 
 import (

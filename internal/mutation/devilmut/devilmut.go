@@ -1,15 +1,3 @@
-// Package devilmut implements the Devil specification mutation rules of
-// §3.2 over Devil token streams:
-//
-//   - literals: the §3.1 typo model per semantic class — decimal and
-//     hexadecimal constants, bit strings (0, 1, *) and bit patterns
-//     (0, 1, *, .);
-//   - operators: swaps within the two operator classes — the integer-range
-//     operators ("," and "..") and the type-mapping operators ("<=", "=>"
-//     and "<=>");
-//   - identifiers: swaps within the same semantic class (port parameter,
-//     register, variable), never at the declaration site of a variable
-//     name (renaming a declaration only renames the generated stub).
 package devilmut
 
 import (

@@ -1,12 +1,3 @@
-// Package specs embeds the Devil specifications of the five devices the
-// paper's Table 2 evaluates: the Logitech busmouse, the Intel 82371FB PCI
-// bus-master IDE function, the Intel PIIX4 IDE disk interface, the NE2000
-// (ns8390) Ethernet controller, and the 3Dlabs Permedia 2 graphics chip.
-//
-// The busmouse specification is transcribed from the paper's Figure 3; the
-// others are reconstructions from the register maps of the public datasheets
-// the original specifications were written against, sized comparably to the
-// line counts reported in Table 2.
 package specs
 
 import (

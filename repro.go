@@ -16,7 +16,8 @@
 //     (internal/cdriver).
 //   - The evaluation: the §3 mutation rules (internal/mutation, cmut,
 //     devilmut) and the experiment harness regenerating Tables 1–4 and
-//     Figures 1/3/4 (internal/experiment).
+//     Figures 1/3/4, plus the busmouse and NE2000 extension pairs with
+//     their kernel-audited boot rigs (internal/experiment).
 //   - The campaign engine (internal/campaign): declarative mutation
 //     campaigns expanded into deterministic work-lists, partitioned into
 //     hash-assigned shards, executed on a worker pool with per-worker

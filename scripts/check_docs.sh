@@ -1,0 +1,39 @@
+#!/bin/sh
+# check_docs.sh — the docs smoke check CI runs:
+#
+#  1. every internal/ package must carry a package comment in a non-test
+#     file, so `go doc` gives a one-paragraph orientation per package;
+#  2. every examples/* binary must build and run cleanly against the
+#     simulated hardware.
+#
+# Run from the repository root.
+set -e
+
+fail=0
+for d in $(find internal -type d | sort); do
+    has_nontest=0
+    found=0
+    for f in "$d"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        has_nontest=1
+        if grep -q '^// Package ' "$f"; then
+            found=1
+        fi
+    done
+    if [ "$has_nontest" -eq 1 ] && [ "$found" -eq 0 ]; then
+        echo "missing package comment: $d" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "add a doc.go (or a package comment) to the packages above" >&2
+    exit 1
+fi
+echo "package comments: ok"
+
+for d in examples/*/; do
+    printf 'running %s... ' "$d"
+    go run "./$d" >/dev/null
+    echo ok
+done
