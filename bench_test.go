@@ -7,6 +7,7 @@ package repro_test
 import (
 	"fmt"
 	"testing"
+	"unsafe"
 
 	"repro/internal/campaign"
 	"repro/internal/devil"
@@ -301,26 +302,31 @@ func BenchmarkDevilMutantCheck(b *testing.B) {
 // enumeration amortised, per-worker machine/stub/env reuse, the compiled
 // execution backend, JSONL-shaped records into an in-memory store — and
 // reports boots per second, the headline throughput number of the batch
-// engine.
+// engine. Each driver runs under both front ends: incremental (the
+// default hot path: only the mutated declaration re-runs the
+// parse-check-compile chain) and full (the whole pipeline per mutant);
+// CI fails if incremental is ever slower.
 func BenchmarkCampaignThroughput(b *testing.B) {
 	for _, driver := range []string{"ide_c", "ide_devil", "ne2000_c", "ne2000_devil"} {
-		driver := driver
-		b.Run(driver, func(b *testing.B) {
-			wl := experiment.NewWorkload()
-			spec := experiment.CampaignSpec(driver,
-				experiment.MutationOptions{SamplePct: 2, Seed: 2001})
-			boots := 0
-			for i := 0; i < b.N; i++ {
-				store := campaign.NewMemStore()
-				sum, err := campaign.Run(spec, wl, store, campaign.Options{})
-				if err != nil {
-					b.Fatal(err)
+		for _, frontend := range []experiment.Frontend{experiment.FrontendIncremental, experiment.FrontendFull} {
+			b.Run(driver+"/"+string(frontend), func(b *testing.B) {
+				wl := experiment.NewWorkload()
+				spec := experiment.CampaignSpec(driver,
+					experiment.MutationOptions{SamplePct: 2, Seed: 2001})
+				spec.Frontend = string(frontend)
+				boots := 0
+				for i := 0; i < b.N; i++ {
+					store := campaign.NewMemStore()
+					sum, err := campaign.Run(spec, wl, store, campaign.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					boots += sum.Ran
 				}
-				boots += sum.Ran
-			}
-			b.ReportMetric(float64(boots)/b.Elapsed().Seconds(), "boots/s")
-			b.ReportMetric(float64(boots)/float64(b.N), "boots/op")
-		})
+				b.ReportMetric(float64(boots)/b.Elapsed().Seconds(), "boots/s")
+				b.ReportMetric(float64(boots)/float64(b.N), "boots/op")
+			})
+		}
 	}
 }
 
@@ -374,10 +380,25 @@ func BenchmarkMachineReuse(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
+		// Zero-delta check on the pooled console buffer: across reused
+		// boots BootResult.Console must alias one kernel-owned array —
+		// the same backing pointer every boot — rather than a per-boot
+		// copy. (The first boot may still grow the buffer, so the
+		// anchor is taken from boot two.)
+		var consoleBuf *string
 		for i := 0; i < b.N; i++ {
 			m.Reset()
-			if _, err := experiment.BootOn(m, input); err != nil {
+			res, err := experiment.BootOn(m, input)
+			if err != nil {
 				b.Fatal(err)
+			}
+			if i >= 1 && len(res.Console) > 0 {
+				p := unsafe.SliceData(res.Console)
+				if consoleBuf == nil {
+					consoleBuf = p
+				} else if p != consoleBuf {
+					b.Fatal("console buffer reallocated between reused boots (pooling regressed)")
+				}
 			}
 		}
 	})

@@ -89,6 +89,12 @@ func campaignRun(args []string, resume bool) error {
 		permissive = fs.Bool("permissive", false, "downgrade CDevil typing to plain C rules")
 		backend = fs.String("backend", "", "hwC execution backend: compiled (default) or interp")
 	}
+	// Execution-strategy knobs are fingerprint-excluded, so both run and
+	// resume accept them: a store started under one front end or flush
+	// interval may finish under another.
+	frontend := fs.String("frontend", "", "per-mutant front end: incremental (default) or full")
+	flushEvery := fs.Int("flush-every", 0,
+		"store checkpoint interval in records (0: the store default of 64); raise on long campaigns to trade crash-loss window for fewer writes")
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
@@ -108,12 +114,22 @@ func campaignRun(args []string, resume bool) error {
 
 	var spec campaign.Spec
 	if resume {
-		// Resume takes the spec from the store itself; no flags needed.
+		// Resume takes the spec from the store itself; only the
+		// fingerprint-excluded execution knobs may be overridden.
 		prior, ok := storedSpec(st)
 		if !ok {
 			return fmt.Errorf("campaign resume: %s holds no spec record", *store)
 		}
 		spec = prior
+		if _, err := experiment.ParseFrontend(*frontend); err != nil {
+			return err
+		}
+		if *frontend != "" {
+			spec.Frontend = *frontend
+		}
+		if *flushEvery > 0 {
+			spec.FlushEvery = *flushEvery
+		}
 		fmt.Fprintf(os.Stderr, "campaign: resuming %q from %s\n", spec.Name, *store)
 	} else {
 		// Run builds the spec from flags; on an existing store the engine
@@ -130,6 +146,9 @@ func campaignRun(args []string, resume bool) error {
 		if _, err := experiment.ParseBackend(*backend); err != nil {
 			return err
 		}
+		if _, err := experiment.ParseFrontend(*frontend); err != nil {
+			return err
+		}
 		spec = campaign.Spec{
 			Name:       *name,
 			Drivers:    driverList,
@@ -139,6 +158,8 @@ func campaignRun(args []string, resume bool) error {
 			StubMode:   *stub,
 			Permissive: *permissive,
 			Backend:    *backend,
+			Frontend:   *frontend,
+			FlushEvery: *flushEvery,
 		}
 	}
 
@@ -153,8 +174,12 @@ func campaignRun(args []string, resume bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("campaign %q: %d selected, %d already stored, %d booted this run\n",
-		spec.Normalized().Name, sum.Total, sum.Skipped, sum.Ran)
+	dedup := ""
+	if sum.Deduped > 0 {
+		dedup = fmt.Sprintf(", %d recorded from identical streams", sum.Deduped)
+	}
+	fmt.Printf("campaign %q: %d selected, %d already stored, %d booted this run%s\n",
+		spec.Normalized().Name, sum.Total, sum.Skipped, sum.Ran, dedup)
 	for _, line := range campaign.Completion(st.Records()) {
 		fmt.Println("  " + line)
 	}

@@ -72,6 +72,9 @@ Usage:
 Drivers: %s.
 Backends (-backend): compiled (closure-compiled hot path, the default)
 or interp (the tree-walking reference oracle).
+Front ends (campaign/bench -frontend): incremental (re-run the front
+end only on the mutated declaration, the default) or full (re-lex,
+re-parse, re-check and re-compile the whole driver per mutant).
 
 Flags:
 `, strings.Join(drivers.Names(), ", "))

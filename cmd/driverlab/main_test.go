@@ -111,11 +111,24 @@ func TestBenchCLI(t *testing.T) {
 	if rep.Bench != "campaign" || rep.Backend != "compiled" {
 		t.Errorf("report header = %q/%q, want campaign/compiled", rep.Bench, rep.Backend)
 	}
-	if rep.Total.Boots == 0 || rep.Total.BootsPerSec <= 0 {
-		t.Errorf("report total = %+v, want >0 boots and boots/s", rep.Total)
+	// The default -frontend both emits one driver row and one total per
+	// front end, full first.
+	if len(rep.Frontends) != 2 || rep.Frontends[0] != "full" || rep.Frontends[1] != "incremental" {
+		t.Errorf("report frontends = %v, want [full incremental]", rep.Frontends)
+	}
+	if len(rep.Totals) != 2 {
+		t.Fatalf("report has %d totals, want one per front end", len(rep.Totals))
+	}
+	for _, total := range rep.Totals {
+		if total.Boots == 0 || total.BootsPerSec <= 0 {
+			t.Errorf("report total = %+v, want >0 boots and boots/s", total)
+		}
 	}
 	if err := run([]string{"bench", "-backend", "jit"}); err == nil {
 		t.Error("bench with unknown backend accepted")
+	}
+	if err := run([]string{"bench", "-frontend", "psychic"}); err == nil {
+		t.Error("bench with unknown front end accepted")
 	}
 }
 

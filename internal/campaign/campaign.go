@@ -52,6 +52,17 @@ type Spec struct {
 	// Backend forces the hwC execution backend: "" (the compiled default),
 	// "compiled" or "interp" (the tree-walking reference oracle).
 	Backend string `json:"backend,omitempty"`
+	// Frontend forces the per-mutant front-end strategy: "" (the
+	// incremental default), "incremental" or "full" (re-run the whole
+	// lex/parse/check/compile pipeline per mutant). An execution
+	// strategy, not a workload change: it is excluded from the
+	// fingerprint, so a store can be resumed under either front end.
+	Frontend string `json:"frontend,omitempty"`
+	// FlushEvery overrides the file store's flush interval (records per
+	// checkpoint; 0 keeps the store's default). Long campaigns raise it
+	// to trade crash-loss window for fewer write(2) calls. A durability
+	// knob, not a workload change: excluded from the fingerprint.
+	FlushEvery int `json:"flush_every,omitempty"`
 }
 
 // Normalized returns the spec with defaults applied and the backend
@@ -70,6 +81,9 @@ func (s Spec) Normalized() Spec {
 	case "tree", "interpreter":
 		s.Backend = "interp"
 	}
+	if s.Frontend == "incremental" {
+		s.Frontend = "" // the default front end
+	}
 	return s
 }
 
@@ -77,7 +91,9 @@ func (s Spec) Normalized() Spec {
 // spec record; resume and merge refuse stores whose fingerprints differ.
 func (s Spec) Fingerprint() string {
 	n := s.Normalized()
-	n.Shards = 1 // shard count does not change the work-list, only its partition
+	n.Shards = 1     // shard count does not change the work-list, only its partition
+	n.Frontend = ""  // front-end strategy does not change results (the oracle's guarantee)
+	n.FlushEvery = 0 // durability tuning does not change the work-list
 	data, err := json.Marshal(n)
 	if err != nil {
 		return "unhashable"
@@ -94,6 +110,14 @@ type Task struct {
 	Driver string
 	Mutant int
 	Shard  int
+	// Dedup, when non-empty, identifies the task's mutated token stream
+	// exactly. Distinct mutation operators occasionally synthesise
+	// byte-identical streams (two literal edits with the same result);
+	// tasks sharing a Dedup key within one driver boot once, and the
+	// engine records the shared outcome for the rest with dedup_of
+	// provenance. The workload only sets Dedup on keys shared by at
+	// least two mutants.
+	Dedup string
 }
 
 // Key is the task's stable identity in stores.
@@ -155,6 +179,11 @@ type Record struct {
 	Lost   bool   `json:"lost,omitempty"`
 	Steps  int64  `json:"steps,omitempty"`
 	Shard  int    `json:"shard"`
+	// DedupOf, when set, records that this mutant's token stream was
+	// byte-identical to the named mutant's, which is the one that
+	// actually booted; the outcome fields are copies of its record.
+	// Pure provenance: aggregation treats the record like any other.
+	DedupOf *int `json:"dedup_of,omitempty"`
 }
 
 // SpecRecord builds the leading store record for a spec.

@@ -58,7 +58,10 @@ type Summary struct {
 	Skipped int
 	// Ran is how many booted in this run.
 	Ran int
-	// Rows histograms the outcomes of this run's boots.
+	// Deduped is how many were recorded without booting because their
+	// mutated token stream was identical to another task's (dedup_of).
+	Deduped int
+	// Rows histograms the outcomes recorded this run (boots + dedups).
 	Rows map[string]int
 }
 
@@ -70,6 +73,11 @@ type Summary struct {
 func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 	spec = spec.Normalized()
 	fp := spec.Fingerprint()
+	if spec.FlushEvery > 0 {
+		if fs, ok := store.(interface{ SetFlushEvery(int) }); ok {
+			fs.SetFlushEvery(spec.FlushEvery)
+		}
+	}
 
 	wantShard := func(int) bool { return true }
 	if opts.Shards != nil {
@@ -85,9 +93,10 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 
 	existing := store.Records()
 	done := make(map[string]bool)
+	resultAt := make(map[string]int) // stored-outcome index, for dedup copies
 	haveSpec := false
 	haveMeta := make(map[string]bool)
-	for _, r := range existing {
+	for i, r := range existing {
 		switch r.Kind {
 		case KindSpec:
 			if r.Fingerprint != fp {
@@ -98,7 +107,11 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 		case KindMeta:
 			haveMeta[r.Driver] = true
 		case KindResult:
-			done[TaskKey(r.Driver, r.Mutant)] = true
+			key := TaskKey(r.Driver, r.Mutant)
+			if !done[key] {
+				done[key] = true
+				resultAt[key] = i
+			}
 		}
 	}
 
@@ -120,6 +133,25 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 	}
 
 	sum := &Summary{Rows: make(map[string]int)}
+
+	// Mutant deduplication: tasks of one driver sharing a Dedup key have
+	// byte-identical mutated token streams, hence identical boot
+	// outcomes. The first such task in enumeration order (or one whose
+	// outcome the store already holds) is the group's representative;
+	// the rest are recorded from its outcome with dedup_of provenance
+	// instead of booting. Groups form within this invocation's shard
+	// selection, so independent shard runs stay independent — a
+	// duplicate whose representative lives in another shard simply
+	// boots, and the tables agree either way.
+	type dedupGroup struct {
+		repMutant int
+		repKey    string
+		stored    bool   // representative's outcome already in the store
+		dups      []Task // pending tasks awaiting the representative's boot
+	}
+	groups := make(map[string]*dedupGroup)
+	groupKey := func(t Task) string { return t.Driver + "\x00" + t.Dedup }
+
 	var pending []Task
 	for _, t := range tasks {
 		t.Shard = ShardOf(t.Driver, t.Mutant, spec.Shards)
@@ -127,11 +159,35 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 			continue
 		}
 		sum.Total++
-		if done[t.Key()] {
+		key := t.Key()
+		if done[key] {
+			if t.Dedup != "" && groups[groupKey(t)] == nil {
+				groups[groupKey(t)] = &dedupGroup{repMutant: t.Mutant, repKey: key, stored: true}
+			}
 			sum.Skipped++
 			continue
 		}
-		pending = append(pending, t)
+		if t.Dedup == "" {
+			pending = append(pending, t)
+			continue
+		}
+		g := groups[groupKey(t)]
+		switch {
+		case g == nil:
+			groups[groupKey(t)] = &dedupGroup{repMutant: t.Mutant, repKey: key}
+			pending = append(pending, t)
+		case g.stored:
+			// The identical stream booted in a previous run: record the
+			// shared outcome immediately (resume path).
+			rep := existing[resultAt[g.repKey]]
+			if err := store.Append(dedupRecord(rep, g.repMutant, t)); err != nil {
+				return sum, err
+			}
+			sum.Deduped++
+			sum.Rows[rep.Row]++
+		default:
+			g.dups = append(g.dups, t)
+		}
 	}
 	if len(pending) == 0 {
 		return sum, nil
@@ -147,7 +203,7 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 
 	var (
 		mu       sync.Mutex // guards sum, recorded, firstErr
-		recorded = sum.Skipped
+		recorded = sum.Skipped + sum.Deduped
 		firstErr error
 		stopped  atomic.Bool // aborts the feed after the first error
 	)
@@ -189,10 +245,28 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 					fail(err)
 					continue
 				}
+				// If this task represents a dedup group, its duplicates are
+				// now decided: record them from the fresh outcome. The
+				// representative's record is always appended first, so a
+				// crash can orphan duplicates (rerun on resume) but never a
+				// dedup_of reference.
+				extra := 0
+				if t.Dedup != "" {
+					if g := groups[groupKey(t)]; g != nil && g.repKey == t.Key() {
+						for _, d := range g.dups {
+							if err := store.Append(dedupRecord(rec, t.Mutant, d)); err != nil {
+								fail(err)
+								break
+							}
+							extra++
+						}
+					}
+				}
 				mu.Lock()
 				sum.Ran++
-				sum.Rows[out.Row]++
-				recorded++
+				sum.Deduped += extra
+				sum.Rows[out.Row] += 1 + extra
+				recorded += 1 + extra
 				prog := recorded
 				mu.Unlock()
 				if opts.Progress != nil {
@@ -213,6 +287,22 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 		return sum, firstErr
 	}
 	return sum, nil
+}
+
+// dedupRecord builds the result record of a task whose mutated stream
+// is identical to an already-recorded representative: the same outcome
+// fields under the task's own identity, with dedup_of pointing at the
+// mutant that actually booted (following an existing dedup_of chain to
+// its origin).
+func dedupRecord(rep Record, repMutant int, t Task) Record {
+	r := rep
+	r.Mutant = t.Mutant
+	r.Shard = t.Shard
+	if r.DedupOf == nil {
+		m := repMutant
+		r.DedupOf = &m
+	}
+	return r
 }
 
 // ParallelDo runs fn over [0,n) with a bounded worker pool and waits —

@@ -49,12 +49,13 @@ func (s *MemStore) Append(r Record) error {
 // Close implements Store.
 func (s *MemStore) Close() error { return nil }
 
-// flushEvery bounds how many records a crash can lose: the buffered
-// writer is flushed on every flushEvery-th append (a checkpoint) and on
-// Close. Between checkpoints appends cost a buffered memcpy, not a
-// write(2) — the difference is measurable at campaign throughput, where
-// every boot appends one record.
-const flushEvery = 64
+// defaultFlushEvery bounds how many records a crash can lose: the
+// buffered writer is flushed on every flushEvery-th append (a
+// checkpoint) and on Close. Between checkpoints appends cost a buffered
+// memcpy, not a write(2) — the difference is measurable at campaign
+// throughput, where every boot appends one record. Spec.FlushEvery (via
+// SetFlushEvery) overrides the interval per campaign.
+const defaultFlushEvery = 64
 
 // FileStore is the JSONL store: one record per line, encoded straight
 // into a buffered writer that is flushed on checkpoint and Close.
@@ -62,12 +63,13 @@ const flushEvery = 64
 // subsequent appends extend the good prefix — the mutants the torn or
 // unflushed tail described simply rerun on resume.
 type FileStore struct {
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	enc     *json.Encoder
-	pending int // appends since the last flush
-	recs    []Record
+	mu         sync.Mutex
+	f          *os.File
+	w          *bufio.Writer
+	enc        *json.Encoder
+	flushEvery int
+	pending    int // appends since the last flush
+	recs       []Record
 }
 
 // OpenFile opens (or creates) a JSONL store at path and loads every
@@ -80,7 +82,7 @@ func OpenFile(path string) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign store: %w", err)
 	}
-	s := &FileStore{f: f}
+	s := &FileStore{f: f, flushEvery: defaultFlushEvery}
 	br := bufio.NewReader(f)
 	var off int64 // end offset of the last good record
 	for {
@@ -154,12 +156,26 @@ func (s *FileStore) Append(r Record) error {
 	// Records() must never under-report what the file can hold.
 	s.recs = append(s.recs, r)
 	s.pending++
-	if s.pending >= flushEvery {
+	if s.pending >= s.flushEvery {
 		if err := s.flushLocked(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// SetFlushEvery overrides the checkpoint interval: how many appends may
+// sit in the buffer before a flush. Campaign Run applies Spec.FlushEvery
+// through this; n < 1 restores the default. Raising it trades a larger
+// crash-loss window (those mutants simply rerun on resume) for fewer
+// write(2) calls on long campaigns.
+func (s *FileStore) SetFlushEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 1 {
+		n = defaultFlushEvery
+	}
+	s.flushEvery = n
 }
 
 // Flush forces buffered records to the operating system — the explicit

@@ -1,0 +1,94 @@
+package ccheck
+
+import (
+	"repro/internal/cdriver/cast"
+	"repro/internal/cdriver/ctypes"
+)
+
+// Scope is the collected file-scope symbol surface of a checked program,
+// retained so the incremental front end can re-check a single
+// replacement declaration without re-walking the rest of the file.
+//
+// The single-token mutation model guarantees the replacement cannot
+// rename a declaration or change a signature (declaration tokens are not
+// mutation sites, and cincr.Respan rejects anything that changes a
+// declaration's kind or name), so every symbol the other declarations
+// see is unchanged and any new diagnostic can only come from the
+// replaced declaration itself. CheckReplacement therefore reproduces
+// exactly the error list a full Check of the mutated program would emit.
+type Scope struct {
+	env  *ctypes.Env
+	prog *cast.Program
+	// globals is the full file-scope table (what function bodies see).
+	globals map[string]symbol
+}
+
+// NewScope collects the symbol surface of a program that has already
+// been checked cleanly against env. The program must not be mutated
+// afterwards except through CheckReplacement's splice discipline.
+func NewScope(prog *cast.Program, env *ctypes.Env) *Scope {
+	return &Scope{env: env, prog: prog, globals: collectSymbols(prog, env, len(prog.Decls))}
+}
+
+// collectSymbols rebuilds the file-scope table over decls[0:n] with
+// collect's first-declaration-wins semantics. The declarations are
+// already normalised (the program was checked), so no diagnostics can
+// arise here.
+func collectSymbols(prog *cast.Program, env *ctypes.Env, n int) map[string]symbol {
+	globals := make(map[string]symbol, n)
+	for _, d := range prog.Decls[:n] {
+		switch d := d.(type) {
+		case *cast.MacroDecl:
+			if _, dup := globals[d.Name]; !dup {
+				globals[d.Name] = symbol{kind: symMacro, typ: intType}
+			}
+		case *cast.VarDecl:
+			if _, dup := globals[d.Name]; !dup {
+				globals[d.Name] = symbol{kind: symVar, typ: d.Type}
+			}
+		case *cast.FuncDecl:
+			if _, dup := globals[d.Name]; !dup {
+				globals[d.Name] = symbol{kind: symFunc, typ: d.Result}
+			}
+		}
+	}
+	return globals
+}
+
+// CheckReplacement checks a freshly parsed declaration destined for
+// declaration slot idx, returning the diagnostics a full Check of the
+// spliced program would produce. The declaration is normalised in place
+// (like any checked declaration) and is afterwards ready for either
+// backend.
+func (s *Scope) CheckReplacement(idx int, d cast.Decl) ErrorList {
+	switch d := d.(type) {
+	case *cast.MacroDecl:
+		// Macro bodies are not checked at their definition site (use
+		// sites see an integer), and the name is unchanged: no possible
+		// diagnostic. This mirrors collect's MacroDecl case.
+		return nil
+
+	case *cast.FuncDecl:
+		// Function bodies are checked after the whole file is collected,
+		// so the replacement sees the full global surface.
+		c := &checker{env: s.env, prog: s.prog, globals: s.globals}
+		c.checkFunc(d)
+		return c.errors
+
+	case *cast.VarDecl:
+		// Global initialisers are checked during collect, in declaration
+		// order: only the prefix of the file is in scope (an initialiser
+		// naming a later declaration is "undeclared", exactly as in the
+		// full pass).
+		c := &checker{env: s.env, prog: s.prog, globals: collectSymbols(s.prog, s.env, idx)}
+		c.checkVarType(d)
+		if _, dup := c.globals[d.Name]; !dup {
+			c.globals[d.Name] = symbol{kind: symVar, typ: d.Type}
+		}
+		if d.Init != nil {
+			c.assignable(d.NamePos, d.Type, c.exprType(d.Init))
+		}
+		return c.errors
+	}
+	return nil
+}

@@ -139,6 +139,22 @@ type initStep struct {
 // errors. Compile itself fails only with ErrUnsupported.
 func Compile(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
 	stubs *codegen.Stubs, m *Mach) (*Proc, error) {
+	c := newCompiler(prog, stubs)
+	c.registerDecls()
+	inits := c.compileInits(nil)
+	c.compileFuncs(nil)
+	if c.err != nil {
+		return nil, c.err
+	}
+	if m == nil {
+		m = NewMach()
+	}
+	c.sizeMach(m)
+	return c.newProc(kern, bus, stubs, m, inits), nil
+}
+
+// newCompiler builds an empty compiler over a checked program.
+func newCompiler(prog *cast.Program, stubs *codegen.Stubs) *compiler {
 	c := &compiler{
 		prog:      prog,
 		stubs:     stubs,
@@ -152,12 +168,14 @@ func Compile(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
 			c.varSigs[sig.Name] = sig
 		}
 	}
+	return c
+}
 
-	// Pass 1: register every top-level declaration with its order, so
-	// function bodies compile against the full global surface while the
-	// declsReady guard reproduces insmod-time visibility.
-	var inits []initStep
-	for ord, d := range prog.Decls {
+// registerDecls is pass 1: register every top-level declaration with its
+// order, so function bodies compile against the full global surface
+// while the declsReady guard reproduces insmod-time visibility.
+func (c *compiler) registerDecls() {
+	for ord, d := range c.prog.Decls {
 		switch d := d.(type) {
 		case *cast.MacroDecl:
 			if _, dup := c.macros[d.Name]; !dup {
@@ -176,14 +194,22 @@ func Compile(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
 			}
 		}
 	}
+}
 
-	// Pass 2: compile global initialisers (run later by Init) and every
-	// function body.
-	for ord, d := range prog.Decls {
+// compileInits is the first half of pass 2: compile every global
+// initialiser (run later by Init). onUnit, when non-nil, is invoked with
+// each step's index before its expression compiles — the incremental
+// compiler's dependency-recording hook.
+func (c *compiler) compileInits(onUnit func(initIdx int)) []initStep {
+	var inits []initStep
+	for ord, d := range c.prog.Decls {
 		if vd, ok := d.(*cast.VarDecl); ok {
 			ref := c.globalIdx[vd.Name]
 			if ref.ord != ord {
 				continue // duplicate declaration: unreachable post-check
+			}
+			if onUnit != nil {
+				onUnit(len(inits))
 			}
 			step := initStep{declOrd: ord, slot: ref.slot, typ: vd.Type, def: defaultValue(vd.Type)}
 			if vd.Init != nil {
@@ -192,23 +218,34 @@ func Compile(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
 			inits = append(inits, step)
 		}
 	}
+	return inits
+}
+
+// compileFuncs is the second half of pass 2: compile every function
+// body. onUnit mirrors compileInits.
+func (c *compiler) compileFuncs(onUnit func(funcIdx int)) {
 	for i, fd := range c.funcDecls {
+		if onUnit != nil {
+			onUnit(i)
+		}
 		c.compileFunc(c.funcs[i], fd)
 	}
-	if c.err != nil {
-		return nil, c.err
-	}
+}
 
-	if m == nil {
-		m = NewMach()
-	}
+// sizeMach grows the pooled execution buffers to the compiled program's
+// needs and rewinds the coverage bitset for the coming boot.
+func (c *compiler) sizeMach(m *Mach) {
 	need := maxCallDepth * c.maxSlots
 	if cap(m.stack) < need {
 		m.stack = make([]Value, need)
 	}
 	m.cov.Reset()
 	m.cov.Grow(c.maxLine)
+}
 
+// newProc assembles the machine-bound Proc for a fully compiled program.
+func (c *compiler) newProc(kern *kernel.Kernel, bus *hw.Bus, stubs *codegen.Stubs,
+	m *Mach, inits []initStep) *Proc {
 	p := &Proc{
 		st: state{
 			kern:    kern,
@@ -221,12 +258,12 @@ func Compile(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
 		},
 		byName:  make(map[string]*cfunc, len(c.funcs)),
 		inits:   inits,
-		maxDecl: len(prog.Decls),
+		maxDecl: len(c.prog.Decls),
 	}
 	for _, f := range c.funcs {
 		p.byName[f.name] = f
 	}
-	return p, nil
+	return p
 }
 
 // defaultValue is the interpreter's zero value for a declared type.

@@ -44,6 +44,11 @@ type compiler struct {
 
 	macros     map[string]macroRef
 	macroStack []string
+	// onMacro, when non-nil, is invoked for every macro inlined at a use
+	// site (including macros reached through nested expansion) — the
+	// incremental compiler records which compilation units must be
+	// recompiled when a macro body mutates.
+	onMacro func(name string)
 
 	// Per-function compile state: lexical scopes mapping names to frame
 	// slots, and the slot high-water mark.
@@ -197,6 +202,19 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 		delta := int64(1)
 		if s.Op == ctoken.MinusMinus {
 			delta = -1
+		}
+		// Local counters (every loop induction variable) update their
+		// frame slot directly — no load/store closure pair.
+		if ls, ok := c.lookupLocal(s.X.Name); ok {
+			slot, typ := ls.idx, ls.typ
+			return func(st *state, fr []Value) (flow, Value, error) {
+				if err := st.kern.Step(); err != nil {
+					return flowNormal, voidValue, err
+				}
+				st.cov.Add(line)
+				fr[slot] = cinterp.Truncate(typ, intValue(fr[slot].I+delta))
+				return flowNormal, voidValue, nil
+			}
 		}
 		store := c.lvalue(s.X)
 		return func(st *state, fr []Value) (flow, Value, error) {
@@ -492,6 +510,70 @@ func (c *compiler) switchStmt(s *cast.SwitchStmt, line int) stmtFn {
 	}
 }
 
+// assignLocal compiles an assignment to a local frame slot, with the
+// generic closures' exact semantics inlined. Returns nil for compound
+// operators outside the known set (the generic path owns their
+// bad-operator fault).
+func (c *compiler) assignLocal(s *cast.AssignStmt, line int, rhsFn exprFn, ls localSlot) stmtFn {
+	slot, typ := ls.idx, ls.typ
+	if s.Op == ctoken.Assign {
+		return func(st *state, fr []Value) (flow, Value, error) {
+			if err := st.kern.Step(); err != nil {
+				return flowNormal, voidValue, err
+			}
+			st.cov.Add(line)
+			rhs, err := rhsFn(st, fr)
+			if err != nil {
+				return flowNormal, voidValue, err
+			}
+			// Direct assignment: Devil values flow through unchanged.
+			if fr[slot].Kind == cinterp.ValDevil || rhs.Kind == cinterp.ValDevil {
+				fr[slot] = rhs
+			} else {
+				fr[slot] = cinterp.Truncate(typ, intValue(rhs.I))
+			}
+			return flowNormal, voidValue, nil
+		}
+	}
+	switch s.Op {
+	case ctoken.OrAssign, ctoken.AndAssign, ctoken.XorAssign,
+		ctoken.ShlAssign, ctoken.ShrAssign, ctoken.AddAssign, ctoken.SubAssign:
+	default:
+		return nil
+	}
+	opk := s.Op
+	return func(st *state, fr []Value) (flow, Value, error) {
+		if err := st.kern.Step(); err != nil {
+			return flowNormal, voidValue, err
+		}
+		st.cov.Add(line)
+		rhs, err := rhsFn(st, fr)
+		if err != nil {
+			return flowNormal, voidValue, err
+		}
+		a, b := fr[slot].I, rhs.I
+		var x int64
+		switch opk {
+		case ctoken.OrAssign:
+			x = a | b
+		case ctoken.AndAssign:
+			x = a & b
+		case ctoken.XorAssign:
+			x = a ^ b
+		case ctoken.ShlAssign:
+			x = a << uint(b&63)
+		case ctoken.ShrAssign:
+			x = a >> uint(b&63)
+		case ctoken.AddAssign:
+			x = a + b
+		case ctoken.SubAssign:
+			x = a - b
+		}
+		fr[slot] = cinterp.Truncate(typ, intValue(x))
+		return flowNormal, voidValue, nil
+	}
+}
+
 // lval is a compiled storage location: local slot, global slot, or the
 // interpreter's undefined-variable fault.
 type lval struct {
@@ -540,6 +622,13 @@ func undefVarErr(name string) error {
 // then target resolution, then the op-specific store.
 func (c *compiler) assign(s *cast.AssignStmt, line int) stmtFn {
 	rhsFn := c.expr(s.RHS)
+	// Local targets store into their frame slot directly — no
+	// load/store closure pair on the hot path.
+	if ls, ok := c.lookupLocal(s.LHS.Name); ok {
+		if f := c.assignLocal(s, line, rhsFn, ls); f != nil {
+			return f
+		}
+	}
 	target := c.lvalue(s.LHS)
 	typ := target.typ
 	if s.Op == ctoken.Assign {

@@ -161,6 +161,33 @@ func (c *compiler) ident(id *cast.Ident, line int) exprFn {
 	}
 
 	if m, ok := c.macros[name]; ok {
+		if c.onMacro != nil {
+			c.onMacro(name)
+		}
+		// Constant macros — the `#define NAME <literal>` idiom that is
+		// every macro in the driver corpus — collapse to one closure: the
+		// guards and both coverage points of the generic expansion, no
+		// nested closure call, no depth bookkeeping (a literal body
+		// cannot recurse, so increment-then-decrement is unobservable;
+		// the depth *check*, reachable at full recursion depth, stays).
+		if lit, isLit := m.decl.Body.(*cast.IntLit); isLit {
+			v := intValue(lit.Value)
+			bodyLine := c.line(lit.Pos())
+			ord := m.ord
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				if ord >= st.declsReady {
+					return lateFallback(st)
+				}
+				if st.depth >= maxCallDepth {
+					return voidValue, &kernel.CrashError{
+						Cause: fmt.Errorf("macro expansion too deep at %q", name),
+					}
+				}
+				st.cov.Add(bodyLine)
+				return v, nil
+			}
+		}
 		for _, active := range c.macroStack {
 			if active == name {
 				c.fail(fmt.Errorf("%w: macro expansion cycle at %q", ErrUnsupported, name))
@@ -210,13 +237,150 @@ func undefIdentErr(name string) error {
 	return &kernel.CrashError{Cause: fmt.Errorf("use of undefined identifier %q", name)}
 }
 
-// binary compiles a binary operation with a per-operator closure.
+// fop is a fused binary operand: a local frame slot, an integer
+// literal, or a constant macro, evaluated inline by the binary closure
+// instead of through its own closure call. The fields replicate the
+// operand closure's exact observable sequence — coverage points first,
+// then (for macros) the declsReady and depth guards.
+type fop struct {
+	slot     int // >= 0: local frame slot; -1: constant
+	v        int64
+	useLine  int
+	bodyLine int // constant macros cover their body's line too
+	guarded  bool
+	ord      int
+	name     string
+}
+
+// fuseOperand classifies an expression as a fused binary operand.
+// Macro operands record the dependency exactly like a compiled
+// expansion would, so incremental patching still recompiles this unit
+// when the macro body mutates.
+func (c *compiler) fuseOperand(x cast.Expr) (fop, bool) {
+	switch x := x.(type) {
+	case *cast.IntLit:
+		return fop{slot: -1, v: x.Value, useLine: c.line(x.LitPos)}, true
+	case *cast.Ident:
+		if ls, ok := c.lookupLocal(x.Name); ok {
+			return fop{slot: ls.idx, useLine: c.line(x.NamePos)}, true
+		}
+		if _, isGlobal := c.globalIdx[x.Name]; isGlobal {
+			return fop{}, false
+		}
+		if m, ok := c.macros[x.Name]; ok {
+			lit, isLit := m.decl.Body.(*cast.IntLit)
+			if !isLit {
+				return fop{}, false
+			}
+			if c.onMacro != nil {
+				c.onMacro(x.Name)
+			}
+			return fop{
+				slot: -1, v: lit.Value,
+				useLine: c.line(x.NamePos), bodyLine: c.line(lit.Pos()),
+				guarded: true, ord: m.ord, name: x.Name,
+			}, true
+		}
+	}
+	return fop{}, false
+}
+
+// evalFused evaluates a fused operand — small enough for the compiler
+// to inline into the binary closures, with the macro fallback kept out
+// of line in macroLate.
+func evalFused(st *state, fr []Value, o *fop) (int64, error) {
+	st.cov.Add(o.useLine)
+	if o.slot >= 0 {
+		return fr[o.slot].I, nil
+	}
+	if o.guarded {
+		if o.ord >= st.declsReady {
+			return macroLate(st, o.name)
+		}
+		if st.depth >= maxCallDepth {
+			return 0, &kernel.CrashError{
+				Cause: fmt.Errorf("macro expansion too deep at %q", o.name),
+			}
+		}
+		st.cov.Add(o.bodyLine)
+	}
+	return o.v, nil
+}
+
+// macroLate is the not-yet-declared macro path (reachable only during
+// global initialisation): the chain links after macros — Devil enum
+// constants, then the undefined fault — exactly as ident's lateFallback.
+func macroLate(st *state, name string) (int64, error) {
+	if st.stubs != nil {
+		if _, ok := st.stubs.Const(name); ok {
+			// A Devil enum constant: binary operands read a value's .I,
+			// which is zero for Devil values.
+			return 0, nil
+		}
+	}
+	return 0, undefIdentErr(name)
+}
+
+// binary compiles a binary operation. Operands that are local slots,
+// literals or constant macros fuse into the operator's own closure —
+// the `status & MASK` shape of every polling loop then costs one
+// closure call instead of three.
 func (c *compiler) binary(x *cast.BinaryExpr, line int) exprFn {
+	op := x.Op
+	opPos := x.OpPos
+	if op != ctoken.LAnd && op != ctoken.LOr {
+		xo, xok := c.fuseOperand(x.X)
+		yo, yok := c.fuseOperand(x.Y)
+		switch {
+		case xok && yok:
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				a, err := evalFused(st, fr, &xo)
+				if err != nil {
+					return voidValue, err
+				}
+				b, err := evalFused(st, fr, &yo)
+				if err != nil {
+					return voidValue, err
+				}
+				return applyBin(op, opPos, a, b)
+			}
+		case yok:
+			lf := c.expr(x.X)
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				l, err := lf(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				b, err := evalFused(st, fr, &yo)
+				if err != nil {
+					return voidValue, err
+				}
+				return applyBin(op, opPos, l.I, b)
+			}
+		case xok:
+			rf := c.expr(x.Y)
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				a, err := evalFused(st, fr, &xo)
+				if err != nil {
+					return voidValue, err
+				}
+				r, err := rf(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				return applyBin(op, opPos, a, r.I)
+			}
+		}
+	}
+
 	lf := c.expr(x.X)
 	// Short-circuit operators first.
-	if x.Op == ctoken.LAnd || x.Op == ctoken.LOr {
+	if op == ctoken.LAnd || op == ctoken.LOr {
 		rf := c.expr(x.Y)
-		and := x.Op == ctoken.LAnd
+		and := op == ctoken.LAnd
 		return func(st *state, fr []Value) (Value, error) {
 			st.cov.Add(line)
 			l, err := lf(st, fr)
@@ -240,165 +404,71 @@ func (c *compiler) binary(x *cast.BinaryExpr, line int) exprFn {
 		}
 	}
 	rf := c.expr(x.Y)
-
-	eval2 := func(st *state, fr []Value) (int64, int64, error) {
+	return func(st *state, fr []Value) (Value, error) {
 		st.cov.Add(line)
 		l, err := lf(st, fr)
 		if err != nil {
-			return 0, 0, err
+			return voidValue, err
 		}
 		r, err := rf(st, fr)
 		if err != nil {
-			return 0, 0, err
-		}
-		return l.I, r.I, nil
-	}
-	boolVal := func(ok bool) Value {
-		if ok {
-			return intValue(1)
-		}
-		return intValue(0)
-	}
-
-	switch x.Op {
-	case ctoken.Or:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return intValue(a | b), nil
-		}
-	case ctoken.Xor:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return intValue(a ^ b), nil
-		}
-	case ctoken.And:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return intValue(a & b), nil
-		}
-	case ctoken.Shl:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return intValue(a << uint(b&63)), nil
-		}
-	case ctoken.Shr:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return intValue(a >> uint(b&63)), nil
-		}
-	case ctoken.Add:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return intValue(a + b), nil
-		}
-	case ctoken.Sub:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return intValue(a - b), nil
-		}
-	case ctoken.Mul:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return intValue(a * b), nil
-		}
-	case ctoken.Div, ctoken.Mod:
-		mod := x.Op == ctoken.Mod
-		opPos := x.OpPos
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			if b == 0 {
-				return voidValue, &kernel.CrashError{
-					Cause: fmt.Errorf("division by zero at %s", opPos),
-				}
-			}
-			if mod {
-				return intValue(a % b), nil
-			}
-			return intValue(a / b), nil
-		}
-	case ctoken.Eq:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return boolVal(a == b), nil
-		}
-	case ctoken.Ne:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return boolVal(a != b), nil
-		}
-	case ctoken.Lt:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return boolVal(a < b), nil
-		}
-	case ctoken.Gt:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return boolVal(a > b), nil
-		}
-	case ctoken.Le:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return boolVal(a <= b), nil
-		}
-	case ctoken.Ge:
-		return func(st *state, fr []Value) (Value, error) {
-			a, b, err := eval2(st, fr)
-			if err != nil {
-				return voidValue, err
-			}
-			return boolVal(a >= b), nil
-		}
-	}
-	badOp := x.Op
-	return func(st *state, fr []Value) (Value, error) {
-		if _, _, err := eval2(st, fr); err != nil {
 			return voidValue, err
 		}
-		return voidValue, &kernel.CrashError{Cause: fmt.Errorf("bad binary operator %s", badOp)}
+		return applyBin(op, opPos, l.I, r.I)
 	}
+}
+
+// applyBin is the shared operator jump table of every binary closure.
+func applyBin(op ctoken.Kind, opPos ctoken.Pos, a, b int64) (Value, error) {
+	switch op {
+	case ctoken.Or:
+		return intValue(a | b), nil
+	case ctoken.Xor:
+		return intValue(a ^ b), nil
+	case ctoken.And:
+		return intValue(a & b), nil
+	case ctoken.Shl:
+		return intValue(a << uint(b&63)), nil
+	case ctoken.Shr:
+		return intValue(a >> uint(b&63)), nil
+	case ctoken.Add:
+		return intValue(a + b), nil
+	case ctoken.Sub:
+		return intValue(a - b), nil
+	case ctoken.Mul:
+		return intValue(a * b), nil
+	case ctoken.Div, ctoken.Mod:
+		if b == 0 {
+			return voidValue, &kernel.CrashError{
+				Cause: fmt.Errorf("division by zero at %s", opPos),
+			}
+		}
+		if op == ctoken.Mod {
+			return intValue(a % b), nil
+		}
+		return intValue(a / b), nil
+	case ctoken.Eq:
+		return boolValue(a == b), nil
+	case ctoken.Ne:
+		return boolValue(a != b), nil
+	case ctoken.Lt:
+		return boolValue(a < b), nil
+	case ctoken.Gt:
+		return boolValue(a > b), nil
+	case ctoken.Le:
+		return boolValue(a <= b), nil
+	case ctoken.Ge:
+		return boolValue(a >= b), nil
+	}
+	return voidValue, &kernel.CrashError{Cause: fmt.Errorf("bad binary operator %s", op)}
+}
+
+// boolValue is C truth as a runtime value.
+func boolValue(ok bool) Value {
+	if ok {
+		return intValue(1)
+	}
+	return intValue(0)
 }
 
 // callImpl consumes evaluated arguments — the compiled analogue of the
@@ -406,7 +476,9 @@ func (c *compiler) binary(x *cast.BinaryExpr, line int) exprFn {
 type callImpl func(st *state, args []Value) (Value, error)
 
 // call compiles a call expression: arguments evaluate in order into a
-// pooled buffer, then the pre-resolved implementation runs.
+// pooled buffer, then the pre-resolved implementation runs. The I/O and
+// kernel-buffer builtins that sit on every polling loop compile to
+// direct closures with no argument buffer at all.
 func (c *compiler) call(x *cast.CallExpr, line int) exprFn {
 	argFns := make([]exprFn, len(x.Args))
 	for i, a := range x.Args {
@@ -421,6 +493,9 @@ func (c *compiler) call(x *cast.CallExpr, line int) exprFn {
 			return st.callFunc(f, args)
 		}
 	} else {
+		if direct := c.directBuiltin(x, argFns, line); direct != nil {
+			return direct
+		}
 		impl = c.builtin(x)
 	}
 	n := len(argFns)
@@ -447,6 +522,108 @@ func argI(args []Value, i int) int64 {
 		return args[i].I
 	}
 	return 0
+}
+
+// directBuiltin compiles the hot kernel builtins — port I/O, udelay and
+// the transfer-buffer accessors — to direct closures when the call's
+// arity matches the builtin's access pattern, skipping the pooled
+// argument buffer and the callImpl indirection of the generic path.
+// Wrong-arity calls (a mutant artefact) return nil and take the generic
+// path, whose lenient argI semantics they rely on. Returns nil for
+// everything else.
+func (c *compiler) directBuiltin(x *cast.CallExpr, argFns []exprFn, line int) exprFn {
+	var width hw.AccessWidth
+	ok := true
+	switch x.Name {
+	case "inb", "outb":
+		width = hw.Width8
+	case "inw", "outw":
+		width = hw.Width16
+	case "inl", "outl":
+		width = hw.Width32
+	default:
+		ok = false
+	}
+	switch {
+	case ok && x.Name[0] == 'i' && len(argFns) == 1:
+		af := argFns[0]
+		return func(st *state, fr []Value) (Value, error) {
+			st.cov.Add(line)
+			a, err := af(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			v, err := st.bus.Read(hw.Port(a.I), width)
+			return intValue(int64(v)), err
+		}
+	case ok && x.Name[0] == 'o' && len(argFns) == 2:
+		vf, pf := argFns[0], argFns[1]
+		return func(st *state, fr []Value) (Value, error) {
+			st.cov.Add(line)
+			v, err := vf(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			p, err := pf(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return voidValue, st.bus.Write(hw.Port(p.I), width, uint32(v.I))
+		}
+	}
+	switch x.Name {
+	case "udelay":
+		if len(argFns) == 1 {
+			af := argFns[0]
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				a, err := af(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				return voidValue, st.kern.Delay(a.I)
+			}
+		}
+	case "kbuf_read8", "kbuf_read16":
+		if len(argFns) == 1 {
+			wide := x.Name == "kbuf_read16"
+			af := argFns[0]
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				a, err := af(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				if wide {
+					v, err := st.kern.BufRead16(a.I)
+					return intValue(int64(v)), err
+				}
+				v, err := st.kern.BufRead8(a.I)
+				return intValue(int64(v)), err
+			}
+		}
+	case "kbuf_write8", "kbuf_write16":
+		if len(argFns) == 2 {
+			wide := x.Name == "kbuf_write16"
+			of, vf := argFns[0], argFns[1]
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				o, err := of(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				v, err := vf(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				if wide {
+					return voidValue, st.kern.BufWrite16(o.I, uint16(v.I))
+				}
+				return voidValue, st.kern.BufWrite8(o.I, uint8(v.I))
+			}
+		}
+	}
+	return nil
 }
 
 // builtin resolves a non-driver call at compile time: kernel builtins,

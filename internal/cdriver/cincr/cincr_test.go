@@ -1,0 +1,261 @@
+package cincr
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cdriver/cast"
+	"repro/internal/cdriver/clexer"
+	"repro/internal/cdriver/cparser"
+	"repro/internal/cdriver/ctoken"
+	"repro/internal/mutation/cmut"
+)
+
+const miniDriver = `
+#define BASE 0x1f0
+#define MASK 0x80
+
+int ready;
+int limit = BASE + 1;
+
+static int probe(int port) {
+	int v;
+	v = inb(port);
+	while (v & MASK) {
+		v = inb(port);
+	}
+	return v;
+}
+
+int drv_init(void) {
+	ready = probe(BASE);
+	return 0;
+}
+`
+
+func lexAll(t testing.TB, src string) []ctoken.Token {
+	t.Helper()
+	toks, errs := clexer.Lex(src)
+	if len(errs) > 0 {
+		t.Fatalf("lex: %v", errs[0])
+	}
+	return toks
+}
+
+func analyze(t testing.TB, src string) (*Source, []ctoken.Token) {
+	t.Helper()
+	toks := lexAll(t, src)
+	s, err := Analyze(toks)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return s, toks
+}
+
+func TestAnalyzeSpansPartitionTheStream(t *testing.T) {
+	s, toks := analyze(t, miniDriver)
+	want := []struct {
+		kind SpanKind
+		name string
+	}{
+		{SpanMacro, "BASE"}, {SpanMacro, "MASK"},
+		{SpanVar, "ready"}, {SpanVar, "limit"},
+		{SpanFunc, "probe"}, {SpanFunc, "drv_init"},
+	}
+	if len(s.Spans) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(s.Spans), len(want))
+	}
+	next := 0
+	for i, sp := range s.Spans {
+		if sp.Kind != want[i].kind || sp.Name != want[i].name {
+			t.Errorf("span %d = %s %q, want %s %q", i, sp.Kind, sp.Name, want[i].kind, want[i].name)
+		}
+		if sp.Start != next {
+			t.Errorf("span %d starts at %d, want %d (spans must partition)", i, sp.Start, next)
+		}
+		next = sp.End
+	}
+	if next != len(toks) {
+		t.Errorf("spans cover %d of %d tokens", next, len(toks))
+	}
+	for i := range toks {
+		if s.SpanOf(i) < 0 {
+			t.Errorf("token %d not assigned to a span", i)
+		}
+	}
+	if s.SpanOf(-1) != -1 || s.SpanOf(len(toks)) != -1 {
+		t.Error("out-of-range token indices must report span -1")
+	}
+}
+
+// respanVsFull applies one replacement both ways and requires either an
+// ErrSpanUnsafe fallback or a spliced program identical to the full
+// parse of the materialised stream — the incremental front end's core
+// invariant.
+func respanVsFull(t *testing.T, s *Source, idx int, repl ctoken.Token) (unsafe bool) {
+	t.Helper()
+	_, declIdx, decl, err := s.Respan(nil, idx, repl)
+	mut := &Mutation{Src: s, Index: idx, Replacement: repl}
+	full, perrs := cparser.ParseTokens(mut.Apply())
+	if err != nil {
+		if !errors.Is(err, ErrSpanUnsafe) {
+			t.Fatalf("Respan(%d): unexpected error %v", idx, err)
+		}
+		return true
+	}
+	// Respan succeeded: the full parse must agree cleanly.
+	if len(perrs) > 0 {
+		t.Fatalf("Respan(%d) succeeded but full parse errors: %v", idx, perrs[0])
+	}
+	pristine, _ := cparser.ParseTokens(s.Tokens)
+	spliced := &cast.Program{Decls: append([]cast.Decl(nil), pristine.Decls...)}
+	spliced.Decls[declIdx] = decl
+	if got, want := dumpProgram(spliced), dumpProgram(full); got != want {
+		t.Fatalf("Respan(%d): spliced program differs from full parse:\n--- spliced\n%s\n--- full\n%s",
+			idx, got, want)
+	}
+	return false
+}
+
+func tok(kind ctoken.Kind, lit string, at ctoken.Token) ctoken.Token {
+	return ctoken.Token{Kind: kind, Lit: lit, Pos: at.Pos, Tagged: at.Tagged}
+}
+
+// TestRespanEdgeCases drives the span boundaries the issue calls out:
+// the first and last token of the stream, function-boundary braces and
+// parens, and macro-definition tokens. Structural replacements must
+// fall back (ErrSpanUnsafe), value replacements must splice.
+func TestRespanEdgeCases(t *testing.T) {
+	s, toks := analyze(t, miniDriver)
+	last := len(toks) - 1
+
+	find := func(kind ctoken.Kind, lit string) int {
+		for i, tk := range toks {
+			if tk.Kind == kind && (lit == "" || tk.Lit == lit) {
+				return i
+			}
+		}
+		t.Fatalf("no %v %q token", kind, lit)
+		return -1
+	}
+
+	cases := []struct {
+		name       string
+		idx        int
+		repl       ctoken.Token
+		wantUnsafe bool
+	}{
+		{"first token replaced by ident", 0, tok(ctoken.Ident, "oops", toks[0]), true},
+		{"last token (closing brace) replaced by semi", last, tok(ctoken.Semi, "", toks[last]), true},
+		{"last token replaced by itself", last, toks[last], false},
+		{"macro name renamed", find(ctoken.Ident, "BASE"), tok(ctoken.Ident, "ELSEWHERE", toks[find(ctoken.Ident, "BASE")]), true},
+		{"macro body literal changed", find(ctoken.HexInt, "0x1f0"), tok(ctoken.DecInt, "496", toks[0]), false},
+		{"function opening paren dropped", find(ctoken.LParen, ""), tok(ctoken.Semi, "", toks[0]), true},
+		{"function body brace replaced", find(ctoken.LBrace, ""), tok(ctoken.RBrace, "", toks[0]), true},
+		{"statement-level literal changed", find(ctoken.HexInt, "0x80"), tok(ctoken.HexInt, "0x81", toks[0]), false},
+		{"operator swapped inside function", find(ctoken.And, ""), tok(ctoken.Or, "|", toks[0]), false},
+		{"index beyond stream", len(toks), tok(ctoken.Semi, "", toks[0]), true},
+		{"negative index", -1, tok(ctoken.Semi, "", toks[0]), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := respanVsFull(t, s, tc.idx, tc.repl); got != tc.wantUnsafe {
+				t.Errorf("unsafe = %v, want %v", got, tc.wantUnsafe)
+			}
+		})
+	}
+}
+
+// TestScratchReuseDoesNotAllocate: the hot path's span buffer is
+// caller-owned and reused.
+func TestScratchReuse(t *testing.T) {
+	s, toks := analyze(t, miniDriver)
+	var scratch []ctoken.Token
+	for i := range toks {
+		var err error
+		scratch, _, _, err = s.Respan(scratch, i, toks[i])
+		if err != nil {
+			t.Fatalf("identity respan of token %d: %v", i, err)
+		}
+	}
+}
+
+// loadDriver reads an embedded driver source from the repository tree.
+func loadDriver(t testing.TB, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "drivers", "src", name+".c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestIncrementalMatchesFullForAllBusmouseMutants is the exhaustive
+// program-identity proof of the acceptance criteria: for every mutant
+// cmut enumerates over busmouse_c, the incremental front end (respan +
+// splice) must produce a program identical to a full parse of the
+// materialised mutated stream. No mutant of the enumeration may even
+// need the ErrSpanUnsafe fallback.
+func TestIncrementalMatchesFullForAllBusmouseMutants(t *testing.T) {
+	toks := lexAll(t, loadDriver(t, "busmouse_c"))
+	s, err := Analyze(toks)
+	if err != nil {
+		t.Fatalf("Analyze(busmouse_c): %v", err)
+	}
+	res, err := cmut.Enumerate(toks, cmut.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine, perrs := cparser.ParseTokens(toks)
+	if len(perrs) > 0 {
+		t.Fatal(perrs[0])
+	}
+	var scratch []ctoken.Token
+	fallbacks := 0
+	for _, m := range res.Mutants {
+		var declIdx int
+		var decl cast.Decl
+		scratch, declIdx, decl, err = s.Respan(scratch, m.TokenIndex, m.Replacement)
+		if err != nil {
+			fallbacks++
+			continue
+		}
+		spliced := &cast.Program{Decls: append([]cast.Decl(nil), pristine.Decls...)}
+		spliced.Decls[declIdx] = decl
+		full, fperrs := cparser.ParseTokens(res.Apply(m))
+		if len(fperrs) > 0 {
+			t.Fatalf("mutant %d (%s): respan succeeded but full parse fails: %v",
+				m.ID, m.Description, fperrs[0])
+		}
+		if got, want := dumpProgram(spliced), dumpProgram(full); got != want {
+			t.Fatalf("mutant %d (%s): incremental program differs from full recompile:\n--- incremental\n%s\n--- full\n%s",
+				m.ID, m.Description, got, want)
+		}
+	}
+	if fallbacks != 0 {
+		t.Errorf("%d of %d mutants needed the full-recompile fallback; want 0 for busmouse_c",
+			fallbacks, len(res.Mutants))
+	}
+	t.Logf("busmouse_c: all %d mutants spliced to programs identical to a full recompile", len(res.Mutants))
+}
+
+// TestAnalyzeRejectsUnrecognisedShapes: streams outside the top-level
+// grammar must fail Analyze (the caller then keeps the full pipeline).
+func TestAnalyzeRejectsUnrecognisedShapes(t *testing.T) {
+	for _, src := range []string{
+		"int ;",              // missing name
+		"foo bar;",           // not a type
+		"int f(void) {",      // unterminated body
+		"#define",            // truncated define
+		"int x = 1",          // unterminated declaration
+		"int f(void) { } }",  // trailing garbage
+		"static inline int;", // qualifiers without declaration
+	} {
+		toks, _ := clexer.Lex(src)
+		if _, err := Analyze(toks); err == nil {
+			t.Errorf("Analyze(%q) accepted an unrecognised shape", src)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package cincr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cdriver/cast"
+	"repro/internal/cdriver/ctoken"
+)
+
+// dumpProgram renders a program as a deterministic S-expression with
+// every position, so two programs dump identically exactly when the
+// parser produced structurally identical trees — the equality the
+// incremental-vs-full tests assert.
+func dumpProgram(p *cast.Program) string {
+	var b strings.Builder
+	for _, d := range p.Decls {
+		dumpDecl(&b, d)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func pos(b *strings.Builder, p ctoken.Pos) {
+	fmt.Fprintf(b, "@%d:%d:%d", p.Offset, p.Line, p.Col)
+}
+
+func dumpDecl(b *strings.Builder, d cast.Decl) {
+	switch d := d.(type) {
+	case *cast.MacroDecl:
+		fmt.Fprintf(b, "(macro %s", d.Name)
+		pos(b, d.NamePos)
+		b.WriteByte(' ')
+		dumpExpr(b, d.Body)
+		b.WriteByte(')')
+	case *cast.VarDecl:
+		fmt.Fprintf(b, "(var %s %s", d.Type, d.Name)
+		pos(b, d.TypePos)
+		pos(b, d.NamePos)
+		if d.Init != nil {
+			b.WriteByte(' ')
+			dumpExpr(b, d.Init)
+		}
+		b.WriteByte(')')
+	case *cast.FuncDecl:
+		fmt.Fprintf(b, "(func %s %s", d.Result, d.Name)
+		pos(b, d.TypePos)
+		pos(b, d.NamePos)
+		for _, p := range d.Params {
+			fmt.Fprintf(b, " (param %s %s", p.Type, p.Name)
+			pos(b, p.NamePos)
+			b.WriteByte(')')
+		}
+		b.WriteByte(' ')
+		dumpStmt(b, d.Body)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "(unknown-decl %T)", d)
+	}
+}
+
+func dumpStmt(b *strings.Builder, s cast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+		b.WriteString("(nil)")
+	case *cast.Block:
+		b.WriteString("(block")
+		pos(b, s.LBrace)
+		for _, st := range s.Stmts {
+			b.WriteByte(' ')
+			dumpStmt(b, st)
+		}
+		b.WriteByte(')')
+	case *cast.DeclStmt:
+		b.WriteString("(decl ")
+		dumpDecl(b, s.Decl)
+		b.WriteByte(')')
+	case *cast.ExprStmt:
+		b.WriteString("(expr ")
+		dumpExpr(b, s.X)
+		b.WriteByte(')')
+	case *cast.AssignStmt:
+		fmt.Fprintf(b, "(assign %s ", s.Op)
+		dumpExpr(b, s.LHS)
+		b.WriteByte(' ')
+		dumpExpr(b, s.RHS)
+		b.WriteByte(')')
+	case *cast.IncDecStmt:
+		fmt.Fprintf(b, "(incdec %s ", s.Op)
+		dumpExpr(b, s.X)
+		b.WriteByte(')')
+	case *cast.IfStmt:
+		b.WriteString("(if")
+		pos(b, s.IfPos)
+		b.WriteByte(' ')
+		dumpExpr(b, s.Cond)
+		b.WriteByte(' ')
+		dumpStmt(b, s.Then)
+		if s.Else != nil {
+			b.WriteByte(' ')
+			dumpStmt(b, s.Else)
+		}
+		b.WriteByte(')')
+	case *cast.WhileStmt:
+		b.WriteString("(while")
+		pos(b, s.WhilePos)
+		b.WriteByte(' ')
+		dumpExpr(b, s.Cond)
+		b.WriteByte(' ')
+		dumpStmt(b, s.Body)
+		b.WriteByte(')')
+	case *cast.DoWhileStmt:
+		b.WriteString("(do")
+		pos(b, s.DoPos)
+		b.WriteByte(' ')
+		dumpStmt(b, s.Body)
+		b.WriteByte(' ')
+		dumpExpr(b, s.Cond)
+		b.WriteByte(')')
+	case *cast.ForStmt:
+		b.WriteString("(for")
+		pos(b, s.ForPos)
+		b.WriteByte(' ')
+		dumpStmt(b, s.Init)
+		b.WriteByte(' ')
+		if s.Cond != nil {
+			dumpExpr(b, s.Cond)
+		} else {
+			b.WriteString("(nil)")
+		}
+		b.WriteByte(' ')
+		dumpStmt(b, s.Post)
+		b.WriteByte(' ')
+		dumpStmt(b, s.Body)
+		b.WriteByte(')')
+	case *cast.SwitchStmt:
+		b.WriteString("(switch")
+		pos(b, s.SwitchPos)
+		b.WriteByte(' ')
+		dumpExpr(b, s.Tag)
+		for _, cl := range s.Clauses {
+			b.WriteString(" (case")
+			pos(b, cl.CasePos)
+			for _, v := range cl.Values {
+				b.WriteByte(' ')
+				dumpExpr(b, v)
+			}
+			for _, st := range cl.Stmts {
+				b.WriteByte(' ')
+				dumpStmt(b, st)
+			}
+			b.WriteByte(')')
+		}
+		b.WriteByte(')')
+	case *cast.BreakStmt:
+		b.WriteString("(break")
+		pos(b, s.KwPos)
+		b.WriteByte(')')
+	case *cast.ContinueStmt:
+		b.WriteString("(continue")
+		pos(b, s.KwPos)
+		b.WriteByte(')')
+	case *cast.ReturnStmt:
+		b.WriteString("(return")
+		pos(b, s.KwPos)
+		if s.X != nil {
+			b.WriteByte(' ')
+			dumpExpr(b, s.X)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "(unknown-stmt %T)", s)
+	}
+}
+
+func dumpExpr(b *strings.Builder, x cast.Expr) {
+	switch x := x.(type) {
+	case *cast.IntLit:
+		fmt.Fprintf(b, "(int %d %s", x.Value, x.Base)
+		pos(b, x.LitPos)
+		b.WriteByte(')')
+	case *cast.StringLit:
+		fmt.Fprintf(b, "(string %q", x.Value)
+		pos(b, x.LitPos)
+		b.WriteByte(')')
+	case *cast.Ident:
+		fmt.Fprintf(b, "(ident %s", x.Name)
+		pos(b, x.NamePos)
+		b.WriteByte(')')
+	case *cast.CallExpr:
+		fmt.Fprintf(b, "(call %s", x.Name)
+		pos(b, x.NamePos)
+		for _, a := range x.Args {
+			b.WriteByte(' ')
+			dumpExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *cast.UnaryExpr:
+		fmt.Fprintf(b, "(unary %s", x.Op)
+		pos(b, x.OpPos)
+		b.WriteByte(' ')
+		dumpExpr(b, x.X)
+		b.WriteByte(')')
+	case *cast.BinaryExpr:
+		fmt.Fprintf(b, "(binary %s", x.Op)
+		pos(b, x.OpPos)
+		b.WriteByte(' ')
+		dumpExpr(b, x.X)
+		b.WriteByte(' ')
+		dumpExpr(b, x.Y)
+		b.WriteByte(')')
+	case *cast.CondExpr:
+		b.WriteString("(cond ")
+		dumpExpr(b, x.Cond)
+		b.WriteByte(' ')
+		dumpExpr(b, x.Then)
+		b.WriteByte(' ')
+		dumpExpr(b, x.Else)
+		b.WriteByte(')')
+	case *cast.CastExpr:
+		fmt.Fprintf(b, "(cast %s", x.To)
+		pos(b, x.LParen)
+		b.WriteByte(' ')
+		dumpExpr(b, x.X)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "(unknown-expr %T)", x)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cdriver/ccheck"
 	"repro/internal/cdriver/ccompile"
 	"repro/internal/cdriver/ccov"
+	"repro/internal/cdriver/cincr"
 	"repro/internal/cdriver/cinterp"
 	"repro/internal/cdriver/clexer"
 	"repro/internal/cdriver/cparser"
@@ -70,6 +71,10 @@ type execCaches struct {
 	exec  *ccompile.Mach
 	stubs map[codegen.Mode]*codegen.Stubs
 	envs  map[envKey]*ctypes.Env
+	// incr holds the incremental front end's pristine pipelines: parsed
+	// and checked pristine ASTs plus (compiled backend) the in-place
+	// patching compiler, one per boot configuration.
+	incr map[incrKey]*incrState
 }
 
 func newExecCaches() execCaches {
@@ -77,6 +82,7 @@ func newExecCaches() execCaches {
 		exec:  ccompile.NewMach(),
 		stubs: make(map[codegen.Mode]*codegen.Stubs),
 		envs:  make(map[envKey]*ctypes.Env),
+		incr:  make(map[incrKey]*incrState),
 	}
 }
 
@@ -119,9 +125,25 @@ func (c *execCaches) envFor(input BootInput, stubs *codegen.Stubs) (*ctypes.Env,
 // exactly one of ex and res is meaningful: a nil ex means the boot is
 // already decided (compile-time detection or an insmod fault) and res is
 // final; otherwise res is fresh and the caller drives ex.
+//
+// With a Mutation input the incremental front end runs first: only the
+// declaration span containing the mutated token is re-parsed, re-checked
+// and recompiled against the worker's cached pristine pipeline. A
+// span-unsafe mutation materialises the full mutated stream and falls
+// through to the full pipeline below.
 func (c *execCaches) buildEngine(kern *kernel.Kernel, bus *hw.Bus,
 	generate func(codegen.Mode) (*codegen.Stubs, error),
 	input BootInput) (execEngine, *BootResult, error) {
+	if input.Mutation != nil {
+		ex, res, done, err := c.buildIncremental(kern, bus, generate, input)
+		if err != nil {
+			return nil, nil, err
+		}
+		if done {
+			return ex, res, nil
+		}
+		input.Tokens = input.Mutation.Apply()
+	}
 	res := &BootResult{}
 	prog, perrs := cparser.ParseTokens(input.Tokens)
 	if len(perrs) > 0 {
@@ -259,6 +281,13 @@ func (m *Machine) IDEStubs(mode codegen.Mode) (*devil.Stubs, error) {
 type BootInput struct {
 	// Tokens is the (possibly mutated) driver token stream.
 	Tokens []ctoken.Token
+	// Mutation, when non-nil, selects the incremental front end: the
+	// boot is of Mutation's pristine analysed source with exactly one
+	// token replaced, and Tokens is ignored (the mutated stream is only
+	// materialised on the span-unsafe fallback path). The campaign hot
+	// path boots this way; Tokens-based boots always run the full
+	// pipeline.
+	Mutation *cincr.Mutation
 	// Devil selects the CDevil pipeline: strict typing + generated stubs.
 	Devil bool
 	// StubMode is the stub generation mode for Devil drivers (Debug when
@@ -281,7 +310,10 @@ type BootResult struct {
 	Outcome kernel.Outcome
 	// RunErr is the error the boot terminated with, if any.
 	RunErr error
-	// Console is the kernel console log.
+	// Console is the kernel console log. Like Coverage it aliases the
+	// machine's pooled buffer: it is valid until the machine that
+	// produced it boots again, so callers that keep results across boots
+	// must copy it.
 	Console []string
 	// Coverage is the executed-line set (for dead-code classification).
 	// With the compiled backend it aliases the machine's pooled buffer:
@@ -404,7 +436,7 @@ func boot(m *Machine, input BootInput) (*BootResult, error) {
 
 	// Phase 2: boot the kernel with the driver installed.
 	runErr := runBoot(m, ex, res)
-	res.Console = m.Kern.Console()
+	res.Console = m.Kern.ConsoleView()
 	res.Coverage = ex.Coverage()
 	res.Steps = m.Kern.Steps()
 	res.RunErr = runErr

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/campaign"
+	"repro/internal/cdriver/cincr"
 	"repro/internal/devil/codegen"
 	"repro/internal/drivers"
 	"repro/internal/hw"
@@ -78,6 +79,13 @@ func TableFromCampaign(d *campaign.TableData) *DriverTable {
 type driverPlan struct {
 	src drivers.Source
 	res *cmut.Result
+	// incr is the span analysis of the pristine stream — the shared half
+	// of the incremental front end (nil when the source is outside the
+	// splitter's shape; workers then use the full pipeline).
+	incr *cincr.Source
+	// dedup holds, per mutant ID, the stream hash shared with at least
+	// one other mutant ("" for unique streams).
+	dedup []string
 }
 
 // workload implements campaign.Workload over the embedded driver corpus.
@@ -124,7 +132,10 @@ func (w *workload) plan(driver string) (*driverPlan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("driver %s: %w", driver, err)
 	}
-	p := &driverPlan{src: src, res: res}
+	p := &driverPlan{src: src, res: res, dedup: res.DedupKeys()}
+	if incr, err := cincr.Analyze(res.Tokens); err == nil {
+		p.incr = incr
+	}
 	w.plans[driver] = p
 	return p, nil
 }
@@ -175,6 +186,9 @@ func (w *workload) Expand(spec campaign.Spec) ([]campaign.Meta, []campaign.Task,
 	if _, err := ParseBackend(spec.Backend); err != nil {
 		return nil, nil, err
 	}
+	if _, err := ParseFrontend(spec.Frontend); err != nil {
+		return nil, nil, err
+	}
 	var metas []campaign.Meta
 	var tasks []campaign.Task
 	for _, driver := range spec.Drivers {
@@ -192,7 +206,7 @@ func (w *workload) Expand(spec campaign.Spec) ([]campaign.Meta, []campaign.Task,
 			Selected:   len(selected),
 		})
 		for _, id := range selected {
-			tasks = append(tasks, campaign.Task{Driver: driver, Mutant: id})
+			tasks = append(tasks, campaign.Task{Driver: driver, Mutant: id, Dedup: p.dedup[id]})
 		}
 	}
 	return metas, tasks, nil
@@ -208,22 +222,32 @@ func (w *workload) NewWorker(spec campaign.Spec) (campaign.Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &worker{w: w, spec: spec, mode: mode, backend: backend}, nil
+	frontend, err := ParseFrontend(spec.Frontend)
+	if err != nil {
+		return nil, err
+	}
+	return &worker{w: w, spec: spec, mode: mode, backend: backend, frontend: frontend}, nil
 }
 
 // worker boots tasks on a single goroutine, reusing one simulated PC
 // across every ide_* boot, one mouse rig across every busmouse_* boot,
 // and one network rig across every ne2000_* boot (Reset instead of
-// rebuild), so per-mutant work is only the parse-check-compile-run of
-// the mutated token stream.
+// rebuild). With the incremental front end (the default) per-mutant
+// work shrinks further: the mutated token stream is never materialised —
+// the boot input is the shared pristine span analysis plus one
+// replacement token, and only the declaration containing it re-runs the
+// parse-check-compile chain.
 type worker struct {
-	w       *workload
-	spec    campaign.Spec
-	mode    codegen.Mode
-	backend Backend
-	mach    *Machine
-	mouse   *MouseMachine
-	net     *NetMachine
+	w        *workload
+	spec     campaign.Spec
+	mode     codegen.Mode
+	backend  Backend
+	frontend Frontend
+	mach     *Machine
+	mouse    *MouseMachine
+	net      *NetMachine
+	// mut is the reused Mutation cell of the incremental boot input.
+	mut cincr.Mutation
 }
 
 // Boot implements campaign.Worker.
@@ -239,12 +263,17 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 	m := p.res.Mutants[t.Mutant]
 	site := p.res.Sites[m.SiteIndex]
 	input := BootInput{
-		Tokens:     p.res.Apply(m),
 		Devil:      p.src.Devil,
 		StubMode:   wk.mode,
 		Permissive: wk.spec.Permissive,
 		Budget:     wk.spec.Budget,
 		Backend:    wk.backend,
+	}
+	if wk.frontend == FrontendIncremental && p.incr != nil {
+		wk.mut = cincr.Mutation{Src: p.incr, Index: m.TokenIndex, Replacement: m.Replacement}
+		input.Mutation = &wk.mut
+	} else {
+		input.Tokens = p.res.Apply(m)
 	}
 	if input.Budget == 0 {
 		input.Budget = ExperimentBudget

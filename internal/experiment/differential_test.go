@@ -5,32 +5,43 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/cdriver/cincr"
 )
 
-// The differential oracle: the compiled backend exists for throughput,
-// the tree-walking interpreter for trust. These tests boot generated
-// mutants on both backends — through the same per-worker machine-reuse
-// pattern the campaign engine uses — and require identical observable
-// results: compile-time detection, outcome class, terminating error
-// text, console log, covered-line set, watchdog step count, and the
-// Table 3/4 row the mutant lands in.
+// The differential oracle: the compiled backend and the incremental
+// front end exist for throughput, the tree-walking interpreter over a
+// full per-mutant recompile for trust. These tests boot generated
+// mutants on every backend × front-end combination — through the same
+// per-worker machine-reuse pattern the campaign engine uses — and
+// require identical observable results: compile-time detection, outcome
+// class, terminating error text, console log, covered-line set,
+// watchdog step count, and the Table 3/4 row the mutant lands in.
 
-// diffRig reuses one machine per backend, mirroring a campaign worker.
+// diffRig reuses one machine per backend × front end, mirroring a
+// campaign worker.
 type diffRig struct {
-	backend Backend
-	mach    *Machine
-	mouse   *MouseMachine
-	net     *NetMachine
+	backend     Backend
+	incremental bool
+	mach        *Machine
+	mouse       *MouseMachine
+	net         *NetMachine
 }
 
 func (r *diffRig) boot(t *testing.T, p *driverPlan, driver string, mutantID int) *BootResult {
 	t.Helper()
 	m := p.res.Mutants[mutantID]
 	input := BootInput{
-		Tokens:  p.res.Apply(m),
 		Devil:   p.src.Devil,
 		Budget:  ExperimentBudget,
 		Backend: r.backend,
+	}
+	if r.incremental {
+		if p.incr == nil {
+			t.Fatalf("%s: no span analysis for incremental rig", driver)
+		}
+		input.Mutation = &cincr.Mutation{Src: p.incr, Index: m.TokenIndex, Replacement: m.Replacement}
+	} else {
+		input.Tokens = p.res.Apply(m)
 	}
 	var br *BootResult
 	var err error
@@ -125,10 +136,11 @@ func diffOne(t *testing.T, driver string, p *driverPlan, id int, interp, comp *B
 }
 
 // TestDifferentialOracle boots generated mutants of every embedded
-// driver on both backends. The busmouse pair and the CDevil IDE and
-// NE2000 drivers run their full enumerations; the C IDE and C NE2000
-// drivers (7600+ and 13800+ mutants, the slowest boots) run seeded
-// samples.
+// driver on every backend × front-end combination, anchored to the
+// interpreter over a full recompile (the reference semantics). The
+// busmouse pair and the CDevil IDE and NE2000 drivers run their full
+// enumerations; the C IDE and C NE2000 drivers (7600+ and 13800+
+// mutants, the slowest boots) run seeded samples.
 func TestDifferentialOracle(t *testing.T) {
 	plans := []struct {
 		driver   string
@@ -154,17 +166,35 @@ func TestDifferentialOracle(t *testing.T) {
 				pct = tc.shortPct
 			}
 			selected := selectMutants(len(p.res.Mutants), MutationOptions{SamplePct: pct, Seed: 2001})
-			interpRig := &diffRig{backend: BackendInterp}
-			compRig := &diffRig{backend: BackendCompiled}
+			ref := &diffRig{backend: BackendInterp}
+			variants := []struct {
+				name string
+				rig  *diffRig
+			}{
+				{"compiled/full", &diffRig{backend: BackendCompiled}},
+				{"compiled/incremental", &diffRig{backend: BackendCompiled, incremental: true}},
+				{"interp/incremental", &diffRig{backend: BackendInterp, incremental: true}},
+			}
 			for _, id := range selected {
-				ib := interpRig.boot(t, p, tc.driver, id)
-				cb := compRig.boot(t, p, tc.driver, id)
-				diffOne(t, tc.driver, p, id, ib, cb)
-				if t.Failed() {
-					t.Fatalf("%s: stopping after first divergent mutant", tc.driver)
+				rb := ref.boot(t, p, tc.driver, id)
+				// The reference result aliases pooled buffers that the next
+				// boot on the same rig overwrites; the variants use separate
+				// rigs, but the reference must survive all three comparisons.
+				rb.Console = append([]string(nil), rb.Console...)
+				if rb.Coverage != nil {
+					rb.Coverage = rb.Coverage.Clone()
+				}
+				for _, v := range variants {
+					vb := v.rig.boot(t, p, tc.driver, id)
+					diffOne(t, tc.driver, p, id, rb, vb)
+					if t.Failed() {
+						t.Fatalf("%s: %s diverged from interp/full at mutant %d",
+							tc.driver, v.name, id)
+					}
 				}
 			}
-			t.Logf("%s: %d mutants identical on both backends", tc.driver, len(selected))
+			t.Logf("%s: %d mutants identical on all backend/front-end combinations",
+				tc.driver, len(selected))
 		})
 	}
 }

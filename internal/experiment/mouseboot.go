@@ -117,7 +117,7 @@ func BootMouseOn(m *MouseMachine, input BootInput) (*BootResult, error) {
 		return res, nil
 	}
 	runErr, damaged := runMouseBoot(m.Kern, m.Mouse, ex)
-	res.Console = m.Kern.Console()
+	res.Console = m.Kern.ConsoleView()
 	res.Coverage = ex.Coverage()
 	res.Steps = m.Kern.Steps()
 	res.RunErr = runErr

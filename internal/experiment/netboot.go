@@ -146,7 +146,7 @@ func BootNetOn(m *NetMachine, input BootInput) (*BootResult, error) {
 		return res, nil
 	}
 	runErr, damaged := runNetBoot(m.Kern, m.NIC, ex)
-	res.Console = m.Kern.Console()
+	res.Console = m.Kern.ConsoleView()
 	res.Coverage = ex.Coverage()
 	res.Steps = m.Kern.Steps()
 	res.RunErr = runErr

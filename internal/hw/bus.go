@@ -72,11 +72,18 @@ type mapping struct {
 }
 
 // Bus is a port-mapped I/O space. The zero value is unusable; construct with
-// NewBus. Bus is safe for concurrent use, though the simulated kernel is
-// single-threaded.
+// NewBus.
+//
+// Like the rest of a simulated machine (kernel, devices, stubs), a Bus
+// belongs to one worker goroutine: the Read/Write data path is
+// lock-free and caches the last-hit mapping, because a port access sits
+// on the innermost loop of every driver poll. Configuration (Map,
+// Unmap, SetTracing, SetFloating) happens during machine assembly,
+// before execution starts, and stays internally locked.
 type Bus struct {
 	mu       sync.Mutex
 	mappings []mapping
+	last     *mapping // last-hit cache: polls hammer one register block
 	trace    []Access
 	tracing  bool
 	floating bool
@@ -118,6 +125,7 @@ func (b *Bus) Map(base Port, size Port, dev Device) error {
 	}
 	b.mappings = append(b.mappings, mapping{base: base, size: size, dev: dev})
 	sort.Slice(b.mappings, func(i, j int) bool { return b.mappings[i].base < b.mappings[j].base })
+	b.last = nil // the append/sort may have moved every mapping
 	return nil
 }
 
@@ -132,6 +140,7 @@ func (b *Bus) Unmap(dev Device) {
 		}
 	}
 	b.mappings = kept
+	b.last = nil
 }
 
 // SetTracing enables or disables transaction tracing.
@@ -160,11 +169,17 @@ func (b *Bus) Stats() (accesses, faults uint64) {
 	return b.accesses, b.faults
 }
 
-// find locates the mapping that covers port, or nil.
+// find locates the mapping that covers port, or nil. The one-entry
+// cache makes the typical poll loop — thousands of reads of the same
+// status register — a single range test.
 func (b *Bus) find(port Port) *mapping {
+	if m := b.last; m != nil && port >= m.base && port < m.base+m.size {
+		return m
+	}
 	for i := range b.mappings {
 		m := &b.mappings[i]
 		if port >= m.base && port < m.base+m.size {
+			b.last = m
 			return m
 		}
 	}
@@ -183,8 +198,6 @@ func (b *Bus) record(a Access) {
 
 // Read performs an input operation of the given width at port.
 func (b *Bus) Read(port Port, width AccessWidth) (uint32, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	m := b.find(port)
 	if m == nil {
 		if b.floating {
@@ -204,8 +217,6 @@ func (b *Bus) Read(port Port, width AccessWidth) (uint32, error) {
 
 // Write performs an output operation of the given width at port.
 func (b *Bus) Write(port Port, width AccessWidth, value uint32) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	m := b.find(port)
 	if m == nil {
 		if b.floating {

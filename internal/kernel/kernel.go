@@ -126,6 +126,14 @@ func (k *Kernel) Console() []string {
 	return out
 }
 
+// ConsoleView returns the console log without copying. The slice
+// aliases the kernel's pooled buffer: it is valid until the kernel is
+// Reset or logs again, so callers that keep it across boots must copy.
+// The campaign hot path reads one boot's console before the next boot
+// starts, which is why BootResult carries the view rather than paying a
+// per-boot copy.
+func (k *Kernel) ConsoleView() []string { return k.console }
+
 // Panic halts the kernel with a message.
 func (k *Kernel) Panic(msg string) error {
 	k.console = append(k.console, "Kernel panic: "+msg)
