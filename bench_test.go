@@ -153,6 +153,35 @@ func BenchmarkExtensionNE2000Mutations(b *testing.B) {
 	}
 }
 
+// BenchmarkExtensionTable2Completion runs the last two Table-2 device
+// pairs (the Permedia 2 frame buffer and the 82371FB bus master) end to
+// end — the workloads that completed the five-specification evaluation.
+func BenchmarkExtensionTable2Completion(b *testing.B) {
+	for _, tc := range []struct {
+		driver string
+		sample int
+	}{
+		{"permedia_c", 5}, {"permedia_devil", 10},
+		{"busmaster_c", 10}, {"busmaster_devil", 25},
+	} {
+		tc := tc
+		b.Run(tc.driver, func(b *testing.B) {
+			var t *experiment.DriverTable
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.DriverMutation(tc.driver,
+					experiment.MutationOptions{SamplePct: tc.sample, Seed: 2001})
+				if err != nil {
+					b.Fatal(err)
+				}
+				t = res
+			}
+			b.ReportMetric(t.DetectedPct(), "%detected")
+			b.ReportMetric(t.SilentPct(), "%silent-boot")
+			b.ReportMetric(float64(t.TotalMutants), "mutants-booted")
+		})
+	}
+}
+
 // BenchmarkFigure1CleanBoot measures the two clean boots of Figure 1's two
 // driver architectures — the baseline every mutant run is compared to.
 func BenchmarkFigure1CleanBoot(b *testing.B) {
@@ -307,7 +336,7 @@ func BenchmarkDevilMutantCheck(b *testing.B) {
 // parse-check-compile chain) and full (the whole pipeline per mutant);
 // CI fails if incremental is ever slower.
 func BenchmarkCampaignThroughput(b *testing.B) {
-	for _, driver := range []string{"ide_c", "ide_devil", "ne2000_c", "ne2000_devil"} {
+	for _, driver := range drivers.Names() {
 		for _, frontend := range []experiment.Frontend{experiment.FrontendIncremental, experiment.FrontendFull} {
 			b.Run(driver+"/"+string(frontend), func(b *testing.B) {
 				wl := experiment.NewWorkload()

@@ -5,8 +5,9 @@
 //	driverlab -table 2        Devil-compiler coverage over the 5 specs
 //	driverlab -table 3        mutation outcomes of the C IDE driver
 //	driverlab -table 4        mutation outcomes of the CDevil IDE driver
-//	driverlab -table 5        the busmouse extension pair
-//	driverlab -table 6        the NE2000 extension pair
+//	driverlab -table 5..8     the extension pairs (busmouse, NE2000,
+//	                          Permedia 2, 82371FB bus master), numbered
+//	                          from the workload registry
 //	driverlab -table all      everything (the default)
 //	driverlab -figure 1       the two driver architectures side by side
 //	driverlab -figure 3       the busmouse specification (round-tripped)
@@ -38,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/cdriver/ctoken"
@@ -55,21 +57,45 @@ func main() {
 	}
 }
 
+// extensionWorkloads returns the registered non-IDE workloads in
+// registration order; table 5+i regenerates pair i.
+func extensionWorkloads() []*experiment.WorkloadDesc {
+	var exts []*experiment.WorkloadDesc
+	for _, d := range experiment.Workloads() {
+		if d.Name != "ide" {
+			exts = append(exts, d)
+		}
+	}
+	return exts
+}
+
+// extensionTableHelp renders the extension-table numbering for help text
+// ("5 (busmouse extension), 6 (ne2000 extension), ...").
+func extensionTableHelp(exts []*experiment.WorkloadDesc) string {
+	parts := make([]string, len(exts))
+	for i, d := range exts {
+		parts[i] = fmt.Sprintf("%d (%s extension)", 5+i, d.Name)
+	}
+	return strings.Join(parts, ", ")
+}
+
 // usageText is the top-level -h banner: unlike the default flag dump it
 // enumerates the subcommands, the embedded drivers and the -backend
 // values, so the CLI surface is discoverable without reading the source.
 func usageText() string {
+	exts := extensionWorkloads()
 	return fmt.Sprintf(`driverlab regenerates the paper's tables and figures and runs
 mutation campaigns over the embedded driver corpus.
 
 Usage:
-  driverlab [flags]                      tables 1-6, figures, ablations
+  driverlab [flags]                      tables 1-%d, figures, ablations
   driverlab campaign <verb> [flags]      sharded, resumable, persisted campaigns
                                          verbs: run, resume, merge, report
   driverlab bench [flags]                campaign throughput (-json writes
                                          BENCH_campaign.json)
 
 Drivers: %s.
+Extension tables: %s.
 Backends (-backend): compiled (closure-compiled hot path, the default)
 or interp (the tree-walking reference oracle).
 Front ends (campaign/bench -frontend): incremental (re-run the front
@@ -77,7 +103,7 @@ end only on the mutated declaration, the default) or full (re-lex,
 re-parse, re-check and re-compile the whole driver per mutant).
 
 Flags:
-`, strings.Join(drivers.Names(), ", "))
+`, 4+len(exts), strings.Join(drivers.Names(), ", "), extensionTableHelp(exts))
 }
 
 // parseFlags wraps fs.Parse, treating -h/-help as success: the usage was
@@ -99,8 +125,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "bench" {
 		return runBench(args[1:])
 	}
+	exts := extensionWorkloads()
 	fs := flag.NewFlagSet("driverlab", flag.ContinueOnError)
-	table := fs.String("table", "", "table to regenerate: 1, 2, 3, 4, 5 (busmouse extension), 6 (NE2000 extension) or all")
+	table := fs.String("table", "", "table to regenerate: 1-4, "+extensionTableHelp(exts)+", or all")
 	figure := fs.String("figure", "", "figure to regenerate: 1, 3 or 4")
 	ablation := fs.Bool("ablation", false, "run the design-choice ablations")
 	sample := fs.Int("sample", 25, "percentage of driver mutants to boot (paper: 25)")
@@ -116,10 +143,12 @@ func run(args []string) error {
 	if *table == "" && *figure == "" && !*ablation {
 		*table = "all"
 	}
-	switch *table {
-	case "", "1", "2", "3", "4", "5", "6", "all":
-	default:
-		return fmt.Errorf("unknown table %q (want 1, 2, 3, 4, 5, 6 or all)", *table)
+	valid := map[string]bool{"": true, "all": true, "1": true, "2": true, "3": true, "4": true}
+	for i := range exts {
+		valid[strconv.Itoa(5+i)] = true
+	}
+	if !valid[*table] {
+		return fmt.Errorf("unknown table %q (want 1-%d or all)", *table, 4+len(exts))
 	}
 	backend, err := experiment.ParseBackend(*backendFlag)
 	if err != nil {
@@ -166,24 +195,19 @@ func run(args []string) error {
 		fmt.Println(experiment.FormatDriverTable(t4,
 			fmt.Sprintf("Table 4: Mutations on CDevil code (%d%% sample, seed %d)", *sample, *seed)))
 	}
-	if want("5") {
-		for _, drv := range []string{"busmouse_c", "busmouse_devil"} {
-			t5, err := experiment.MouseMutation(drv, opts)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiment.FormatDriverTable(t5,
-				fmt.Sprintf("Extension (paper §6 future work): mutations on %s (%d%% sample, seed %d)",
-					drv, *sample, *seed)))
+	// The extension tables come straight from the workload registry: one
+	// table per registered non-IDE pair, every driver of the pair through
+	// the same generic mutation path.
+	for i, ext := range exts {
+		if !want(strconv.Itoa(5 + i)) {
+			continue
 		}
-	}
-	if want("6") {
-		for _, drv := range []string{"ne2000_c", "ne2000_devil"} {
-			t6, err := experiment.DriverMutation(drv, opts)
+		for _, drv := range ext.Drivers {
+			tbl, err := experiment.DriverMutation(drv, opts)
 			if err != nil {
 				return err
 			}
-			fmt.Println(experiment.FormatDriverTable(t6,
+			fmt.Println(experiment.FormatDriverTable(tbl,
 				fmt.Sprintf("Extension (paper §6 future work): mutations on %s (%d%% sample, seed %d)",
 					drv, *sample, *seed)))
 		}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/drivers"
+	"repro/internal/experiment"
 )
 
 // TestFastPaths exercises the non-mutation paths of the CLI (the mutation
@@ -38,6 +39,8 @@ func TestAdvertisedTables(t *testing.T) {
 		{"-table", "4", "-sample", "1"},
 		{"-table", "5", "-sample", "2"},
 		{"-table", "6", "-sample", "1"},
+		{"-table", "7", "-sample", "1"},
+		{"-table", "8", "-sample", "2"},
 		{"-table", "all", "-sample", "1"},
 	} {
 		if err := run(args); err != nil {
@@ -57,6 +60,12 @@ func TestUsageEnumeratesSurface(t *testing.T) {
 		"compiled", "interp", "BENCH_campaign.json",
 	}
 	wants = append(wants, drivers.Names()...)
+	// Every registered extension pair must appear in the table numbering.
+	for _, d := range experiment.Workloads() {
+		if d.Name != "ide" {
+			wants = append(wants, d.Name+" extension)")
+		}
+	}
 	for _, want := range wants {
 		if !strings.Contains(usage, want) {
 			t.Errorf("usage text does not mention %q", want)
@@ -78,7 +87,7 @@ func TestBadFlags(t *testing.T) {
 		t.Error("unknown figure accepted")
 	}
 	if err := run([]string{"-table", "9"}); err == nil {
-		t.Error("unknown table accepted")
+		t.Error("table past the registered extensions accepted")
 	}
 	if err := run([]string{"-table", "busmouse"}); err == nil {
 		t.Error("non-numeric table accepted")

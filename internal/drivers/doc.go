@@ -1,8 +1,10 @@
-// Package drivers embeds the hwC driver corpus of the evaluation: three
-// traditional/CDevil pairs over the same hardware — the PIIX4 IDE disk
+// Package drivers embeds the hwC driver corpus of the evaluation: five
+// traditional/CDevil pairs, one per Table-2 device — the PIIX4 IDE disk
 // driver of Tables 3/4 (ide_c, ide_devil), the Logitech busmouse pair
-// (busmouse_c, busmouse_devil), and the NE2000 Ethernet pair (ne2000_c,
-// ne2000_devil). Each _c source hand-codes the port protocol the matching
-// _devil source delegates to generated stubs, and the //@hw markers bound
-// the hardware operating code the mutation rules apply to.
+// (busmouse_c, busmouse_devil), the NE2000 Ethernet pair (ne2000_c,
+// ne2000_devil), the Permedia 2 frame-buffer pair (permedia_c,
+// permedia_devil), and the 82371FB bus-master DMA pair (busmaster_c,
+// busmaster_devil). Each _c source hand-codes the port protocol the
+// matching _devil source delegates to generated stubs, and the //@hw
+// markers bound the hardware operating code the mutation rules apply to.
 package drivers

@@ -15,6 +15,8 @@ var corpus = []string{
 	"ide_c", "ide_devil",
 	"busmouse_c", "busmouse_devil",
 	"ne2000_c", "ne2000_devil",
+	"permedia_c", "permedia_devil",
+	"busmaster_c", "busmaster_devil",
 }
 
 // TestNamesMatchesCorpus binds the derived name list to the explicit
@@ -87,12 +89,13 @@ func TestCorpusHasTaggedRegions(t *testing.T) {
 // TestDevilDriversAreHardwareFree: the CDevil sources must not contain raw
 // port I/O — that is the whole point of the re-engineering.
 func TestDevilDriversAreHardwareFree(t *testing.T) {
-	for _, name := range []string{"ide_devil", "busmouse_devil", "ne2000_devil"} {
+	for _, name := range []string{"ide_devil", "busmouse_devil", "ne2000_devil", "permedia_devil", "busmaster_devil"} {
 		src, err := drivers.Load(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, forbidden := range []string{"inb(", "outb(", "inw(", "outw(", "0x1f", "0x23c", "0x3f6", "0x30", "0x31f"} {
+		for _, forbidden := range []string{"inb(", "outb(", "inw(", "outw(", "inl(", "outl(",
+			"0x1f", "0x23c", "0x3f6", "0x30", "0x31f", "0x80", "0x9000", "0xc00"} {
 			if strings.Contains(src.Text, forbidden) {
 				t.Errorf("%s contains raw hardware access %q", name, forbidden)
 			}

@@ -1,0 +1,87 @@
+/*
+ * busmaster_c.c — traditional hand-written 82371FB (PIIX) bus-master
+ * DMA driver, the paper's IDE workload extended from word-at-a-time PIO
+ * to physical-region-descriptor transfers.
+ *
+ * Everything the Devil re-engineering derives from the specification is
+ * spelled out by hand here: the command/status/descriptor port layout,
+ * the start and direction bits sharing one command byte, and the
+ * write-1-to-clear interrupt and error latches sharing the status byte
+ * with the read/write drive-capability bits.
+ */
+
+//@hw
+#define BM_CMD     0xc000
+#define BM_STAT    0xc002
+#define BM_PRDT    0xc004
+
+#define BM_START   0x01
+#define BM_RDMODE  0x08
+
+#define BM_ACTIVE  0x01
+#define BM_ERR     0x02
+#define BM_IRQ     0x04
+#define BM_CAP     0x60
+
+#define BM_TIMEOUT 20000
+//@endhw
+
+/* Bounded wait for the completion interrupt. */
+static int bm_wait(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < BM_TIMEOUT; t++) {
+        if (inb(BM_STAT) & BM_IRQ) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+int bm_init(void)
+{
+    //@hw
+    if ((inb(BM_STAT) & BM_CAP) == 0) {
+        printk("piix: no DMA-capable drive");
+        return 1;
+    }
+    outb(BM_IRQ | BM_ERR | BM_CAP, BM_STAT);
+    outb(0, BM_CMD);
+    //@endhw
+    printk("piix: bus master ready");
+    return 0;
+}
+
+/* Run one PRD-table transfer: program the descriptor base, set the
+ * direction, start the engine, wait for completion, stop and
+ * acknowledge. dir is 1 for a read to memory. */
+int bm_transfer(int addr, int dir)
+{
+    int status;
+    //@hw
+    outl(addr, BM_PRDT);
+    if (dir) {
+        outb(BM_RDMODE, BM_CMD);
+        outb(BM_RDMODE | BM_START, BM_CMD);
+    } else {
+        outb(0, BM_CMD);
+        outb(BM_START, BM_CMD);
+    }
+    if (bm_wait()) {
+        outb(0, BM_CMD);
+        printk("piix: transfer timeout");
+        return 1;
+    }
+    status = inb(BM_STAT);
+    outb(0, BM_CMD);
+    outb(BM_IRQ | BM_CAP, BM_STAT);
+    if (status & BM_ERR) {
+        outb(BM_ERR | BM_CAP, BM_STAT);
+        printk("piix: dma error");
+        return 1;
+    }
+    //@endhw
+    return 0;
+}

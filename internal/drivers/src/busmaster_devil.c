@@ -1,0 +1,73 @@
+/*
+ * busmaster_devil.c — the 82371FB bus-master driver re-engineered over
+ * Devil stubs.
+ *
+ * The start/direction bit packing, the mixed-behaviour status byte and
+ * the descriptor alignment all live in the specification: the glue
+ * below manipulates typed device variables (BusMaster, Direction,
+ * IrqPending, DescriptorBase, ...) and acknowledges latches through the
+ * one-way ClearIrq/ClearError enumerations.
+ */
+
+#define BM_TIMEOUT 20000
+
+/* Bounded wait for the completion interrupt. */
+static int bm_wait(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < BM_TIMEOUT; t++) {
+        if (get_IrqPending()) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+int bm_init(void)
+{
+    //@hw
+    if (!get_Drive0Capable()) {
+        printk("piix: no DMA-capable drive");
+        return 1;
+    }
+    set_SetCapable(3);
+    set_ClearIrq(CLEAR_IRQ);
+    set_ClearError(CLEAR_ERROR);
+    set_BusMaster(DMA_STOP);
+    //@endhw
+    printk("piix: bus master ready");
+    return 0;
+}
+
+/* Run one PRD-table transfer: program the descriptor base, set the
+ * direction, start the engine, wait for completion, stop and
+ * acknowledge. dir is 1 for a read to memory. */
+int bm_transfer(int addr, int dir)
+{
+    int err;
+    //@hw
+    set_DescriptorBase(addr >> 2);
+    if (dir) {
+        set_Direction(TO_MEMORY);
+    } else {
+        set_Direction(FROM_MEMORY);
+    }
+    set_BusMaster(DMA_START);
+    if (bm_wait()) {
+        set_BusMaster(DMA_STOP);
+        printk("piix: transfer timeout");
+        return 1;
+    }
+    err = get_DmaError();
+    set_BusMaster(DMA_STOP);
+    set_ClearIrq(CLEAR_IRQ);
+    if (err) {
+        set_ClearError(CLEAR_ERROR);
+        printk("piix: dma error");
+        return 1;
+    }
+    //@endhw
+    return 0;
+}

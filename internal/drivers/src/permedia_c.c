@@ -1,0 +1,156 @@
+/*
+ * permedia_c.c — traditional hand-written Permedia 2 frame-buffer driver.
+ *
+ * Everything the Devil re-engineering derives from the specification is
+ * spelled out by hand here: the dword register offsets of the control
+ * aperture, the reset-busy bit, the write-1-to-clear interrupt flags,
+ * and the input-FIFO flow control against the free-space register. The
+ * workload is chip reset, video-timing bring-up, a FIFO-fed render
+ * script, and a DMA transfer acknowledged through the interrupt flags.
+ */
+
+//@hw
+#define GFX_RESET    0x8000
+#define GFX_INTEN    0x8001
+#define GFX_INTFLAG  0x8002
+#define GFX_FIFOSPC  0x8003
+#define GFX_DMAADDR  0x8005
+#define GFX_DMACNT   0x8006
+#define GFX_SCREEN   0x8009
+#define GFX_STRIDE   0x800a
+#define GFX_HTOTAL   0x800b
+#define GFX_VTOTAL   0x8010
+#define GFX_VIDCTL   0x8014
+#define GFX_FIFO     0x9000
+
+#define INT_DMA      0x01
+#define INT_ERROR    0x08
+#define INT_VRETRACE 0x10
+#define INT_MASK     0x19
+
+#define FIFO_ROOM    32
+
+#define H_TOTAL      100
+#define V_TOTAL      64
+#define SCREEN_BASE  0
+#define STRIDE       640
+
+#define GFX_TIMEOUT  20000
+//@endhw
+
+/* Bounded wait for the chip to leave the reset phase. */
+static int wait_reset_done(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < GFX_TIMEOUT; t++) {
+        if ((inl(GFX_RESET) >> 31) == 0) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+/* Bounded wait for an interrupt flag. */
+static int wait_flag(int mask)
+{
+    int t;
+    //@hw
+    for (t = 0; t < GFX_TIMEOUT; t++) {
+        if (inl(GFX_INTFLAG) & mask) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+/* Bounded wait for free space in the input FIFO. */
+static int fifo_wait(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < GFX_TIMEOUT; t++) {
+        if (inl(GFX_FIFOSPC) != 0) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+/* Bounded wait for the graphics core to consume the whole FIFO. */
+static int fifo_drain(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < GFX_TIMEOUT; t++) {
+        if (inl(GFX_FIFOSPC) == FIFO_ROOM) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+int gfx_init(void)
+{
+    //@hw
+    outl(1, GFX_RESET);
+    if (wait_reset_done()) {
+        printk("permedia: reset stuck");
+        return 1;
+    }
+    outl(SCREEN_BASE, GFX_SCREEN);
+    outl(STRIDE, GFX_STRIDE);
+    outl(H_TOTAL, GFX_HTOTAL);
+    outl(V_TOTAL, GFX_VTOTAL);
+    outl(1, GFX_VIDCTL);
+    outl(INT_MASK, GFX_INTEN);
+    if (wait_flag(INT_VRETRACE)) {
+        printk("permedia: no vertical retrace");
+        return 1;
+    }
+    outl(INT_VRETRACE, GFX_INTFLAG);
+    //@endhw
+    printk("permedia: chip up");
+    return 0;
+}
+
+/* Feed words render commands into the GP input FIFO under flow control,
+ * then wait for the core to consume them all. */
+int gfx_render(int words)
+{
+    int w;
+    //@hw
+    for (w = 0; w < words; w++) {
+        if (fifo_wait()) {
+            printk("permedia: fifo stalled");
+            return 1;
+        }
+        outl(w, GFX_FIFO);
+    }
+    if (fifo_drain()) {
+        printk("permedia: fifo never drained");
+        return 1;
+    }
+    //@endhw
+    return 0;
+}
+
+/* Run one DMA transfer of count dwords from addr and acknowledge the
+ * completion interrupt. */
+int gfx_dma(int addr, int count)
+{
+    //@hw
+    outl(addr, GFX_DMAADDR);
+    outl(count, GFX_DMACNT);
+    if (wait_flag(INT_DMA)) {
+        printk("permedia: dma timeout");
+        return 1;
+    }
+    outl(INT_DMA, GFX_INTFLAG);
+    //@endhw
+    return 0;
+}

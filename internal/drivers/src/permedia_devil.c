@@ -1,0 +1,141 @@
+/*
+ * permedia_devil.c — the Permedia 2 driver re-engineered over Devil stubs.
+ *
+ * All hardware knowledge lives in the specification: no aperture
+ * offsets, no reset-busy bit position, no flag masks. The glue below
+ * manipulates typed device variables (ResetBusy, IntFlags, FifoSpace,
+ * DmaCount, ...) through generated get_/set_ stubs; the write-1-to-clear
+ * protocol of the flag register and the read-only space counter are
+ * spec-level facts.
+ */
+
+#define INT_DMA      0x01
+#define INT_ERROR    0x08
+#define INT_VRETRACE 0x10
+#define INT_MASK     0x19
+
+#define FIFO_ROOM    32
+
+#define H_TOTAL      100
+#define V_TOTAL      64
+#define SCREEN_BASE  0
+#define STRIDE       640
+
+#define GFX_TIMEOUT  20000
+
+/* Bounded wait for the chip to leave the reset phase. */
+static int wait_reset_done(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < GFX_TIMEOUT; t++) {
+        if (!get_ResetBusy()) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+/* Bounded wait for an interrupt flag. */
+static int wait_flag(int mask)
+{
+    int t;
+    //@hw
+    for (t = 0; t < GFX_TIMEOUT; t++) {
+        if (get_IntFlags() & mask) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+/* Bounded wait for free space in the input FIFO. */
+static int fifo_wait(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < GFX_TIMEOUT; t++) {
+        if (get_FifoSpace() != 0) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+/* Bounded wait for the graphics core to consume the whole FIFO. */
+static int fifo_drain(void)
+{
+    int t;
+    //@hw
+    for (t = 0; t < GFX_TIMEOUT; t++) {
+        if (get_FifoSpace() == FIFO_ROOM) {
+            return 0;
+        }
+    }
+    //@endhw
+    return 1;
+}
+
+int gfx_init(void)
+{
+    //@hw
+    set_ResetTrigger(1);
+    if (wait_reset_done()) {
+        printk("permedia: reset stuck");
+        return 1;
+    }
+    set_ScreenBase(SCREEN_BASE);
+    set_Stride(STRIDE);
+    set_HTotal(H_TOTAL);
+    set_VTotal(V_TOTAL);
+    set_VideoEnable(1);
+    set_IntEnable(INT_MASK);
+    if (wait_flag(INT_VRETRACE)) {
+        printk("permedia: no vertical retrace");
+        return 1;
+    }
+    set_IntFlags(INT_VRETRACE);
+    //@endhw
+    printk("permedia: chip up");
+    return 0;
+}
+
+/* Feed words render commands into the GP input FIFO under flow control,
+ * then wait for the core to consume them all. */
+int gfx_render(int words)
+{
+    int w;
+    //@hw
+    for (w = 0; w < words; w++) {
+        if (fifo_wait()) {
+            printk("permedia: fifo stalled");
+            return 1;
+        }
+        set_GpFifoWord(w);
+    }
+    if (fifo_drain()) {
+        printk("permedia: fifo never drained");
+        return 1;
+    }
+    //@endhw
+    return 0;
+}
+
+/* Run one DMA transfer of count dwords from addr and acknowledge the
+ * completion interrupt. */
+int gfx_dma(int addr, int count)
+{
+    //@hw
+    set_DmaAddress(addr);
+    set_DmaCount(count);
+    if (wait_flag(INT_DMA)) {
+        printk("permedia: dma timeout");
+        return 1;
+    }
+    set_IntFlags(INT_DMA);
+    //@endhw
+    return 0;
+}

@@ -16,13 +16,10 @@ import (
 	"repro/internal/cdriver/cparser"
 	"repro/internal/cdriver/ctoken"
 	"repro/internal/cdriver/ctypes"
-	"repro/internal/devil"
 	"repro/internal/devil/codegen"
 	"repro/internal/hw"
 	"repro/internal/hw/ide"
-	"repro/internal/hw/sysboard"
 	"repro/internal/kernel"
-	"repro/internal/specs"
 )
 
 // Port assignment of the simulated machine, matching the PC convention the
@@ -62,11 +59,11 @@ type envKey struct {
 	permissive bool
 }
 
-// execCaches is the per-worker hot-path state both rig kinds (the IDE
-// Machine and the MouseMachine) carry: generated stubs reset rather than
-// regenerated between boots, type environments, and the compiled
-// backend's pooled execution buffers. ccheck never mutates an
-// environment, so one cached instance serves every boot of a worker.
+// execCaches is the per-worker hot-path state every rig carries:
+// generated stubs reset rather than regenerated between boots, type
+// environments, and the compiled backend's pooled execution buffers.
+// ccheck never mutates an environment, so one cached instance serves
+// every boot of a worker.
 type execCaches struct {
 	exec  *ccompile.Mach
 	stubs map[codegen.Mode]*codegen.Stubs
@@ -119,7 +116,7 @@ func (c *execCaches) envFor(input BootInput, stubs *codegen.Stubs) (*ctypes.Env,
 	return env, nil
 }
 
-// buildEngine is the shared front half of one boot on either rig: parse
+// buildEngine is the shared front half of one boot on any rig: parse
 // the mutated token stream, apply the budget, look up cached stubs and
 // environment, type-check, and construct the selected backend. On return
 // exactly one of ex and res is meaningful: a nil ex means the boot is
@@ -133,7 +130,7 @@ func (c *execCaches) envFor(input BootInput, stubs *codegen.Stubs) (*ctypes.Env,
 // through to the full pipeline below.
 func (c *execCaches) buildEngine(kern *kernel.Kernel, bus *hw.Bus,
 	generate func(codegen.Mode) (*codegen.Stubs, error),
-	input BootInput) (execEngine, *BootResult, error) {
+	input BootInput) (Engine, *BootResult, error) {
 	if input.Mutation != nil {
 		ex, res, done, err := c.buildIncremental(kern, bus, generate, input)
 		if err != nil {
@@ -185,96 +182,6 @@ func (c *execCaches) buildEngine(kern *kernel.Kernel, bus *hw.Bus,
 		return nil, res, nil
 	}
 	return ex, res, nil
-}
-
-// Machine is one assembled simulated PC: clock, bus, kernel, IDE controller
-// and disk, with a pristine snapshot for the damage audit. It also carries
-// the per-worker caches of the campaign hot path: generated stubs (reset,
-// not regenerated, between boots), type environments, and the compiled
-// backend's pooled execution buffers.
-type Machine struct {
-	Clock    *hw.Clock
-	Bus      *hw.Bus
-	Kern     *kernel.Kernel
-	Ctrl     *ide.Controller
-	Image    *kernel.FSImage
-	Pristine *kernel.FSImage
-
-	caches execCaches
-}
-
-// NewMachine builds a machine with the default filesystem image.
-func NewMachine() (*Machine, error) {
-	img, err := kernel.BuildImage(kernel.DefaultFiles(), 8)
-	if err != nil {
-		return nil, fmt.Errorf("build image: %w", err)
-	}
-	pristine := img.Clone()
-	clock := &hw.Clock{}
-	bus := hw.NewBus()
-	// ISA semantics: unmapped ports float, and the fragile system devices
-	// (PIC, timer, DMA, CMOS) share the port space — see hw/sysboard.
-	bus.SetFloating(true)
-	if err := sysboard.MapAll(bus); err != nil {
-		return nil, err
-	}
-	disk := ide.NewDisk("REPRO HARDDISK v1.0", img.Sectors)
-	ctrl := ide.NewController(clock, disk)
-	if err := bus.Map(ideCmdBase, 8, ctrl); err != nil {
-		return nil, err
-	}
-	if err := bus.Map(ideCtlBase, 1, ctrl.ControlBlock()); err != nil {
-		return nil, err
-	}
-	return &Machine{
-		Clock:    clock,
-		Bus:      bus,
-		Kern:     kernel.New(clock),
-		Ctrl:     ctrl,
-		Image:    img,
-		Pristine: pristine,
-		caches:   newExecCaches(),
-	}, nil
-}
-
-// Reset returns the machine to its power-on state with a pristine
-// filesystem image: sectors restored in place, controller cold-started,
-// kernel rewound. A campaign worker calls it between boots so the
-// simulated PC and its checksummed disk image are built once per worker
-// instead of once per mutant — the engine's hot-path saving.
-func (m *Machine) Reset() {
-	m.Image.RestoreFrom(m.Pristine)
-	m.Ctrl.Reset()
-	m.Kern.Reset()
-}
-
-// ideSpec caches the compiled IDE specification (it is not mutated in the
-// Table 3/4 experiments).
-var ideSpec = mustCompileIDE()
-
-func mustCompileIDE() *devil.Spec {
-	s, err := specs.Load("ide")
-	if err != nil {
-		panic(err)
-	}
-	spec, err := devil.Compile(s.Filename, s.Source)
-	if err != nil {
-		panic(err)
-	}
-	return spec
-}
-
-// IDEStubs generates IDE stubs bound to the machine's bus.
-func (m *Machine) IDEStubs(mode codegen.Mode) (*devil.Stubs, error) {
-	return ideSpec.Generate(devil.Config{
-		Bus: m.Bus,
-		Bases: map[string]hw.Port{
-			"cmd":  ideCmdBase,
-			"ctl":  ideCtlBase,
-			"data": ideCmdBase,
-		},
-		Mode: mode,
-	})
 }
 
 // BootInput describes one driver build to boot.
@@ -333,13 +240,6 @@ type BootResult struct {
 // CompileDetected reports whether the mutant died at compile time.
 func (r *BootResult) CompileDetected() bool { return len(r.CompileErrors) > 0 }
 
-// execEngine is the surface a boot script drives; both backends satisfy
-// it (cinterp.Interp and ccompile.Proc).
-type execEngine interface {
-	Call(name string, args ...cinterp.Value) (cinterp.Value, error)
-	Coverage() *ccov.Set
-}
-
 // newEngine builds the selected execution backend for a checked program.
 // A non-nil error is a run-time insmod fault (a global initialiser
 // crashed) and classifies like any boot-terminating error. Backend
@@ -347,7 +247,7 @@ type execEngine interface {
 // rejects (ErrUnsupported) falls back to the reference interpreter, which
 // executes everything.
 func newEngine(b Backend, prog *cast.Program, env *ctypes.Env, kern *kernel.Kernel,
-	bus *hw.Bus, stubs *codegen.Stubs, mach *ccompile.Mach) (execEngine, error) {
+	bus *hw.Bus, stubs *codegen.Stubs, mach *ccompile.Mach) (Engine, error) {
 	if b == BackendInterp {
 		return cinterp.New(prog, env, kern, bus, stubs)
 	}
@@ -361,9 +261,56 @@ func newEngine(b Backend, prog *cast.Program, env *ctypes.Env, kern *kernel.Kern
 	return p, nil
 }
 
+// The IDE workload is the paper's Tables 3/4 rig: a full simulated PC
+// with controller and checksummed disk, whose boot mounts and checks a
+// filesystem through the driver and audits the image for damage.
+
+// ideDev is the IDE workload's device handle: controller, live image and
+// the pristine snapshot the damage audit compares against.
+type ideDev struct {
+	Ctrl     *ide.Controller
+	Image    *kernel.FSImage
+	Pristine *kernel.FSImage
+}
+
+var ideWorkload = WorkloadDesc{
+	Name:    "ide",
+	Drivers: []string{"ide_c", "ide_devil"},
+	Spec:    "ide",
+	Bases: map[string]hw.Port{
+		"cmd":  ideCmdBase,
+		"ctl":  ideCtlBase,
+		"data": ideCmdBase,
+	},
+	Build: func(r *Rig) (any, error) {
+		img, err := kernel.BuildImage(kernel.DefaultFiles(), 8)
+		if err != nil {
+			return nil, fmt.Errorf("build image: %w", err)
+		}
+		pristine := img.Clone()
+		disk := ide.NewDisk("REPRO HARDDISK v1.0", img.Sectors)
+		ctrl := ide.NewController(r.Clock, disk)
+		if err := r.Bus.Map(ideCmdBase, 8, ctrl); err != nil {
+			return nil, err
+		}
+		if err := r.Bus.Map(ideCtlBase, 1, ctrl.ControlBlock()); err != nil {
+			return nil, err
+		}
+		return &ideDev{Ctrl: ctrl, Image: img, Pristine: pristine}, nil
+	},
+	Reset: func(dev any) {
+		d := dev.(*ideDev)
+		// Image restored in place via FSImage.RestoreFrom; controller
+		// cold-started.
+		d.Image.RestoreFrom(d.Pristine)
+		d.Ctrl.Reset()
+	},
+	Run: runIDEBoot,
+}
+
 // blockAdapter exposes the executing driver as a kernel.BlockDriver.
 type blockAdapter struct {
-	ex   execEngine
+	ex   Engine
 	kern *kernel.Kernel
 }
 
@@ -402,80 +349,47 @@ func (a *blockAdapter) WriteSectors(lba uint32, data []byte) error {
 	return nil
 }
 
-// Boot compiles and boots one driver build on a freshly built machine.
-func Boot(input BootInput) (*BootResult, error) {
-	return boot(nil, input)
-}
-
-// BootOn compiles and boots one driver build on m, which must be freshly
-// built or Reset. Campaign workers use it to amortise machine
-// construction — and, with the compiled backend, stub generation, type
-// environments and execution buffers — across boots.
-func BootOn(m *Machine, input BootInput) (*BootResult, error) {
-	return boot(m, input)
-}
-
-func boot(m *Machine, input BootInput) (*BootResult, error) {
-	if m == nil {
-		var err error
-		m, err = NewMachine()
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Phase 1: "compilation" — parse plus type check, against the
-	// machine's per-worker caches. Only the mutated token stream is
-	// per-mutant work.
-	ex, res, err := m.caches.buildEngine(m.Kern, m.Bus, m.IDEStubs, input)
-	if err != nil {
-		return nil, err
-	}
-	if ex == nil {
-		return res, nil
-	}
-
-	// Phase 2: boot the kernel with the driver installed.
-	runErr := runBoot(m, ex, res)
-	res.Console = m.Kern.ConsoleView()
-	res.Coverage = ex.Coverage()
-	res.Steps = m.Kern.Steps()
-	res.RunErr = runErr
-	res.Outcome = kernel.Classify(runErr)
-	if runErr == nil {
-		damaged, lost := kernel.AuditDisk(m.Image, m.Pristine)
-		res.DamagedSectors = damaged
-		res.PartitionTableLost = lost
-		if (res.Report != nil && res.Report.Damaged()) || len(damaged) > 0 {
-			res.Outcome = kernel.OutcomeDamagedBoot
-		}
-	}
-	return res, nil
-}
-
-// runBoot performs the boot sequence: driver initialisation, then the
-// filesystem mount-and-check through the driver.
-func runBoot(m *Machine, ex execEngine, res *BootResult) error {
+// runIDEBoot performs the boot sequence: driver initialisation, the
+// filesystem mount-and-check through the driver, then the disk audit
+// against the pristine image.
+func runIDEBoot(r *Rig, ex Engine, res *BootResult) (error, bool) {
+	d := r.Dev.(*ideDev)
 	ret, err := ex.Call("ide_init")
 	if err != nil {
-		return err
+		return err, false
 	}
 	if ret.Kind == cinterp.ValInt && ret.I != 0 {
-		return m.Kern.Panic("ide: initialisation failed")
+		return r.Kern.Panic("ide: initialisation failed"), false
 	}
 	// The driver left the IDENTIFY block in the transfer buffer; the
 	// kernel extracts the drive capacity (words 60/61) and uses it to
 	// sanity-check the partition, as a real block layer would.
-	buf := m.Kern.Buf()
+	buf := r.Kern.Buf()
 	totalSectors := uint32(buf[120]) | uint32(buf[121])<<8 |
 		uint32(buf[122])<<16 | uint32(buf[123])<<24
-	adapter := &blockAdapter{ex: ex, kern: m.Kern}
-	rep, err := m.Kern.MountAndCheck(adapter, m.Pristine, totalSectors)
+	adapter := &blockAdapter{ex: ex, kern: r.Kern}
+	rep, err := r.Kern.MountAndCheck(adapter, d.Pristine, totalSectors)
 	res.Report = rep
 	if err != nil {
-		return err
+		return err, false
 	}
-	m.Kern.Printk("boot: reached userspace")
-	return nil
+	r.Kern.Printk("boot: reached userspace")
+	damaged, lost := kernel.AuditDisk(d.Image, d.Pristine)
+	res.DamagedSectors = damaged
+	res.PartitionTableLost = lost
+	return nil, (rep != nil && rep.Damaged()) || len(damaged) > 0
+}
+
+// NewMachine builds the IDE rig — the full simulated PC of Tables 3/4.
+// A compatibility wrapper over the generic registry path.
+func NewMachine() (*Rig, error) {
+	return NewRig("ide")
+}
+
+// Boot compiles and boots one IDE driver build on a freshly built rig.
+// A compatibility wrapper over the generic BootDriver path.
+func Boot(input BootInput) (*BootResult, error) {
+	return BootDriver("ide_c", input)
 }
 
 // ParseDriver lexes a driver source for mutation or direct boot.

@@ -2,14 +2,12 @@ package experiment
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"repro/internal/campaign"
 	"repro/internal/cdriver/cincr"
 	"repro/internal/devil/codegen"
 	"repro/internal/drivers"
-	"repro/internal/hw"
 	"repro/internal/mutation/cmut"
 )
 
@@ -95,16 +93,12 @@ type workload struct {
 }
 
 // NewWorkload returns the campaign workload that enumerates and boots
-// this repository's embedded drivers: ide_* through the full simulated
-// PC (with per-worker machine reuse), busmouse_* through the mouse
-// harness, ne2000_* through the network rig.
+// this repository's embedded drivers, routing every driver to its
+// registered boot rig (with per-worker rig reuse) through the workload
+// registry.
 func NewWorkload() campaign.Workload {
 	return &workload{plans: make(map[string]*driverPlan)}
 }
-
-func isMouseDriver(driver string) bool { return strings.HasPrefix(driver, "busmouse") }
-
-func isNetDriver(driver string) bool { return strings.HasPrefix(driver, "ne2000") }
 
 // plan returns (building on first use) the enumeration of one driver.
 func (w *workload) plan(driver string) (*driverPlan, error) {
@@ -117,13 +111,18 @@ func (w *workload) plan(driver string) (*driverPlan, error) {
 	if err != nil {
 		return nil, err
 	}
+	desc, err := WorkloadFor(driver)
+	if err != nil {
+		return nil, err
+	}
 	toks, err := ParseDriver(src.Text)
 	if err != nil {
 		return nil, err
 	}
 	var iface *codegen.Interface
 	if src.Devil {
-		iface, err = w.interfaceFor(driver)
+		// The stub interface feeds the identifier-mutation pools.
+		iface, err = desc.Interface()
 		if err != nil {
 			return nil, err
 		}
@@ -138,44 +137,6 @@ func (w *workload) plan(driver string) (*driverPlan, error) {
 	}
 	w.plans[driver] = p
 	return p, nil
-}
-
-// interfaceFor builds the stub interface enumeration needs for a CDevil
-// driver (the identifier-mutation pools).
-func (w *workload) interfaceFor(driver string) (*codegen.Interface, error) {
-	if isMouseDriver(driver) {
-		stubs, err := mouseSpec.Generate(codegen.Config{
-			Bus:   hw.NewBus(),
-			Bases: map[string]hw.Port{"base": mouseBase},
-			Mode:  codegen.Debug,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return stubs.Interface(), nil
-	}
-	if isNetDriver(driver) {
-		stubs, err := netSpec.Generate(codegen.Config{
-			Bus: hw.NewBus(),
-			Bases: map[string]hw.Port{
-				"reg": netRegBase, "dma": netDataBase, "reset": netResetBase,
-			},
-			Mode: codegen.Debug,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return stubs.Interface(), nil
-	}
-	m, err := NewMachine()
-	if err != nil {
-		return nil, err
-	}
-	stubs, err := m.IDEStubs(codegen.Debug)
-	if err != nil {
-		return nil, err
-	}
-	return stubs.Interface(), nil
 }
 
 // Expand implements campaign.Workload.
@@ -226,26 +187,24 @@ func (w *workload) NewWorker(spec campaign.Spec) (campaign.Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &worker{w: w, spec: spec, mode: mode, backend: backend, frontend: frontend}, nil
+	return &worker{w: w, spec: spec, mode: mode, backend: backend,
+		frontend: frontend, rigs: make(rigSet)}, nil
 }
 
-// worker boots tasks on a single goroutine, reusing one simulated PC
-// across every ide_* boot, one mouse rig across every busmouse_* boot,
-// and one network rig across every ne2000_* boot (Reset instead of
-// rebuild). With the incremental front end (the default) per-mutant
-// work shrinks further: the mutated token stream is never materialised —
-// the boot input is the shared pristine span analysis plus one
-// replacement token, and only the declaration containing it re-runs the
-// parse-check-compile chain.
+// worker boots tasks on a single goroutine, reusing one rig per
+// workload — looked up through the registry, Reset instead of rebuilt
+// between boots. With the incremental front end (the default)
+// per-mutant work shrinks further: the mutated token stream is never
+// materialised — the boot input is the shared pristine span analysis
+// plus one replacement token, and only the declaration containing it
+// re-runs the parse-check-compile chain.
 type worker struct {
 	w        *workload
 	spec     campaign.Spec
 	mode     codegen.Mode
 	backend  Backend
 	frontend Frontend
-	mach     *Machine
-	mouse    *MouseMachine
-	net      *NetMachine
+	rigs     rigSet
 	// mut is the reused Mutation cell of the incremental boot input.
 	mut cincr.Mutation
 }
@@ -279,38 +238,11 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 		input.Budget = ExperimentBudget
 	}
 
-	var br *BootResult
-	if isMouseDriver(t.Driver) {
-		if wk.mouse == nil {
-			wk.mouse, err = NewMouseMachine()
-			if err != nil {
-				return campaign.Outcome{}, err
-			}
-		} else {
-			wk.mouse.Reset()
-		}
-		br, err = BootMouseOn(wk.mouse, input)
-	} else if isNetDriver(t.Driver) {
-		if wk.net == nil {
-			wk.net, err = NewNetMachine()
-			if err != nil {
-				return campaign.Outcome{}, err
-			}
-		} else {
-			wk.net.Reset()
-		}
-		br, err = BootNetOn(wk.net, input)
-	} else {
-		if wk.mach == nil {
-			wk.mach, err = NewMachine()
-			if err != nil {
-				return campaign.Outcome{}, err
-			}
-		} else {
-			wk.mach.Reset()
-		}
-		br, err = BootOn(wk.mach, input)
+	rig, err := wk.rigs.rigFor(t.Driver)
+	if err != nil {
+		return campaign.Outcome{}, err
 	}
+	br, err := rig.Boot(input)
 	if err != nil {
 		// Harness-level failure: classified as a crash, like the in-memory
 		// path always has.
@@ -324,8 +256,10 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 	}, nil
 }
 
-// Close implements campaign.Worker.
-func (wk *worker) Close() { wk.mach, wk.mouse, wk.net = nil, nil, nil }
+// Close implements campaign.Worker: the heavyweight rigs are released,
+// but the pool stays usable — a Boot after Close rebuilds its rig, as
+// the pre-registry workers did.
+func (wk *worker) Close() { wk.rigs = make(rigSet) }
 
 // RunCampaignTable runs a one-driver campaign against an in-memory store
 // and renders the aggregate — the execution core of every Table 3/4

@@ -1,63 +1,51 @@
 package experiment
 
 import (
-	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/campaign"
-	"repro/internal/kernel"
 )
 
-// campaignTestSpec keeps the determinism tests affordable: a small,
-// seeded sample of the C IDE driver's mutants.
-func campaignTestSpec() campaign.Spec {
-	s := CampaignSpec("ide_c", MutationOptions{SamplePct: 2, Seed: 7})
-	s.Name = "determinism"
-	s.Shards = 4
-	return s
-}
-
-// renderStore reduces a store to the formatted Table-3 text.
-func renderStore(t *testing.T, st campaign.Store) string {
+// assertCampaignDeterminism runs the determinism protocol every
+// workload's campaign must satisfy: the same spec and seed aggregate
+// to byte-identical tables whether the campaign runs serially, sharded
+// into separate stores and merged, killed halfway and resumed from the
+// JSONL store, or executed on the tree-walking oracle instead of the
+// compiled backend. The serial run's aggregated tables are returned
+// for workload-specific assertions.
+func assertCampaignDeterminism(t *testing.T, spec campaign.Spec) map[string]*campaign.TableData {
 	t.Helper()
-	tables, _, err := campaign.Aggregate(st.Records())
-	if err != nil {
-		t.Fatal(err)
-	}
-	data, ok := tables["ide_c"]
-	if !ok {
-		t.Fatal("no ide_c data in store")
-	}
-	if !data.Complete() {
-		t.Fatalf("store incomplete: %d/%d", data.Results, data.Selected)
-	}
-	return FormatDriverTable(TableFromCampaign(data), "Table 3")
-}
-
-// TestCampaignDeterminism: the same spec and seed produce byte-identical
-// aggregated tables whether the campaign runs serially, sharded four
-// ways into separate stores and merged, or killed halfway and resumed
-// from the JSONL store.
-func TestCampaignDeterminism(t *testing.T) {
-	if testing.Short() {
-		t.Skip("campaign determinism test is not short")
-	}
-	spec := campaignTestSpec()
 	wl := NewWorkload()
+
+	render := func(st campaign.Store) (string, map[string]*campaign.TableData) {
+		t.Helper()
+		tables, order, err := campaign.Aggregate(st.Records())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text string
+		for _, d := range order {
+			if !tables[d].Complete() {
+				t.Fatalf("%s incomplete: %d/%d", d, tables[d].Results, tables[d].Selected)
+			}
+			text += FormatDriverTable(TableFromCampaign(tables[d]), d)
+		}
+		return text, tables
+	}
 
 	// Serial reference run (one worker, one shard selection: everything).
 	serial := campaign.NewMemStore()
 	if _, err := campaign.Run(spec, wl, serial, campaign.Options{Workers: 1}); err != nil {
 		t.Fatal(err)
 	}
-	want := renderStore(t, serial)
+	want, tables := render(serial)
 
 	// Sharded: each shard runs into its own file store; merge and compare.
 	dir := t.TempDir()
 	var stores []campaign.Store
 	for sh := 0; sh < spec.Shards; sh++ {
-		st, err := campaign.OpenFile(filepath.Join(dir, "shard.jsonl"+string(rune('0'+sh))))
+		st, err := campaign.OpenFile(filepath.Join(dir, "shard"+string(rune('0'+sh))+".jsonl"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,8 +63,8 @@ func TestCampaignDeterminism(t *testing.T) {
 	if err := campaign.Merge(merged, stores...); err != nil {
 		t.Fatal(err)
 	}
-	if got := renderStore(t, merged); got != want {
-		t.Errorf("sharded+merged table differs from serial:\n--- serial\n%s\n--- sharded\n%s", want, got)
+	if got, _ := render(merged); got != want {
+		t.Errorf("sharded+merged tables differ from serial:\n--- serial\n%s\n--- sharded\n%s", want, got)
 	}
 
 	// Interrupted: keep only a prefix of the serial store (as a kill mid-
@@ -99,9 +87,33 @@ func TestCampaignDeterminism(t *testing.T) {
 	if sum.Ran == 0 {
 		t.Fatal("resume booted nothing; the interruption was not simulated")
 	}
-	if got := renderStore(t, interrupted); got != want {
-		t.Errorf("resumed table differs from serial:\n--- serial\n%s\n--- resumed\n%s", want, got)
+	if got, _ := render(interrupted); got != want {
+		t.Errorf("resumed tables differ from serial:\n--- serial\n%s\n--- resumed\n%s", want, got)
 	}
+
+	// The tree-walking oracle must aggregate to the identical text.
+	oracle := spec
+	oracle.Backend = "interp"
+	ost := campaign.NewMemStore()
+	if _, err := campaign.Run(oracle, wl, ost, campaign.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := render(ost); got != want {
+		t.Errorf("interp-backend tables differ from compiled:\n--- compiled\n%s\n--- interp\n%s", want, got)
+	}
+	return tables
+}
+
+// TestCampaignDeterminism runs the shared protocol over a small,
+// seeded sample of the C IDE driver's mutants, sharded four ways.
+func TestCampaignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign determinism test is not short")
+	}
+	spec := CampaignSpec("ide_c", MutationOptions{SamplePct: 2, Seed: 7})
+	spec.Name = "determinism"
+	spec.Shards = 4
+	assertCampaignDeterminism(t, spec)
 }
 
 // TestMachineReuseMatchesFreshBoots: booting through a Reset machine
@@ -144,47 +156,15 @@ func TestMachineReuseMatchesFreshBoots(t *testing.T) {
 // TestMachineResetRestoresCleanBoot: after a damaging boot, Reset must
 // return the machine to a state where the clean driver boots cleanly.
 func TestMachineResetRestoresCleanBoot(t *testing.T) {
-	m, err := NewMachine()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Scribble over the image and wedge the controller state, then Reset.
-	for _, s := range m.Image.Sectors {
-		for i := range s {
-			s[i] = 0xaa
+	res := assertResetRestoresCleanBoot(t, "ide_c", func(m *Rig) {
+		// Scribble over the whole image, then Reset.
+		for _, s := range m.Dev.(*ideDev).Image.Sectors {
+			for i := range s {
+				s[i] = 0xaa
+			}
 		}
-	}
-	m.Kern.Printk("stale console line")
-	m.Kern.SetBudget(1)
-	m.Reset()
-
-	src := mustLoadDriver(t, "ide_c")
-	toks, err := ParseDriver(src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := BootOn(m, BootInput{Tokens: toks})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Outcome != kernel.OutcomeBoot {
-		t.Fatalf("clean boot on reset machine: %v (%v)", res.Outcome, res.RunErr)
-	}
+	}, nil)
 	if len(res.DamagedSectors) != 0 || res.PartitionTableLost {
 		t.Errorf("audit found damage after Reset: %v", res.DamagedSectors)
 	}
-	for _, line := range res.Console {
-		if line == "stale console line" {
-			t.Error("console not cleared by Reset")
-		}
-	}
-}
-
-func mustLoadDriver(t *testing.T, name string) string {
-	t.Helper()
-	data, err := os.ReadFile(filepath.Join("..", "drivers", "src", name+".c"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(data)
 }

@@ -17,14 +17,13 @@ import (
 // class, terminating error text, console log, covered-line set,
 // watchdog step count, and the Table 3/4 row the mutant lands in.
 
-// diffRig reuses one machine per backend × front end, mirroring a
-// campaign worker.
+// diffRig reuses one rig per workload per backend × front end through
+// the same rigSet pool a campaign worker uses: drivers route through
+// the registry, not a name switch.
 type diffRig struct {
 	backend     Backend
 	incremental bool
-	mach        *Machine
-	mouse       *MouseMachine
-	net         *NetMachine
+	rigs        rigSet
 }
 
 func (r *diffRig) boot(t *testing.T, p *driverPlan, driver string, mutantID int) *BootResult {
@@ -43,39 +42,14 @@ func (r *diffRig) boot(t *testing.T, p *driverPlan, driver string, mutantID int)
 	} else {
 		input.Tokens = p.res.Apply(m)
 	}
-	var br *BootResult
-	var err error
-	if isMouseDriver(driver) {
-		if r.mouse == nil {
-			r.mouse, err = NewMouseMachine()
-			if err != nil {
-				t.Fatal(err)
-			}
-		} else {
-			r.mouse.Reset()
-		}
-		br, err = BootMouseOn(r.mouse, input)
-	} else if isNetDriver(driver) {
-		if r.net == nil {
-			r.net, err = NewNetMachine()
-			if err != nil {
-				t.Fatal(err)
-			}
-		} else {
-			r.net.Reset()
-		}
-		br, err = BootNetOn(r.net, input)
-	} else {
-		if r.mach == nil {
-			r.mach, err = NewMachine()
-			if err != nil {
-				t.Fatal(err)
-			}
-		} else {
-			r.mach.Reset()
-		}
-		br, err = BootOn(r.mach, input)
+	if r.rigs == nil {
+		r.rigs = make(rigSet)
 	}
+	rig, err := r.rigs.rigFor(driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := rig.Boot(input)
 	if err != nil {
 		t.Fatalf("%s mutant %d (%s): harness error: %v", driver, mutantID, r.backend, err)
 	}
@@ -138,9 +112,9 @@ func diffOne(t *testing.T, driver string, p *driverPlan, id int, interp, comp *B
 // TestDifferentialOracle boots generated mutants of every embedded
 // driver on every backend × front-end combination, anchored to the
 // interpreter over a full recompile (the reference semantics). The
-// busmouse pair and the CDevil IDE and NE2000 drivers run their full
-// enumerations; the C IDE and C NE2000 drivers (7600+ and 13800+
-// mutants, the slowest boots) run seeded samples.
+// busmouse, bus-master and CDevil IDE/NE2000/Permedia drivers run their
+// full enumerations; the C IDE, C NE2000 and C Permedia drivers (7600+,
+// 13800+ and 5100+ mutants, the slowest boots) run seeded samples.
 func TestDifferentialOracle(t *testing.T) {
 	plans := []struct {
 		driver   string
@@ -153,6 +127,10 @@ func TestDifferentialOracle(t *testing.T) {
 		{"ide_c", 8, 2},
 		{"ne2000_devil", 0, 5},
 		{"ne2000_c", 8, 2},
+		{"permedia_devil", 0, 10},
+		{"permedia_c", 8, 2},
+		{"busmaster_devil", 0, 25},
+		{"busmaster_c", 0, 5},
 	}
 	wl := NewWorkload().(*workload)
 	for _, tc := range plans {

@@ -176,7 +176,7 @@ func (st *incrState) splice(declIdx int, d cast.Decl) *cast.Program {
 // buildEngine exactly.
 func (c *execCaches) buildIncremental(kern *kernel.Kernel, bus *hw.Bus,
 	generate func(codegen.Mode) (*codegen.Stubs, error),
-	input BootInput) (ex execEngine, res *BootResult, done bool, err error) {
+	input BootInput) (ex Engine, res *BootResult, done bool, err error) {
 	st, err := c.incrFor(kern, bus, generate, input)
 	if err != nil {
 		return nil, nil, false, err

@@ -4,13 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/cdriver/cinterp"
-	"repro/internal/devil"
-	"repro/internal/devil/codegen"
 	"repro/internal/hw"
 	"repro/internal/hw/busmouse"
-	"repro/internal/hw/sysboard"
-	"repro/internal/kernel"
-	"repro/internal/specs"
 )
 
 // The busmouse experiment extends the paper's evaluation to a second
@@ -22,21 +17,6 @@ import (
 
 const mouseBase hw.Port = 0x23c
 
-// mouseSpec caches the compiled busmouse specification.
-var mouseSpec = mustCompileSpec("busmouse")
-
-func mustCompileSpec(name string) *devil.Spec {
-	s, err := specs.Load(name)
-	if err != nil {
-		panic(err)
-	}
-	spec, err := devil.Compile(s.Filename, s.Source)
-	if err != nil {
-		panic(err)
-	}
-	return spec
-}
-
 // motionScript is the deterministic input the simulated user provides.
 var motionScript = []struct {
 	dx, dy  int
@@ -46,92 +26,27 @@ var motionScript = []struct {
 	{2, 2, 4}, {-1, -3, 0}, {5, 1, 2}, {-2, 4, 0},
 }
 
-// MouseMachine is the assembled busmouse rig: clock, bus with the system
-// board and the adapter mapped, kernel, plus the same per-worker caches
-// as the IDE Machine (stubs, type environments, compiled-backend
-// buffers). A campaign worker builds one and Resets it between boots.
-type MouseMachine struct {
-	Clock *hw.Clock
-	Bus   *hw.Bus
-	Kern  *kernel.Kernel
-	Mouse *busmouse.Mouse
-
-	caches execCaches
-}
-
-// NewMouseMachine assembles the busmouse rig.
-func NewMouseMachine() (*MouseMachine, error) {
-	clock := &hw.Clock{}
-	bus := hw.NewBus()
-	bus.SetFloating(true)
-	if err := sysboard.MapAll(bus); err != nil {
-		return nil, err
-	}
-	mouse := busmouse.New()
-	if err := bus.Map(mouseBase, 4, mouse); err != nil {
-		return nil, err
-	}
-	return &MouseMachine{
-		Clock:  clock,
-		Bus:    bus,
-		Kern:   kernel.New(clock),
-		Mouse:  mouse,
-		caches: newExecCaches(),
-	}, nil
-}
-
-// Reset returns the rig to its power-on state (the system-board devices
-// are stateless, so mouse and kernel are the only state to rewind).
-func (m *MouseMachine) Reset() {
-	m.Mouse.Reset()
-	m.Kern.Reset()
-}
-
-// MouseStubs generates busmouse stubs bound to the rig's bus.
-func (m *MouseMachine) MouseStubs(mode codegen.Mode) (*codegen.Stubs, error) {
-	return mouseSpec.Generate(devil.Config{
-		Bus:   m.Bus,
-		Bases: map[string]hw.Port{"base": mouseBase},
-		Mode:  mode,
-	})
-}
-
-// BootMouse compiles and boots one busmouse driver build on a freshly
-// built rig.
-func BootMouse(input BootInput) (*BootResult, error) {
-	m, err := NewMouseMachine()
-	if err != nil {
-		return nil, err
-	}
-	return BootMouseOn(m, input)
-}
-
-// BootMouseOn compiles and boots one busmouse driver build on m, which
-// must be freshly built or Reset.
-func BootMouseOn(m *MouseMachine, input BootInput) (*BootResult, error) {
-	ex, res, err := m.caches.buildEngine(m.Kern, m.Bus, m.MouseStubs, input)
-	if err != nil {
-		return nil, err
-	}
-	if ex == nil {
-		return res, nil
-	}
-	runErr, damaged := runMouseBoot(m.Kern, m.Mouse, ex)
-	res.Console = m.Kern.ConsoleView()
-	res.Coverage = ex.Coverage()
-	res.Steps = m.Kern.Steps()
-	res.RunErr = runErr
-	res.Outcome = kernel.Classify(runErr)
-	if runErr == nil && damaged {
-		res.Outcome = kernel.OutcomeDamagedBoot
-	}
-	return res, nil
+var mouseWorkload = WorkloadDesc{
+	Name:    "busmouse",
+	Drivers: []string{"busmouse_c", "busmouse_devil"},
+	Spec:    "busmouse",
+	Bases:   map[string]hw.Port{"base": mouseBase},
+	Build: func(r *Rig) (any, error) {
+		mouse := busmouse.New()
+		if err := r.Bus.Map(mouseBase, 4, mouse); err != nil {
+			return nil, err
+		}
+		return mouse, nil
+	},
+	Reset: func(dev any) { dev.(*busmouse.Mouse).Reset() },
+	Run:   runMouseBoot,
 }
 
 // runMouseBoot initialises the driver, feeds the motion script and checks
 // the event stream. The mouse counters accumulate, so the harness compares
 // cumulative positions.
-func runMouseBoot(kern *kernel.Kernel, mouse *busmouse.Mouse, ex execEngine) (error, bool) {
+func runMouseBoot(r *Rig, ex Engine, res *BootResult) (error, bool) {
+	kern, mouse := r.Kern, r.Dev.(*busmouse.Mouse)
 	ret, err := ex.Call("mouse_init")
 	if err != nil {
 		return err, false
@@ -167,10 +82,23 @@ func runMouseBoot(kern *kernel.Kernel, mouse *busmouse.Mouse, ex execEngine) (er
 	return nil, damaged
 }
 
+// BootMouse compiles and boots one busmouse driver build on a freshly
+// built rig. A compatibility wrapper over the generic BootDriver path.
+func BootMouse(input BootInput) (*BootResult, error) {
+	return BootDriver("busmouse_c", input)
+}
+
+// BootMouseOn compiles and boots one busmouse driver build on m, which
+// must be a busmouse rig, freshly built or Reset. A compatibility
+// wrapper over the generic BootOn path.
+func BootMouseOn(m *Rig, input BootInput) (*BootResult, error) {
+	return BootOn(m, input)
+}
+
 // MouseMutation runs the driver-mutation experiment for a busmouse driver
 // ("busmouse_c" or "busmouse_devil"). It is DriverMutation under a
-// historical name: the campaign workload routes busmouse_* tasks to the
-// mouse harness by driver name.
+// historical name: the workload registry routes busmouse_* tasks to the
+// mouse rig by driver name.
 func MouseMutation(driver string, opts MutationOptions) (*DriverTable, error) {
 	return DriverMutation(driver, opts)
 }

@@ -5,12 +5,8 @@ import (
 	"fmt"
 
 	"repro/internal/cdriver/cinterp"
-	"repro/internal/devil"
-	"repro/internal/devil/codegen"
 	"repro/internal/hw"
 	"repro/internal/hw/ne2000"
-	"repro/internal/hw/sysboard"
-	"repro/internal/kernel"
 )
 
 // The NE2000 experiment adds the third driver pair: an interrupt- and
@@ -31,9 +27,6 @@ const (
 	netDataBase  hw.Port = 0x310
 	netResetBase hw.Port = 0x31f
 )
-
-// netSpec caches the compiled NE2000 specification.
-var netSpec = mustCompileSpec("ne2000")
 
 // netMAC is the station address both drivers program into PAR0..5.
 var netMAC = [6]byte{0x02, 0x11, 0x22, 0x33, 0x44, 0x55}
@@ -63,98 +56,32 @@ func buildNetFrames() [][]byte {
 	return frames
 }
 
-// NetMachine is the assembled NE2000 rig: clock, bus with the system
-// board and the adapter's three endpoints mapped, kernel, plus the same
-// per-worker caches as the IDE Machine (stubs, type environments,
-// compiled-backend buffers). A campaign worker builds one and Resets it
-// between boots.
-type NetMachine struct {
-	Clock *hw.Clock
-	Bus   *hw.Bus
-	Kern  *kernel.Kernel
-	NIC   *ne2000.NIC
-
-	caches execCaches
-}
-
-// NewNetMachine assembles the NE2000 rig.
-func NewNetMachine() (*NetMachine, error) {
-	clock := &hw.Clock{}
-	bus := hw.NewBus()
-	bus.SetFloating(true)
-	if err := sysboard.MapAll(bus); err != nil {
-		return nil, err
-	}
-	nic := ne2000.New()
-	if err := bus.Map(netRegBase, 16, nic.Registers()); err != nil {
-		return nil, err
-	}
-	if err := bus.Map(netDataBase, 1, nic.DataPort()); err != nil {
-		return nil, err
-	}
-	if err := bus.Map(netResetBase, 1, nic.ResetPort()); err != nil {
-		return nil, err
-	}
-	return &NetMachine{
-		Clock:  clock,
-		Bus:    bus,
-		Kern:   kernel.New(clock),
-		NIC:    nic,
-		caches: newExecCaches(),
-	}, nil
-}
-
-// Reset returns the rig to its power-on state (the system-board devices
-// are stateless, so the NIC — packet memory included — and the kernel
-// are the only state to rewind).
-func (m *NetMachine) Reset() {
-	m.NIC.Reset()
-	m.Kern.Reset()
-}
-
-// NetStubs generates NE2000 stubs bound to the rig's bus.
-func (m *NetMachine) NetStubs(mode codegen.Mode) (*codegen.Stubs, error) {
-	return netSpec.Generate(devil.Config{
-		Bus: m.Bus,
-		Bases: map[string]hw.Port{
-			"reg":   netRegBase,
-			"dma":   netDataBase,
-			"reset": netResetBase,
-		},
-		Mode: mode,
-	})
-}
-
-// BootNet compiles and boots one NE2000 driver build on a freshly built
-// rig.
-func BootNet(input BootInput) (*BootResult, error) {
-	m, err := NewNetMachine()
-	if err != nil {
-		return nil, err
-	}
-	return BootNetOn(m, input)
-}
-
-// BootNetOn compiles and boots one NE2000 driver build on m, which must
-// be freshly built or Reset.
-func BootNetOn(m *NetMachine, input BootInput) (*BootResult, error) {
-	ex, res, err := m.caches.buildEngine(m.Kern, m.Bus, m.NetStubs, input)
-	if err != nil {
-		return nil, err
-	}
-	if ex == nil {
-		return res, nil
-	}
-	runErr, damaged := runNetBoot(m.Kern, m.NIC, ex)
-	res.Console = m.Kern.ConsoleView()
-	res.Coverage = ex.Coverage()
-	res.Steps = m.Kern.Steps()
-	res.RunErr = runErr
-	res.Outcome = kernel.Classify(runErr)
-	if runErr == nil && damaged {
-		res.Outcome = kernel.OutcomeDamagedBoot
-	}
-	return res, nil
+var netWorkload = WorkloadDesc{
+	Name:    "ne2000",
+	Drivers: []string{"ne2000_c", "ne2000_devil"},
+	Spec:    "ne2000",
+	Bases: map[string]hw.Port{
+		"reg":   netRegBase,
+		"dma":   netDataBase,
+		"reset": netResetBase,
+	},
+	Build: func(r *Rig) (any, error) {
+		nic := ne2000.New()
+		if err := r.Bus.Map(netRegBase, 16, nic.Registers()); err != nil {
+			return nil, err
+		}
+		if err := r.Bus.Map(netDataBase, 1, nic.DataPort()); err != nil {
+			return nil, err
+		}
+		if err := r.Bus.Map(netResetBase, 1, nic.ResetPort()); err != nil {
+			return nil, err
+		}
+		return nic, nil
+	},
+	// ne2000.NIC.Reset is the cold power-on reset (packet memory
+	// included), distinct from the warm reset the reset port performs.
+	Reset: func(dev any) { dev.(*ne2000.NIC).Reset() },
+	Run:   runNetBoot,
 }
 
 // runNetBoot drives the packet round trip: initialise the driver, push
@@ -163,7 +90,8 @@ func BootNetOn(m *NetMachine, input BootInput) (*BootResult, error) {
 // payload byte. The kernel — not the driver — holds the expected bytes,
 // so a driver that corrupts, truncates, reorders or invents frames is
 // caught as visible damage.
-func runNetBoot(kern *kernel.Kernel, nic *ne2000.NIC, ex execEngine) (error, bool) {
+func runNetBoot(r *Rig, ex Engine, res *BootResult) (error, bool) {
+	kern, nic := r.Kern, r.Dev.(*ne2000.NIC)
 	ret, err := ex.Call("net_init")
 	if err != nil {
 		return err, false
@@ -212,4 +140,17 @@ func runNetBoot(kern *kernel.Kernel, nic *ne2000.NIC, ex execEngine) (error, boo
 	}
 	kern.Printk("ne2000: packet round trip complete")
 	return nil, damaged
+}
+
+// BootNet compiles and boots one NE2000 driver build on a freshly built
+// rig. A compatibility wrapper over the generic BootDriver path.
+func BootNet(input BootInput) (*BootResult, error) {
+	return BootDriver("ne2000_c", input)
+}
+
+// BootNetOn compiles and boots one NE2000 driver build on m, which must
+// be an NE2000 rig, freshly built or Reset. A compatibility wrapper over
+// the generic BootOn path.
+func BootNetOn(m *Rig, input BootInput) (*BootResult, error) {
+	return BootOn(m, input)
 }

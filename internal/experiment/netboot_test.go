@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"path/filepath"
 	"testing"
 
 	"repro/internal/campaign"
@@ -48,38 +47,7 @@ func TestCleanNetBoot(t *testing.T) {
 // state where the clean driver boots cleanly — the rig-reuse guarantee
 // campaign workers depend on.
 func TestNetMachineResetRestoresCleanBoot(t *testing.T) {
-	m, err := NewNetMachine()
-	if err != nil {
-		t.Fatal(err)
-	}
-	src, err := drivers.Load("ne2000_c")
-	if err != nil {
-		t.Fatal(err)
-	}
-	toks, err := ParseDriver(src.Text)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// First boot dirties the NIC (ring contents, pointers) and the kernel.
-	if _, err := BootNetOn(m, BootInput{Tokens: toks}); err != nil {
-		t.Fatal(err)
-	}
-	m.Kern.Printk("stale console line")
-	m.Kern.SetBudget(1)
-	m.Reset()
-
-	res, err := BootNetOn(m, BootInput{Tokens: toks})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Outcome != kernel.OutcomeBoot {
-		t.Fatalf("clean boot on reset rig: %v (%v)", res.Outcome, res.RunErr)
-	}
-	for _, line := range res.Console {
-		if line == "stale console line" {
-			t.Error("console not cleared by Reset")
-		}
-	}
+	assertResetRestoresCleanBoot(t, "ne2000_c", nil, nil)
 }
 
 // TestNetMutationSmoke runs a sampled NE2000 mutation experiment and
@@ -112,10 +80,9 @@ func TestNetMutationSmoke(t *testing.T) {
 }
 
 // TestNetCampaignDeterminism: an NE2000 campaign over both drivers
-// aggregates to byte-identical tables whether it runs serially, sharded
-// into separate stores and merged, killed halfway and resumed, or
-// executed on the tree-walking oracle instead of the compiled backend —
-// and the Devil driver detects strictly more mutants in every variant.
+// satisfies the shared determinism protocol (serial = sharded+merged =
+// resumed = interp oracle), and the Devil driver detects strictly more
+// mutants.
 func TestNetCampaignDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign determinism test is not short")
@@ -128,94 +95,12 @@ func TestNetCampaignDeterminism(t *testing.T) {
 		Shards:    3,
 		Budget:    ExperimentBudget,
 	}
-	wl := NewWorkload()
-
-	render := func(st campaign.Store) (string, map[string]*campaign.TableData) {
-		t.Helper()
-		tables, order, err := campaign.Aggregate(st.Records())
-		if err != nil {
-			t.Fatal(err)
-		}
-		var text string
-		for _, d := range order {
-			if !tables[d].Complete() {
-				t.Fatalf("%s incomplete: %d/%d", d, tables[d].Results, tables[d].Selected)
-			}
-			text += FormatDriverTable(TableFromCampaign(tables[d]), d)
-		}
-		return text, tables
-	}
-
-	serial := campaign.NewMemStore()
-	if _, err := campaign.Run(spec, wl, serial, campaign.Options{Workers: 1}); err != nil {
-		t.Fatal(err)
-	}
-	want, tables := render(serial)
+	tables := assertCampaignDeterminism(t, spec)
 
 	c := TableFromCampaign(tables["ne2000_c"])
 	d := TableFromCampaign(tables["ne2000_devil"])
 	if d.DetectedPct() <= c.DetectedPct() {
 		t.Errorf("Devil detection (%.1f%%) should exceed C (%.1f%%)",
 			d.DetectedPct(), c.DetectedPct())
-	}
-
-	// Sharded into separate stores, then merged.
-	dir := t.TempDir()
-	var stores []campaign.Store
-	for sh := 0; sh < spec.Shards; sh++ {
-		st, err := campaign.OpenFile(filepath.Join(dir, "shard"+string(rune('0'+sh))+".jsonl"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer st.Close()
-		if _, err := campaign.Run(spec, wl, st, campaign.Options{Shards: []int{sh}}); err != nil {
-			t.Fatal(err)
-		}
-		stores = append(stores, st)
-	}
-	merged, err := campaign.OpenFile(filepath.Join(dir, "merged.jsonl"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer merged.Close()
-	if err := campaign.Merge(merged, stores...); err != nil {
-		t.Fatal(err)
-	}
-	if got, _ := render(merged); got != want {
-		t.Errorf("sharded+merged tables differ from serial:\n--- serial\n%s\n--- sharded\n%s", want, got)
-	}
-
-	// Killed halfway and resumed.
-	interrupted, err := campaign.OpenFile(filepath.Join(dir, "interrupted.jsonl"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer interrupted.Close()
-	recs := serial.Records()
-	for _, r := range recs[:len(recs)/2] {
-		if err := interrupted.Append(r); err != nil {
-			t.Fatal(err)
-		}
-	}
-	sum, err := campaign.Run(spec, wl, interrupted, campaign.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sum.Ran == 0 {
-		t.Fatal("resume booted nothing; the interruption was not simulated")
-	}
-	if got, _ := render(interrupted); got != want {
-		t.Errorf("resumed tables differ from serial:\n--- serial\n%s\n--- resumed\n%s", want, got)
-	}
-
-	// The tree-walking oracle must aggregate to the identical text.
-	oracle := spec
-	oracle.Backend = "interp"
-	ost := campaign.NewMemStore()
-	if _, err := campaign.Run(oracle, wl, ost, campaign.Options{}); err != nil {
-		t.Fatal(err)
-	}
-	if got, _ := render(ost); got != want {
-		t.Errorf("interp-backend tables differ from compiled:\n--- compiled\n%s\n--- interp\n%s", want, got)
 	}
 }

@@ -164,9 +164,9 @@ func Table4(opts MutationOptions) (*DriverTable, error) {
 }
 
 // DriverMutation runs the full per-driver mutation experiment (any
-// embedded driver — the workload routes ide_* to the full machine and
-// busmouse_* to the mouse harness) as a one-driver campaign against an
-// in-memory store, so the serial tables and the sharded, persisted
+// embedded driver — the workload registry routes each one to its
+// registered boot rig) as a one-driver campaign against an in-memory
+// store, so the serial tables and the sharded, persisted
 // `driverlab campaign` runs share execution and aggregation logic end
 // to end.
 func DriverMutation(driver string, opts MutationOptions) (*DriverTable, error) {

@@ -46,8 +46,30 @@ func (b *BusMaster) tick(now uint64) {
 	}
 }
 
+// Reset returns the bus master to the power-on state New leaves it in:
+// engine stopped, latches clear, both drives DMA-capable, descriptor
+// pointer zeroed. It is the campaign worker's rig-reuse hook.
+func (b *BusMaster) Reset() {
+	b.bmicx = 0
+	b.bmisx = 0x60
+	b.bmidtpx = 0
+	b.doneAt = 0
+}
+
 // DescriptorTable returns the programmed PRD table address.
 func (b *BusMaster) DescriptorTable() uint32 { return b.bmidtpx &^ 3 }
+
+// Active reports whether a transfer is in flight.
+func (b *BusMaster) Active() bool { return b.bmisx&BMActive != 0 }
+
+// IrqPending reports whether the completion interrupt is latched.
+func (b *BusMaster) IrqPending() bool { return b.bmisx&BMInterrupt != 0 }
+
+// ErrorLatched reports whether the error latch is set.
+func (b *BusMaster) ErrorLatched() bool { return b.bmisx&BMError != 0 }
+
+// Capabilities returns the drive-capability bits (0x60 at power-on).
+func (b *BusMaster) Capabilities() uint8 { return b.bmisx & 0x60 }
 
 type endpoint struct {
 	bm  *BusMaster

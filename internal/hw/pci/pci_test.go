@@ -69,6 +69,66 @@ func TestDMAEngineLifecycle(t *testing.T) {
 	}
 }
 
+// TestHostileProgramming drives the engine the way mutated drivers do —
+// restarts while active, garbage register values, wide accesses to the
+// byte registers, out-of-range offsets — and requires device errors or
+// benign latching, never a panic.
+func TestHostileProgramming(t *testing.T) {
+	bus, clock, bm := newRig(t)
+	// Restart while active: the engine stays active and completes once.
+	if err := bus.Out8(0xc000, pci.BMStart); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Out8(0xc000, pci.BMStart|pci.BMReadMode); err != nil {
+		t.Fatal(err)
+	}
+	clock.Tick(1 << 40) // a mutated delay constant: one enormous batch
+	if bm.Active() {
+		t.Error("engine still active after huge elapsed batch")
+	}
+	if !bm.IrqPending() {
+		t.Error("completion not latched after huge elapsed batch")
+	}
+	// Garbage wide writes to the byte registers truncate politely.
+	if err := bus.Write(0xc000, hw.Width32, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Write(0xc002, hw.Width32, 0xffffffff); err != nil {
+		t.Fatal(err)
+	}
+	if bm.ErrorLatched() || bm.IrqPending() {
+		t.Errorf("write-1-to-clear did not clear latches: err=%v irq=%v",
+			bm.ErrorLatched(), bm.IrqPending())
+	}
+	// Out-of-range offsets are device errors, not panics.
+	if _, err := bm.Status().Read(1, hw.Width8); err == nil {
+		t.Error("read past the status register succeeded")
+	}
+	if err := bm.Command().Write(7, hw.Width8, 1); err == nil {
+		t.Error("write past the command register succeeded")
+	}
+}
+
+// TestBusMasterReset: Reset returns the engine to the power-on state —
+// the campaign rig-reuse contract.
+func TestBusMasterReset(t *testing.T) {
+	bus, clock, bm := newRig(t)
+	if err := bus.Out32(0xc004, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Out8(0xc000, pci.BMStart); err != nil {
+		t.Fatal(err)
+	}
+	clock.Tick(100)
+	bm.Reset()
+	if bm.DescriptorTable() != 0 || bm.Active() || bm.IrqPending() ||
+		bm.ErrorLatched() || bm.Capabilities() != 0x60 {
+		t.Errorf("state survived Reset: prdt=%#x active=%v irq=%v err=%v caps=%#x",
+			bm.DescriptorTable(), bm.Active(), bm.IrqPending(),
+			bm.ErrorLatched(), bm.Capabilities())
+	}
+}
+
 func TestStopCancelsTransfer(t *testing.T) {
 	bus, _, _ := newRig(t)
 	if err := bus.Out8(0xc000, pci.BMStart); err != nil {

@@ -38,9 +38,10 @@ const (
 )
 
 const (
-	resetTicks   = 100
-	fifoCapacity = 32
-	dmaTickRate  = 8 // dwords drained per tick
+	resetTicks    = 100
+	fifoCapacity  = 32
+	fifoDrainTime = 8 // ticks per FIFO word the graphics core consumes
+	dmaTickRate   = 8 // DMA dwords counted down per tick
 )
 
 // GPU is the Permedia 2 model.
@@ -48,6 +49,7 @@ type GPU struct {
 	regs       [numRegs]uint32
 	resetUntil uint64
 	fifo       []uint32
+	fifoCredit uint64 // elapsed ticks not yet converted into drained words
 	clock      *hw.Clock
 	lastNow    uint64
 	drained    uint64 // total FIFO words consumed by the core
@@ -60,30 +62,55 @@ func New(clock *hw.Clock) *GPU {
 	return g
 }
 
+// Reset returns the GPU to the cold power-on state New leaves it in:
+// registers cleared, FIFO empty, drain counter rewound. It is the
+// campaign worker's rig-reuse hook — distinct from the warm reset a
+// write to the reset register performs, which takes resetTicks to
+// complete.
+func (g *GPU) Reset() {
+	g.regs = [numRegs]uint32{}
+	g.resetUntil = 0
+	g.fifo = g.fifo[:0]
+	g.fifoCredit = 0
+	g.drained = 0
+	g.lastNow = g.clock.Now()
+}
+
 func (g *GPU) tick(now uint64) {
 	// Clock listeners are invoked once per Tick batch, so the model works
-	// in elapsed virtual time rather than per invocation.
+	// in elapsed virtual time rather than per invocation. Mutated drivers
+	// can make a single batch enormous (a mutated udelay constant), so
+	// every computation below clamps rather than trusting elapsed to be
+	// small — the model must misbehave politely, never panic or wedge.
 	elapsed := now - g.lastNow
 	g.lastNow = now
 	if elapsed == 0 {
 		return
 	}
-	// The graphics core drains the input FIFO.
-	drain := int(elapsed) * dmaTickRate
-	if drain > len(g.fifo) {
-		drain = len(g.fifo)
-	}
-	if drain > 0 {
+	// The graphics core consumes one FIFO word every fifoDrainTime ticks;
+	// an idle core accrues no credit.
+	if len(g.fifo) > 0 {
+		credit := g.fifoCredit + elapsed
+		words := credit / fifoDrainTime
+		g.fifoCredit = credit % fifoDrainTime
+		drain := len(g.fifo)
+		if words < uint64(drain) {
+			drain = int(words)
+		}
 		g.fifo = g.fifo[drain:]
 		g.drained += uint64(drain)
+	} else {
+		g.fifoCredit = 0
 	}
 	// DMA engine: counts down, raising the DMA interrupt at zero.
 	if cnt := g.regs[regDMACount]; cnt > 0 {
-		step := uint32(elapsed) * dmaTickRate
-		if step > cnt {
-			step = cnt
+		step := uint64(cnt)
+		if elapsed < 1<<32 {
+			if s := elapsed * dmaTickRate; s < step {
+				step = s
+			}
 		}
-		g.regs[regDMACount] = cnt - step
+		g.regs[regDMACount] = cnt - uint32(step)
 		if g.regs[regDMACount] == 0 {
 			g.regs[regIntFlags] |= IntDMA
 		}
@@ -92,10 +119,10 @@ func (g *GPU) tick(now uint64) {
 	if g.regs[regVideoCtl]&0x01 != 0 {
 		vtotal := g.regs[regVTotal] & 0xfff
 		if vtotal == 0 {
-			vtotal = 1024
+			vtotal = 1024 // a zero VTotal is bogus; free-run a full frame
 		}
-		line := g.regs[regLineCount] + uint32(elapsed)
-		if line >= vtotal {
+		line := g.regs[regLineCount] + uint32(elapsed%uint64(vtotal))
+		if line >= vtotal || elapsed >= uint64(vtotal) {
 			g.regs[regIntFlags] |= IntVRetrace
 		}
 		g.regs[regLineCount] = line % vtotal
@@ -104,6 +131,30 @@ func (g *GPU) tick(now uint64) {
 
 // Drained reports how many FIFO words the core has consumed.
 func (g *GPU) Drained() uint64 { return g.drained }
+
+// FIFODepth reports how many words sit in the input FIFO.
+func (g *GPU) FIFODepth() int { return len(g.fifo) }
+
+// VideoEnabled reports whether the video timing generator is running.
+func (g *GPU) VideoEnabled() bool { return g.regs[regVideoCtl]&0x01 != 0 }
+
+// IntFlags returns the pending interrupt flags.
+func (g *GPU) IntFlags() uint32 { return g.regs[regIntFlags] }
+
+// IntEnable returns the programmed interrupt enable mask.
+func (g *GPU) IntEnable() uint32 { return g.regs[regIntEnable] }
+
+// DMAAddress returns the programmed DMA base address.
+func (g *GPU) DMAAddress() uint32 { return g.regs[regDMAAddress] }
+
+// DMACount returns the remaining DMA dword count.
+func (g *GPU) DMACount() uint32 { return g.regs[regDMACount] }
+
+// VTotal returns the programmed vertical total (in lines).
+func (g *GPU) VTotal() uint32 { return g.regs[regVTotal] & 0xfff }
+
+// ScreenBase returns the programmed frame-buffer base address.
+func (g *GPU) ScreenBase() uint32 { return g.regs[regScreenBase] }
 
 // control is the control-aperture endpoint.
 type control struct{ g *GPU }

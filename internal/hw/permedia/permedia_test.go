@@ -100,6 +100,100 @@ func TestVerticalRetraceInterrupt(t *testing.T) {
 	}
 }
 
+// TestHostileProgramming drives the model the way mutated drivers do —
+// out-of-range DMA counts, FIFO overrun past capacity, a zero vertical
+// total, and enormous elapsed-time batches from a mutated delay
+// constant — and requires the chip to misbehave politely (flags, drops,
+// clamps) instead of panicking the harness.
+func TestHostileProgramming(t *testing.T) {
+	bus, clock, gpu := newRig(t)
+	// Maximum DMA count with a huge time jump: must clamp, complete, and
+	// raise the completion interrupt, not overflow.
+	if err := bus.Out32(0x8006, 0xffffffff); err != nil {
+		t.Fatal(err)
+	}
+	clock.Tick(1 << 40)
+	if cnt, _ := bus.In32(0x8006); cnt != 0 {
+		t.Errorf("hostile DMA count did not drain: %d", cnt)
+	}
+	if flags, _ := bus.In32(0x8002); flags&permedia.IntDMA == 0 {
+		t.Errorf("hostile DMA count raised no completion interrupt: %#x", flags)
+	}
+	// Zero vertical total with video enabled: the timing generator must
+	// free-run, keep the line counter in range and raise retrace.
+	if err := bus.Out32(0x8010, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Out32(0x8014, 1); err != nil {
+		t.Fatal(err)
+	}
+	clock.Tick(1 << 40)
+	if line, _ := bus.In32(0x8015); line >= 1024 {
+		t.Errorf("line counter out of range with zero VTotal: %d", line)
+	}
+	if flags, _ := bus.In32(0x8002); flags&permedia.IntVRetrace == 0 {
+		t.Errorf("free-running frame raised no retrace: %#x", flags)
+	}
+	// FIFO overrun far past capacity: every excess word drops with the
+	// error flag, and the drain accounting stays consistent.
+	for i := 0; i < 100; i++ {
+		if err := bus.Out32(0x9000, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gpu.FIFODepth() != 32 {
+		t.Errorf("FIFO depth after overrun = %d, want capacity 32", gpu.FIFODepth())
+	}
+	if flags, _ := bus.In32(0x8002); flags&permedia.IntError == 0 {
+		t.Errorf("overrun raised no error interrupt: %#x", flags)
+	}
+	clock.Tick(1 << 40)
+	if gpu.FIFODepth() != 0 {
+		t.Errorf("FIFO not drained after huge elapsed batch: %d", gpu.FIFODepth())
+	}
+	// Out-of-aperture accesses are device errors, not panics.
+	if _, err := gpu.Control().Read(24, hw.Width32); err == nil {
+		t.Error("read past the aperture succeeded")
+	}
+	if err := gpu.Control().Write(1000, hw.Width32, 1); err == nil {
+		t.Error("write past the aperture succeeded")
+	}
+}
+
+// TestGPUReset: Reset returns the chip to the cold power-on state —
+// the campaign rig-reuse contract.
+func TestGPUReset(t *testing.T) {
+	bus, clock, gpu := newRig(t)
+	if err := bus.Out32(0x8010, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Out32(0x8014, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := bus.Out32(0x9000, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Tick(200)
+	gpu.Reset()
+	if gpu.Drained() != 0 || gpu.FIFODepth() != 0 || gpu.VideoEnabled() ||
+		gpu.IntFlags() != 0 || gpu.VTotal() != 0 {
+		t.Errorf("state survived Reset: drained=%d depth=%d video=%v flags=%#x vtotal=%d",
+			gpu.Drained(), gpu.FIFODepth(), gpu.VideoEnabled(), gpu.IntFlags(), gpu.VTotal())
+	}
+	// The drain clock restarts from the reset instant, not power-on.
+	for i := 0; i < 4; i++ {
+		if err := bus.Out32(0x9000, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.Tick(64)
+	if gpu.Drained() != 4 {
+		t.Errorf("post-Reset drain = %d, want 4", gpu.Drained())
+	}
+}
+
 func TestDMACompletionInterrupt(t *testing.T) {
 	bus, clock, _ := newRig(t)
 	if err := bus.Out32(0x8005, 0x1000); err != nil { // DMAAddress

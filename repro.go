@@ -16,8 +16,12 @@
 //     (internal/cdriver).
 //   - The evaluation: the §3 mutation rules (internal/mutation, cmut,
 //     devilmut) and the experiment harness regenerating Tables 1–4 and
-//     Figures 1/3/4, plus the busmouse and NE2000 extension pairs with
-//     their kernel-audited boot rigs (internal/experiment).
+//     Figures 1/3/4. A workload registry (experiment.RegisterWorkload)
+//     routes every driver pair to a declarative rig descriptor —
+//     devices-on-bus assembly, reset hook, boot script, success audit —
+//     so all five Table-2 devices (IDE, busmouse, NE2000, Permedia 2,
+//     82371FB bus master) boot through one generic experiment.Rig with
+//     kernel-audited workloads (internal/experiment).
 //   - The campaign engine (internal/campaign): declarative mutation
 //     campaigns expanded into deterministic work-lists, partitioned into
 //     hash-assigned shards, executed on a worker pool with per-worker

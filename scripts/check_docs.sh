@@ -4,7 +4,10 @@
 #  1. every internal/ package must carry a package comment in a non-test
 #     file, so `go doc` gives a one-paragraph orientation per package;
 #  2. every examples/* binary must build and run cleanly against the
-#     simulated hardware.
+#     simulated hardware;
+#  3. the driverlab -h banner must name every embedded driver, so the
+#     corpus (including newly added pairs) stays discoverable from the
+#     CLI without reading the source.
 #
 # Run from the repository root.
 set -e
@@ -37,3 +40,20 @@ for d in examples/*/; do
     go run "./$d" >/dev/null
     echo ok
 done
+
+usage=$(go run ./cmd/driverlab -h 2>&1)
+fail=0
+for src in internal/drivers/src/*.c; do
+    name=$(basename "$src" .c)
+    case "$usage" in
+        *"$name"*) ;;
+        *)
+            echo "driverlab -h does not mention driver $name" >&2
+            fail=1
+            ;;
+    esac
+done
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "driver corpus in usage text: ok"
