@@ -19,6 +19,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mutation/cmut"
 	"repro/internal/mutation/devilmut"
+	"repro/internal/obs"
 	"repro/internal/specs"
 )
 
@@ -356,6 +357,38 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 				b.ReportMetric(float64(boots)/float64(b.N), "boots/op")
 			})
 		}
+	}
+}
+
+// BenchmarkCampaignThroughputObserved is the campaign throughput bench
+// with the full observability stack enabled — boot-pipeline phase
+// spans, engine counters, store latency histograms, and a live status
+// tracker. Comparing against BenchmarkCampaignThroughput quantifies the
+// instrumentation overhead, which CI separately gates at 3% via
+// `driverlab bench -obs compare`.
+func BenchmarkCampaignThroughputObserved(b *testing.B) {
+	for _, driver := range []string{"ide_c", "ide_devil"} {
+		driver := driver
+		b.Run(driver, func(b *testing.B) {
+			col := obs.New()
+			wl := experiment.NewObservedWorkload(col)
+			metrics := campaign.NewMetrics(col)
+			spec := experiment.CampaignSpec(driver,
+				experiment.MutationOptions{SamplePct: 2, Seed: 2001})
+			boots := 0
+			for i := 0; i < b.N; i++ {
+				store := campaign.NewMemStore()
+				sum, err := campaign.Run(spec, wl, store, campaign.Options{
+					Metrics: metrics, Status: campaign.NewStatusTracker(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				boots += sum.Ran
+			}
+			b.ReportMetric(float64(boots)/b.Elapsed().Seconds(), "boots/s")
+			b.ReportMetric(float64(boots)/float64(b.N), "boots/op")
+		})
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/drivers"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 // BenchDriver is the measured throughput of one driver's campaign under
@@ -24,6 +25,55 @@ type BenchDriver struct {
 	BootsPerSec   float64 `json:"boots_per_s"`
 	AllocsPerBoot float64 `json:"allocs_per_boot"`
 	BytesPerBoot  float64 `json:"bytes_per_boot"`
+	// Phases is the per-phase boot time breakdown (-phases), in
+	// pipeline order, from the collector's phase-span histograms.
+	Phases []BenchPhase `json:"phases,omitempty"`
+}
+
+// BenchPhase is the measured cost of one boot-pipeline phase across a
+// driver's bench campaign.
+type BenchPhase struct {
+	Phase    string  `json:"phase"`
+	Count    int     `json:"count"`
+	TotalSec float64 `json:"total_s"`
+	MeanUS   float64 `json:"mean_us"`
+	// Share is this phase's fraction of the summed phase time.
+	Share float64 `json:"share"`
+}
+
+// phaseRows folds a collector's phase-span histograms into bench
+// report rows, in pipeline order.
+func phaseRows(col *obs.Collector) []BenchPhase {
+	byPhase := make(map[string]*BenchPhase)
+	var total float64
+	for _, s := range col.Gather() {
+		if s.Name != experiment.MetricBootPhase {
+			continue
+		}
+		p := byPhase[s.Label("phase")]
+		if p == nil {
+			p = &BenchPhase{Phase: s.Label("phase")}
+			byPhase[p.Phase] = p
+		}
+		p.Count += int(s.Count)
+		p.TotalSec += s.Sum
+		total += s.Sum
+	}
+	var out []BenchPhase
+	for _, ph := range experiment.BootPhases {
+		p := byPhase[ph]
+		if p == nil {
+			continue
+		}
+		if p.Count > 0 {
+			p.MeanUS = p.TotalSec / float64(p.Count) * 1e6
+		}
+		if total > 0 {
+			p.Share = p.TotalSec / total
+		}
+		out = append(out, *p)
+	}
+	return out
 }
 
 // BenchReport is the JSON shape of BENCH_campaign.json: one campaign
@@ -63,7 +113,11 @@ func benchFrontends(flagVal string) ([]experiment.Frontend, bool, error) {
 // every future scenario multiplies against — and optionally persists it.
 // With -frontend compare it exits non-zero if the incremental front end
 // is slower than a full recompile on any driver (the CI regression
-// gate).
+// gate). With -obs on (or -phases) the metric collector is enabled and
+// the per-phase boot time breakdown lands in the report; -obs compare
+// measures disabled-then-enabled and exits non-zero if the collector
+// costs more than 3% throughput (reported rows keep the disabled
+// numbers).
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("driverlab bench", flag.ContinueOnError)
 	driversFlag := fs.String("drivers", strings.Join(drivers.Names(), ","),
@@ -77,6 +131,10 @@ func runBench(args []string) error {
 	repeat := fs.Int("repeat", 1, "measurements per driver (the best is reported; >1 damps scheduler noise)")
 	jsonOut := fs.Bool("json", false, "write the report to -out as JSON")
 	out := fs.String("out", "BENCH_campaign.json", "report path for -json")
+	obsFlag := fs.String("obs", "off",
+		"metric collector: off (default), on, or compare (measure off then on; fail if enabled is >3% slower)")
+	phases := fs.Bool("phases", false,
+		"record the per-phase boot time breakdown per driver (implies -obs on)")
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
@@ -87,6 +145,14 @@ func runBench(args []string) error {
 	frontends, compare, err := benchFrontends(*frontendFlag)
 	if err != nil {
 		return err
+	}
+	switch *obsFlag {
+	case "off", "on", "compare":
+	default:
+		return fmt.Errorf("bench: unknown -obs mode %q (want off, on or compare)", *obsFlag)
+	}
+	if *phases && *obsFlag == "off" {
+		*obsFlag = "on"
 	}
 
 	report := BenchReport{
@@ -122,35 +188,96 @@ func runBench(args []string) error {
 				return err
 			}
 
-			var d BenchDriver
-			for rep := 0; rep < max(*repeat, 1); rep++ {
-				var before, after runtime.MemStats
-				runtime.GC()
-				runtime.ReadMemStats(&before)
-				start := time.Now()
-				store := campaign.NewMemStore()
-				sum, err := campaign.Run(spec, wl, store, campaign.Options{Workers: *workers})
-				if err != nil {
-					return fmt.Errorf("bench %s/%s: %w", driver, frontend, err)
-				}
-				elapsed := time.Since(start).Seconds()
-				runtime.ReadMemStats(&after)
+			// measure runs the campaign *repeat times against one workload
+			// (instrumented or not) and keeps the best run.
+			measure := func(mwl campaign.Workload, metrics *campaign.Metrics) (BenchDriver, error) {
+				var best BenchDriver
+				for rep := 0; rep < max(*repeat, 1); rep++ {
+					var before, after runtime.MemStats
+					runtime.GC()
+					runtime.ReadMemStats(&before)
+					start := time.Now()
+					store := campaign.NewMemStore()
+					sum, err := campaign.Run(spec, mwl, store, campaign.Options{
+						Workers: *workers, Metrics: metrics,
+					})
+					if err != nil {
+						return best, fmt.Errorf("bench %s/%s: %w", driver, frontend, err)
+					}
+					elapsed := time.Since(start).Seconds()
+					runtime.ReadMemStats(&after)
 
-				boots := sum.Ran
-				r := BenchDriver{
-					Driver:     driver,
-					Frontend:   string(frontend),
-					Boots:      boots,
-					ElapsedSec: elapsed,
+					boots := sum.Ran
+					r := BenchDriver{
+						Driver:     driver,
+						Frontend:   string(frontend),
+						Boots:      boots,
+						ElapsedSec: elapsed,
+					}
+					if boots > 0 && elapsed > 0 {
+						r.BootsPerSec = float64(boots) / elapsed
+						r.AllocsPerBoot = float64(after.Mallocs-before.Mallocs) / float64(boots)
+						r.BytesPerBoot = float64(after.TotalAlloc-before.TotalAlloc) / float64(boots)
+					}
+					if rep == 0 || r.BootsPerSec > best.BootsPerSec {
+						best = r
+					}
 				}
-				if boots > 0 && elapsed > 0 {
-					r.BootsPerSec = float64(boots) / elapsed
-					r.AllocsPerBoot = float64(after.Mallocs-before.Mallocs) / float64(boots)
-					r.BytesPerBoot = float64(after.TotalAlloc-before.TotalAlloc) / float64(boots)
+				return best, nil
+			}
+			// observed builds a fresh collector plus a workload bound to it,
+			// warmed like the shared one.
+			observed := func() (*obs.Collector, campaign.Workload, error) {
+				col := obs.New()
+				owl := experiment.NewObservedWorkload(col)
+				if _, _, err := owl.Expand(spec); err != nil {
+					return nil, nil, err
 				}
-				if rep == 0 || r.BootsPerSec > d.BootsPerSec {
-					d = r
+				return col, owl, nil
+			}
+
+			var d BenchDriver
+			var col *obs.Collector
+			switch *obsFlag {
+			case "off":
+				d, err = measure(wl, nil)
+			case "on":
+				var owl campaign.Workload
+				col, owl, err = observed()
+				if err != nil {
+					return err
 				}
+				d, err = measure(owl, campaign.NewMetrics(col))
+			case "compare":
+				d, err = measure(wl, nil)
+				if err != nil {
+					return err
+				}
+				var owl campaign.Workload
+				col, owl, err = observed()
+				if err != nil {
+					return err
+				}
+				var e BenchDriver
+				e, err = measure(owl, campaign.NewMetrics(col))
+				if err == nil {
+					// The acceptance bar for the instrumentation layer: with
+					// the collector fully enabled, throughput may not regress
+					// more than 3%.
+					const obsBand = 0.97
+					if e.BootsPerSec < d.BootsPerSec*obsBand {
+						return fmt.Errorf("bench -obs compare: %s/%s with the collector enabled is >3%% slower (%.1f vs %.1f boots/s)",
+							driver, frontend, e.BootsPerSec, d.BootsPerSec)
+					}
+					fmt.Printf("bench %-14s %-12s collector overhead %.1f%% (%.1f vs %.1f boots/s): ok\n",
+						driver, frontend, 100*(1-e.BootsPerSec/d.BootsPerSec), e.BootsPerSec, d.BootsPerSec)
+				}
+			}
+			if err != nil {
+				return err
+			}
+			if *phases && col != nil {
+				d.Phases = phaseRows(col)
 			}
 			report.Drivers = append(report.Drivers, d)
 			total.Boots += d.Boots
@@ -163,6 +290,10 @@ func runBench(args []string) error {
 			perSec[driver][frontend] = d.BootsPerSec
 			fmt.Printf("bench %-14s %-12s %5d boots  %8.1f boots/s  %8.0f allocs/boot  %10.0f B/boot\n",
 				driver, frontend, d.Boots, d.BootsPerSec, d.AllocsPerBoot, d.BytesPerBoot)
+			for _, p := range d.Phases {
+				fmt.Printf("      phase %-9s %7d spans  %10.1f us/span  %5.1f%% of phase time\n",
+					p.Phase, p.Count, p.MeanUS, 100*p.Share)
+			}
 		}
 		if total.Boots > 0 && total.ElapsedSec > 0 {
 			total.BootsPerSec = float64(total.Boots) / total.ElapsedSec

@@ -1,23 +1,28 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/drivers"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 // runCampaign dispatches the campaign subcommands: run, resume, merge,
-// report.
+// report, status.
 func runCampaign(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("campaign: want a verb: run, resume, merge or report")
+		return fmt.Errorf("campaign: want a verb: run, resume, merge, report or status")
 	}
 	verb, rest := args[0], args[1:]
 	switch verb {
@@ -29,9 +34,26 @@ func runCampaign(args []string) error {
 		return campaignMerge(rest)
 	case "report":
 		return campaignReport(rest)
+	case "status":
+		return campaignStatus(rest)
 	default:
-		return fmt.Errorf("campaign: unknown verb %q (want run, resume, merge or report)", verb)
+		return fmt.Errorf("campaign: unknown verb %q (want run, resume, merge, report or status)", verb)
 	}
+}
+
+// runMetrics lists every metric family the instrumented stack can
+// register — scripts/check_docs.sh greps this list against
+// ARCHITECTURE.md's Observability section.
+func runMetrics(args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("metrics: takes no arguments")
+	}
+	names := append(campaign.MetricNames(), experiment.BootMetricNames()...)
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
 }
 
 // parseShards parses "-shard 0,2,5" into indices.
@@ -74,6 +96,8 @@ func campaignRun(args []string, resume bool) error {
 	shard := fs.String("shard", "", "comma-separated shard indices to run (default: all)")
 	workers := fs.Int("workers", 0, "boot worker count (default: GOMAXPROCS)")
 	quiet := fs.Bool("quiet", false, "suppress live progress")
+	statusAddr := fs.String("status-addr", "",
+		"serve /metrics (Prometheus), /status (JSON) and /debug/pprof on this address while the campaign runs (e.g. :9100)")
 	var name, driversFlag, stub, backend *string
 	var sample, shards *int
 	var seed *uint64
@@ -163,13 +187,72 @@ func campaignRun(args []string, resume bool) error {
 		}
 	}
 
-	opts := campaign.Options{Workers: *workers, Shards: shardSel}
-	if !*quiet {
-		opts.Progress = progressPrinter()
+	// Live status: the tracker is always on (it feeds the progress
+	// line); the metric collector and the HTTP endpoint only with
+	// -status-addr.
+	tracker := campaign.NewStatusTracker()
+	wl := experiment.NewWorkload()
+	var metrics *campaign.Metrics
+	if *statusAddr != "" {
+		col := obs.New()
+		metrics = campaign.NewMetrics(col)
+		wl = experiment.NewObservedWorkload(col)
+		srv, err := obs.Serve(*statusAddr, col, func() any { return tracker.Snapshot() })
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "campaign: observability endpoint at %s (/metrics, /status, /debug/pprof/)\n", srv.URL)
 	}
-	sum, err := campaign.Run(spec, experiment.NewWorkload(), st, opts)
+
+	// Graceful interruption: the first SIGINT/SIGTERM stops feeding
+	// tasks (in-flight boots finish and are recorded), the store is
+	// flushed, and a resume hint is printed; a second signal kills the
+	// process immediately.
+	interrupt := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	finished := make(chan struct{})
+	defer close(finished)
+	go func() {
+		select {
+		case <-sigc:
+		case <-finished:
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\ncampaign: interrupted, finishing in-flight boots (again to kill)\n")
+		close(interrupt)
+		select {
+		case <-sigc:
+			os.Exit(130)
+		case <-finished:
+		}
+	}()
+
+	opts := campaign.Options{
+		Workers:   *workers,
+		Shards:    shardSel,
+		Metrics:   metrics,
+		Status:    tracker,
+		Interrupt: interrupt,
+	}
+	if !*quiet {
+		opts.Progress = progressPrinter(tracker)
+	}
+	sum, err := campaign.Run(spec, wl, st, opts)
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
+	}
+	if errors.Is(err, campaign.ErrInterrupted) {
+		if ferr := st.Flush(); ferr != nil {
+			return ferr
+		}
+		snap := tracker.Snapshot()
+		fmt.Fprintf(os.Stderr, "campaign: interrupted — %d/%d selected results recorded and flushed\n",
+			snap.Recorded, snap.Total)
+		fmt.Fprintf(os.Stderr, "campaign: resume with: driverlab campaign resume -store %s\n", *store)
+		return nil
 	}
 	if err != nil {
 		return err
@@ -180,15 +263,46 @@ func campaignRun(args []string, resume bool) error {
 	}
 	fmt.Printf("campaign %q: %d selected, %d already stored, %d booted this run%s\n",
 		spec.Normalized().Name, sum.Total, sum.Skipped, sum.Ran, dedup)
+	if metrics != nil {
+		for _, line := range fallbackSummary(metrics.Collector()) {
+			fmt.Println("  " + line)
+		}
+	}
 	for _, line := range campaign.Completion(st.Records()) {
 		fmt.Println("  " + line)
 	}
 	return nil
 }
 
-// progressPrinter returns a rate-limited live progress callback.
-func progressPrinter() func(done, total int) {
-	start := time.Now()
+// fallbackSummary reports the boot pipeline's fallback counters of an
+// observed run: compiled-backend boots that executed on the reference
+// interpreter, and incremental-front-end boots that re-ran the full
+// pipeline.
+func fallbackSummary(col *obs.Collector) []string {
+	var interp, full float64
+	for _, s := range col.Gather() {
+		switch s.Name {
+		case experiment.MetricInterpFallbacks:
+			interp += s.Value
+		case experiment.MetricFullFrontend:
+			full += s.Value
+		}
+	}
+	var lines []string
+	if interp > 0 {
+		lines = append(lines, fmt.Sprintf("%.0f boots fell back to the reference interpreter", interp))
+	}
+	if full > 0 {
+		lines = append(lines, fmt.Sprintf("%.0f boots re-ran the full front end (span-unsafe mutations)", full))
+	}
+	return lines
+}
+
+// progressPrinter returns a rate-limited live progress callback. The
+// line is rendered from the same campaign.Snapshot the /status
+// endpoint serves, clamped to the terminal width.
+func progressPrinter(tracker *campaign.StatusTracker) func(done, total int) {
+	width := termWidth()
 	var last time.Time
 	return func(done, total int) {
 		now := time.Now()
@@ -196,9 +310,7 @@ func progressPrinter() func(done, total int) {
 			return
 		}
 		last = now
-		rate := float64(done) / now.Sub(start).Seconds()
-		fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d booted (%.1f%%, %.1f boots/s)   ",
-			done, total, 100*float64(done)/float64(total), rate)
+		fmt.Fprintf(os.Stderr, "\r%s\x1b[K", progressLine(tracker.Snapshot(), width))
 	}
 }
 
@@ -269,6 +381,14 @@ func campaignReport(args []string) error {
 		caption := fmt.Sprintf("Campaign %q: mutations on %s (%d%% sample, seed %d; %s)",
 			spec.Name, driver, spec.SamplePct, spec.Seed, status)
 		fmt.Println(experiment.FormatDriverTable(experiment.TableFromCampaign(t), caption))
+	}
+	// Dedup savings, from the dedup_of provenance: results recorded by
+	// copying an identical mutant's outcome instead of booting. (The
+	// interpreter-fallback counters are live-only; an observed run
+	// prints them — see fallbackSummary.)
+	if snap := campaign.SnapshotFromRecords(st.Records()); snap.Recorded > 0 {
+		fmt.Printf("dedup savings: %d of %d recorded results copied from identical mutant streams (%.1f%% of boots avoided)\n",
+			snap.Deduped, snap.Recorded, 100*float64(snap.Deduped)/float64(snap.Recorded))
 	}
 	return nil
 }

@@ -26,12 +26,21 @@
 //	driverlab campaign resume -store c.jsonl
 //	driverlab campaign merge  -out merged.jsonl shard0.jsonl shard1.jsonl
 //	driverlab campaign report -store c.jsonl
+//	driverlab campaign status <addr|store>
+//
+// With -status-addr a run serves its live telemetry over HTTP —
+// Prometheus text at /metrics, a JSON snapshot at /status, pprof under
+// /debug/pprof/ — and `campaign status` renders that snapshot, live
+// from the endpoint or reconstructed offline from a store. `driverlab
+// metrics` lists every metric family the stack can register.
 //
 // The bench subcommand measures campaign throughput (boots/s,
 // allocations per boot) and, with -json, emits BENCH_campaign.json so
-// the perf trajectory is tracked across PRs:
+// the perf trajectory is tracked across PRs; -phases adds the
+// per-phase boot time breakdown, and -obs compare gates the metric
+// collector's overhead:
 //
-//	driverlab bench -json
+//	driverlab bench -json -phases
 package main
 
 import (
@@ -90,9 +99,17 @@ mutation campaigns over the embedded driver corpus.
 Usage:
   driverlab [flags]                      tables 1-%d, figures, ablations
   driverlab campaign <verb> [flags]      sharded, resumable, persisted campaigns
-                                         verbs: run, resume, merge, report
+                                         verbs: run, resume, merge, report, status
   driverlab bench [flags]                campaign throughput (-json writes
-                                         BENCH_campaign.json)
+                                         BENCH_campaign.json, -phases the
+                                         per-phase boot time breakdown)
+  driverlab metrics                      list every metric family the
+                                         instrumented stack can register
+
+Observability: campaign run -status-addr :PORT serves Prometheus
+/metrics, a JSON /status snapshot and /debug/pprof while the campaign
+runs; campaign status <addr|store> renders the snapshot live from that
+endpoint or offline from a JSONL store.
 
 Drivers: %s.
 Extension tables: %s.
@@ -124,6 +141,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "bench" {
 		return runBench(args[1:])
+	}
+	if len(args) > 0 && args[0] == "metrics" {
+		return runMetrics(args[1:])
 	}
 	exts := extensionWorkloads()
 	fs := flag.NewFlagSet("driverlab", flag.ContinueOnError)

@@ -7,8 +7,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/drivers"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 // TestFastPaths exercises the non-mutation paths of the CLI (the mutation
@@ -56,8 +58,9 @@ func TestAdvertisedTables(t *testing.T) {
 func TestUsageEnumeratesSurface(t *testing.T) {
 	usage := usageText()
 	wants := []string{
-		"campaign", "run", "resume", "merge", "report", "bench",
-		"compiled", "interp", "BENCH_campaign.json",
+		"campaign", "run", "resume", "merge", "report", "status", "bench",
+		"metrics", "compiled", "interp", "BENCH_campaign.json",
+		"-status-addr", "-phases", "/metrics", "/status",
 	}
 	wants = append(wants, drivers.Names()...)
 	// Every registered extension pair must appear in the table numbering.
@@ -74,11 +77,23 @@ func TestUsageEnumeratesSurface(t *testing.T) {
 	for _, args := range [][]string{
 		{"-h"},
 		{"campaign", "run", "-h"},
+		{"campaign", "status", "-h"},
 		{"bench", "-h"},
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v) = %v, want nil (help is not an error)", args, err)
 		}
+	}
+}
+
+// TestMetricsCLI: the metrics subcommand lists every registered family
+// and rejects arguments.
+func TestMetricsCLI(t *testing.T) {
+	if err := run([]string{"metrics"}); err != nil {
+		t.Errorf("metrics: %v", err)
+	}
+	if err := run([]string{"metrics", "extra"}); err == nil {
+		t.Error("metrics with arguments accepted")
 	}
 }
 
@@ -106,7 +121,7 @@ func TestBenchCLI(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "BENCH_campaign.json")
 	if err := run([]string{"bench", "-drivers", "busmouse_devil", "-sample", "50",
-		"-json", "-out", out}); err != nil {
+		"-phases", "-json", "-out", out}); err != nil {
 		t.Fatalf("bench: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -133,11 +148,37 @@ func TestBenchCLI(t *testing.T) {
 			t.Errorf("report total = %+v, want >0 boots and boots/s", total)
 		}
 	}
+	// -phases attaches the per-phase breakdown to every driver row, in
+	// pipeline order, with shares summing to ~1.
+	for _, d := range rep.Drivers {
+		if len(d.Phases) == 0 {
+			t.Errorf("driver row %s/%s has no phase rows under -phases", d.Driver, d.Frontend)
+			continue
+		}
+		var share float64
+		seen := make(map[string]bool)
+		for _, p := range d.Phases {
+			if p.Count <= 0 || p.TotalSec < 0 {
+				t.Errorf("phase row %+v has no spans", p)
+			}
+			seen[p.Phase] = true
+			share += p.Share
+		}
+		if !seen[experiment.PhaseExecute] || !seen[experiment.PhaseClassify] {
+			t.Errorf("phase rows %v lack execute/classify", d.Phases)
+		}
+		if share < 0.99 || share > 1.01 {
+			t.Errorf("phase shares sum to %v, want ~1", share)
+		}
+	}
 	if err := run([]string{"bench", "-backend", "jit"}); err == nil {
 		t.Error("bench with unknown backend accepted")
 	}
 	if err := run([]string{"bench", "-frontend", "psychic"}); err == nil {
 		t.Error("bench with unknown front end accepted")
+	}
+	if err := run([]string{"bench", "-obs", "sideways"}); err == nil {
+		t.Error("bench with unknown -obs mode accepted")
 	}
 }
 
@@ -169,6 +210,121 @@ func TestCampaignCLI(t *testing.T) {
 	}
 	if err := run([]string{"campaign", "resume", "-store", m, "-quiet"}); err != nil {
 		t.Fatalf("campaign resume: %v", err)
+	}
+	// The offline status view reconstructs the snapshot from the same
+	// store, through the positional and the flag spelling alike.
+	if err := run([]string{"campaign", "status", m}); err != nil {
+		t.Fatalf("campaign status <store>: %v", err)
+	}
+	if err := run([]string{"campaign", "status", "-store", m}); err != nil {
+		t.Fatalf("campaign status -store: %v", err)
+	}
+	snap := func(path string) *campaign.Snapshot {
+		st, err := campaign.OpenFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		return campaign.SnapshotFromRecords(st.Records())
+	}
+	s := snap(m)
+	if s.Recorded == 0 || s.Recorded != s.Ran+s.Deduped || len(s.Outcomes) == 0 {
+		t.Errorf("offline snapshot inconsistent: %+v", s)
+	}
+	if s.Total == 0 || s.Recorded > s.Total {
+		t.Errorf("offline snapshot total/recorded inconsistent: %d/%d", s.Recorded, s.Total)
+	}
+}
+
+// TestCampaignStatusLive serves a snapshot over the obs endpoint and
+// drives the live status path — URL, -addr, and bare host:port forms —
+// plus the flag-validation errors.
+func TestCampaignStatusLive(t *testing.T) {
+	want := campaign.Snapshot{
+		Name: "wire", Live: true, Workers: 2, ElapsedSec: 3.5,
+		Total: 10, Recorded: 6, Ran: 5, Deduped: 1,
+		BootsPerSec: 1.5, ETASec: 2.7,
+		Outcomes: map[string]int{"Boot": 5, "Crash": 1},
+		Drivers:  []campaign.DriverStatus{{Driver: "ide_c", Selected: 10, Recorded: 6, Ran: 5}},
+		Shards:   []campaign.ShardStatus{{Shard: 0, Planned: 10, Recorded: 6}},
+	}
+	srv, err := obs.Serve("127.0.0.1:0", obs.New(), func() any { return want })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	got, err := fetchSnapshot(addr)
+	if err != nil {
+		t.Fatalf("fetchSnapshot(%s): %v", addr, err)
+	}
+	if !got.Live || got.Name != "wire" || got.Recorded != 6 || got.Outcomes["Boot"] != 5 {
+		t.Errorf("fetched snapshot = %+v, want the served one", got)
+	}
+	for _, args := range [][]string{
+		{"campaign", "status", srv.URL},
+		{"campaign", "status", addr},
+		{"campaign", "status", "-addr", addr},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+	if err := run([]string{"campaign", "status"}); err == nil {
+		t.Error("status without a target accepted")
+	}
+	if err := run([]string{"campaign", "status", "-store", "x", "-addr", "y"}); err == nil {
+		t.Error("status with both -store and -addr accepted")
+	}
+	if err := run([]string{"campaign", "status", "-addr", addr, "extra"}); err == nil {
+		t.Error("status with flags plus positional accepted")
+	}
+	if err := run([]string{"campaign", "status", "127.0.0.1:1"}); err == nil {
+		t.Error("status against a dead endpoint accepted")
+	}
+}
+
+// TestStatusFormatting pins the snapshot renderers: one source of
+// truth for /status, the status view and the progress line, and the
+// progress line must clamp to the terminal width instead of wrapping.
+func TestStatusFormatting(t *testing.T) {
+	s := campaign.Snapshot{
+		Name: "fmt", Live: true, Workers: 4, ElapsedSec: 61,
+		Total: 200, Recorded: 50, Ran: 40, Deduped: 7, Skipped: 3,
+		BootsPerSec: 12.5, ETASec: 12,
+		Outcomes: map[string]int{"Boot": 30, "Crash": 10, "Halt": 10},
+		Drivers:  []campaign.DriverStatus{{Driver: "ide_c", Selected: 200, Recorded: 50, Ran: 40, BootsPerSec: 12.5}},
+		Shards:   []campaign.ShardStatus{{Shard: 0, Planned: 100, Recorded: 30}, {Shard: 1, Planned: 100, Recorded: 20}},
+	}
+	out := formatSnapshot(s, "test")
+	for _, want := range []string{
+		`campaign "fmt" (live, test)`, "50/200 recorded (25.0%)", "12.5 boots/s",
+		"ETA 12s", "ide_c", "shards: 0: 30/100, 1: 20/100", "Boot 30", "workers 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatSnapshot output lacks %q:\n%s", want, out)
+		}
+	}
+
+	line := progressLine(s, 80)
+	for _, want := range []string{"50/200 recorded", "25.0%", "12.5 boots/s", "ETA 12s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progressLine lacks %q: %q", want, line)
+		}
+	}
+	for _, width := range []int{80, 40, 20, 10, 5} {
+		if got := progressLine(s, width); len(got) > width-1 {
+			t.Errorf("progressLine(width=%d) is %d chars: %q", width, len(got), got)
+		}
+	}
+	t.Setenv("COLUMNS", "42")
+	if got := termWidth(); got != 42 {
+		t.Errorf("termWidth() = %d with COLUMNS=42", got)
+	}
+	t.Setenv("COLUMNS", "bogus")
+	if got := termWidth(); got != 80 {
+		t.Errorf("termWidth() = %d with bogus COLUMNS, want the 80 default", got)
 	}
 }
 

@@ -1,11 +1,13 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Outcome is a worker's classification of one booted mutant.
@@ -48,7 +50,23 @@ type Options struct {
 	// Progress, when non-nil, is called after every recorded boot with
 	// the number of selected tasks already in the store and the total.
 	Progress func(done, total int)
+	// Metrics, when non-nil, receives boot/outcome/dedup/store-latency
+	// instrumentation. The disabled (nil) bundle costs nothing.
+	Metrics *Metrics
+	// Status, when non-nil, accumulates the live progress the /status
+	// endpoint and progress line render.
+	Status *StatusTracker
+	// Interrupt, when non-nil, stops feeding new tasks once it is
+	// closed; in-flight boots finish and are recorded, then Run
+	// returns ErrInterrupted. The store is left consistent, so a
+	// subsequent Run resumes exactly where this one stopped.
+	Interrupt <-chan struct{}
 }
+
+// ErrInterrupted reports that Run stopped early because Options.
+// Interrupt was closed. The Summary alongside it is valid, and the
+// campaign resumes by re-running the same spec against the same store.
+var ErrInterrupted = errors.New("campaign interrupted")
 
 // Summary reports what one Run did.
 type Summary struct {
@@ -76,6 +94,22 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 	if spec.FlushEvery > 0 {
 		if fs, ok := store.(interface{ SetFlushEvery(int) }); ok {
 			fs.SetFlushEvery(spec.FlushEvery)
+		}
+	}
+
+	// put is the instrumented append: with metrics enabled every store
+	// append is timed, and FileStore checkpoints report their flush
+	// latency through the hook.
+	put := store.Append
+	if opts.Metrics != nil {
+		put = func(r Record) error {
+			t := opts.Metrics.appendH.Start()
+			err := store.Append(r)
+			t.Stop()
+			return err
+		}
+		if fs, ok := store.(interface{ SetFlushHook(func(time.Duration)) }); ok {
+			fs.SetFlushHook(opts.Metrics.ObserveFlush)
 		}
 	}
 
@@ -120,16 +154,24 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 		return nil, err
 	}
 	if !haveSpec {
-		if err := store.Append(SpecRecord(spec)); err != nil {
+		if err := put(SpecRecord(spec)); err != nil {
 			return nil, err
 		}
 	}
 	for _, m := range metas {
 		if !haveMeta[m.Driver] {
-			if err := store.Append(MetaRecord(m)); err != nil {
+			if err := put(MetaRecord(m)); err != nil {
 				return nil, err
 			}
 		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Status != nil {
+		opts.Status.begin(spec.Name, fp, workers)
 	}
 
 	sum := &Summary{Rows: make(map[string]int)}
@@ -160,11 +202,19 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 		}
 		sum.Total++
 		key := t.Key()
+		if opts.Status != nil {
+			opts.Status.plan(t.Driver, t.Shard)
+		}
 		if done[key] {
 			if t.Dedup != "" && groups[groupKey(t)] == nil {
 				groups[groupKey(t)] = &dedupGroup{repMutant: t.Mutant, repKey: key, stored: true}
 			}
 			sum.Skipped++
+			row := existing[resultAt[key]].Row
+			opts.Metrics.skip(t.Driver, row)
+			if opts.Status != nil {
+				opts.Status.record(t.Driver, t.Shard, row, recordSkip)
+			}
 			continue
 		}
 		if t.Dedup == "" {
@@ -180,11 +230,15 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 			// The identical stream booted in a previous run: record the
 			// shared outcome immediately (resume path).
 			rep := existing[resultAt[g.repKey]]
-			if err := store.Append(dedupRecord(rep, g.repMutant, t)); err != nil {
+			if err := put(dedupRecord(rep, g.repMutant, t)); err != nil {
 				return sum, err
 			}
 			sum.Deduped++
 			sum.Rows[rep.Row]++
+			opts.Metrics.dedup(t.Driver, rep.Row)
+			if opts.Status != nil {
+				opts.Status.record(t.Driver, t.Shard, rep.Row, recordDedup)
+			}
 		default:
 			g.dups = append(g.dups, t)
 		}
@@ -193,10 +247,6 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 		return sum, nil
 	}
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers > len(pending) {
 		workers = len(pending)
 	}
@@ -219,7 +269,7 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			w, err := wl.NewWorker(spec)
 			if err != nil {
@@ -229,6 +279,7 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 				return
 			}
 			defer w.Close()
+			workerBoots := opts.Metrics.worker(worker)
 			for t := range feed {
 				if stopped.Load() {
 					continue // drain: the campaign is aborting
@@ -241,7 +292,7 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 				rec := Record{Kind: KindResult, Driver: t.Driver, Mutant: t.Mutant,
 					Site: out.Site, Row: out.Row, Lost: out.Lost, Steps: out.Steps,
 					Shard: t.Shard}
-				if err := store.Append(rec); err != nil {
+				if err := put(rec); err != nil {
 					fail(err)
 					continue
 				}
@@ -254,13 +305,22 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 				if t.Dedup != "" {
 					if g := groups[groupKey(t)]; g != nil && g.repKey == t.Key() {
 						for _, d := range g.dups {
-							if err := store.Append(dedupRecord(rec, t.Mutant, d)); err != nil {
+							if err := put(dedupRecord(rec, t.Mutant, d)); err != nil {
 								fail(err)
 								break
 							}
 							extra++
+							opts.Metrics.dedup(d.Driver, rec.Row)
+							if opts.Status != nil {
+								opts.Status.record(d.Driver, d.Shard, rec.Row, recordDedup)
+							}
 						}
 					}
+				}
+				opts.Metrics.boot(t.Driver, out.Row, out.Steps)
+				workerBoots.Inc()
+				if opts.Status != nil {
+					opts.Status.record(t.Driver, t.Shard, out.Row, recordRan)
 				}
 				mu.Lock()
 				sum.Ran++
@@ -273,18 +333,30 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 					opts.Progress(prog, sum.Total)
 				}
 			}
-		}()
+		}(i)
 	}
+	var interrupted bool
+feedLoop:
 	for _, t := range pending {
 		if stopped.Load() {
 			break
 		}
-		feed <- t
+		select {
+		case feed <- t:
+		case <-opts.Interrupt:
+			// A nil Interrupt channel never selects; a closed one stops
+			// the feed. Queued workers finish their in-flight boots.
+			interrupted = true
+			break feedLoop
+		}
 	}
 	close(feed)
 	wg.Wait()
 	if firstErr != nil {
 		return sum, firstErr
+	}
+	if interrupted {
+		return sum, ErrInterrupted
 	}
 	return sum, nil
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Store is an append-only result store. Append must be safe for
@@ -69,6 +70,7 @@ type FileStore struct {
 	enc        *json.Encoder
 	flushEvery int
 	pending    int // appends since the last flush
+	flushHook  func(time.Duration)
 	recs       []Record
 }
 
@@ -189,10 +191,26 @@ func (s *FileStore) Flush() error {
 	return s.flushLocked()
 }
 
+// SetFlushHook registers fn to observe the duration of every flush —
+// the checkpoint-latency seam campaign.Metrics hooks into. A nil fn
+// removes the hook.
+func (s *FileStore) SetFlushHook(fn func(time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushHook = fn
+}
+
 func (s *FileStore) flushLocked() error {
 	s.pending = 0
+	var t0 time.Time
+	if s.flushHook != nil {
+		t0 = time.Now()
+	}
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("campaign store: flush: %w", err)
+	}
+	if s.flushHook != nil {
+		s.flushHook(time.Since(t0))
 	}
 	return nil
 }

@@ -72,6 +72,9 @@ type execCaches struct {
 	// and checked pristine ASTs plus (compiled backend) the in-place
 	// patching compiler, one per boot configuration.
 	incr map[incrKey]*incrState
+	// obs is the boot pipeline's instrumentation bundle — noObs (every
+	// operation a no-op) unless an observed campaign rebinds it.
+	obs *bootObs
 }
 
 func newExecCaches() execCaches {
@@ -80,6 +83,7 @@ func newExecCaches() execCaches {
 		stubs: make(map[codegen.Mode]*codegen.Stubs),
 		envs:  make(map[envKey]*ctypes.Env),
 		incr:  make(map[incrKey]*incrState),
+		obs:   noObs,
 	}
 }
 
@@ -139,10 +143,13 @@ func (c *execCaches) buildEngine(kern *kernel.Kernel, bus *hw.Bus,
 		if done {
 			return ex, res, nil
 		}
+		c.obs.fullFrontend.Inc()
 		input.Tokens = input.Mutation.Apply()
 	}
 	res := &BootResult{}
+	tp := c.obs.respan.Start()
 	prog, perrs := cparser.ParseTokens(input.Tokens)
+	tp.Stop()
 	if len(perrs) > 0 {
 		for _, e := range perrs {
 			res.CompileErrors = append(res.CompileErrors, e)
@@ -168,13 +175,18 @@ func (c *execCaches) buildEngine(kern *kernel.Kernel, bus *hw.Bus,
 	if err != nil {
 		return nil, nil, err
 	}
-	if cerrs := ccheck.Check(prog, env); len(cerrs) > 0 {
+	tc := c.obs.check.Start()
+	cerrs := ccheck.Check(prog, env)
+	tc.Stop()
+	if len(cerrs) > 0 {
 		for _, e := range cerrs {
 			res.CompileErrors = append(res.CompileErrors, e)
 		}
 		return nil, res, nil
 	}
-	ex, rerr := newEngine(input.Backend, prog, env, kern, bus, stubs, c.exec)
+	tb := c.obs.compile.Start()
+	ex, rerr := newEngine(input.Backend, prog, env, kern, bus, stubs, c.exec, c.obs)
+	tb.Stop()
 	if rerr != nil {
 		// Global initialiser fault: machine-level failure at insmod time.
 		res.Outcome = kernel.Classify(rerr)
@@ -247,12 +259,13 @@ func (r *BootResult) CompileDetected() bool { return len(r.CompileErrors) > 0 }
 // rejects (ErrUnsupported) falls back to the reference interpreter, which
 // executes everything.
 func newEngine(b Backend, prog *cast.Program, env *ctypes.Env, kern *kernel.Kernel,
-	bus *hw.Bus, stubs *codegen.Stubs, mach *ccompile.Mach) (Engine, error) {
+	bus *hw.Bus, stubs *codegen.Stubs, mach *ccompile.Mach, o *bootObs) (Engine, error) {
 	if b == BackendInterp {
 		return cinterp.New(prog, env, kern, bus, stubs)
 	}
 	p, cerr := ccompile.Compile(prog, kern, bus, stubs, mach)
 	if cerr != nil {
+		o.interpFallback.Inc()
 		return cinterp.New(prog, env, kern, bus, stubs)
 	}
 	if err := p.Init(); err != nil {

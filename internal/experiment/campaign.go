@@ -9,6 +9,7 @@ import (
 	"repro/internal/devil/codegen"
 	"repro/internal/drivers"
 	"repro/internal/mutation/cmut"
+	"repro/internal/obs"
 )
 
 // This file binds the generic campaign engine (internal/campaign) to the
@@ -90,6 +91,9 @@ type driverPlan struct {
 type workload struct {
 	mu    sync.Mutex
 	plans map[string]*driverPlan
+	// col, when non-nil, makes every worker record boot-pipeline phase
+	// spans and fallback counters into it.
+	col *obs.Collector
 }
 
 // NewWorkload returns the campaign workload that enumerates and boots
@@ -98,6 +102,14 @@ type workload struct {
 // registry.
 func NewWorkload() campaign.Workload {
 	return &workload{plans: make(map[string]*driverPlan)}
+}
+
+// NewObservedWorkload is NewWorkload with boot-pipeline instrumentation:
+// every worker's rigs record per-phase spans (respan, check, compile,
+// execute, classify) and fallback counters into col. A nil collector
+// yields the uninstrumented workload.
+func NewObservedWorkload(col *obs.Collector) campaign.Workload {
+	return &workload{plans: make(map[string]*driverPlan), col: col}
 }
 
 // plan returns (building on first use) the enumeration of one driver.
@@ -188,7 +200,7 @@ func (w *workload) NewWorker(spec campaign.Spec) (campaign.Worker, error) {
 		return nil, err
 	}
 	return &worker{w: w, spec: spec, mode: mode, backend: backend,
-		frontend: frontend, rigs: make(rigSet)}, nil
+		frontend: frontend, rigs: make(rigSet), obs: make(map[string]*bootObs)}, nil
 }
 
 // worker boots tasks on a single goroutine, reusing one rig per
@@ -205,6 +217,9 @@ type worker struct {
 	backend  Backend
 	frontend Frontend
 	rigs     rigSet
+	// obs caches the per-workload instrumentation bundles bound to the
+	// workload's collector (unused when the workload is unobserved).
+	obs map[string]*bootObs
 	// mut is the reused Mutation cell of the incremental boot input.
 	mut cincr.Mutation
 }
@@ -241,6 +256,14 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 	rig, err := wk.rigs.rigFor(t.Driver)
 	if err != nil {
 		return campaign.Outcome{}, err
+	}
+	if wk.w.col != nil {
+		o, ok := wk.obs[rig.Desc.Name]
+		if !ok {
+			o = newBootObs(wk.w.col, rig.Desc.Name)
+			wk.obs[rig.Desc.Name] = o
+		}
+		rig.caches.obs = o
 	}
 	br, err := rig.Boot(input)
 	if err != nil {

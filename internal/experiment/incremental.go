@@ -185,8 +185,11 @@ func (c *execCaches) buildIncremental(kern *kernel.Kernel, bus *hw.Bus,
 		return nil, nil, false, nil
 	}
 
+	o := c.obs
 	mut := input.Mutation
+	tr := o.respan.Start()
 	scratch, declIdx, decl, rerr := st.src.Respan(st.scratch, mut.Index, mut.Replacement)
+	tr.Stop()
 	st.scratch = scratch
 	if rerr != nil {
 		return nil, nil, false, nil // ErrSpanUnsafe: full front end
@@ -196,7 +199,10 @@ func (c *execCaches) buildIncremental(kern *kernel.Kernel, bus *hw.Bus,
 	if input.Budget > 0 {
 		kern.SetBudget(input.Budget)
 	}
-	if cerrs := st.scope.CheckReplacement(declIdx, decl); len(cerrs) > 0 {
+	tc := o.check.Start()
+	cerrs := st.scope.CheckReplacement(declIdx, decl)
+	tc.Stop()
+	if len(cerrs) > 0 {
 		for _, e := range cerrs {
 			res.CompileErrors = append(res.CompileErrors, e)
 		}
@@ -206,11 +212,13 @@ func (c *execCaches) buildIncremental(kern *kernel.Kernel, bus *hw.Bus,
 	// Build the engine: patch the incremental compile in place, falling
 	// back to the interpreter over the spliced AST exactly where the full
 	// path would (interp backend, or a compile rejection).
-	var runErr error
+	tb := o.compile.Start()
 	if input.Backend != BackendInterp && st.inc != nil {
 		p, cerr := st.inc.Patch(declIdx, decl)
 		if cerr == nil {
-			if ierr := p.Init(); ierr != nil {
+			ierr := p.Init()
+			tb.Stop()
+			if ierr != nil {
 				res.Outcome = kernel.Classify(ierr)
 				res.RunErr = ierr
 				return nil, res, true, nil
@@ -218,7 +226,13 @@ func (c *execCaches) buildIncremental(kern *kernel.Kernel, bus *hw.Bus,
 			return p, res, true, nil
 		}
 	}
+	if input.Backend != BackendInterp {
+		// Compiled backend requested, interpreter executing: the pristine
+		// compile was rejected (inc == nil) or the patch was.
+		o.interpFallback.Inc()
+	}
 	in, runErr := cinterp.New(st.splice(declIdx, decl), st.env, kern, bus, st.stubs)
+	tb.Stop()
 	if runErr != nil {
 		// Global initialiser fault: machine-level failure at insmod time.
 		res.Outcome = kernel.Classify(runErr)

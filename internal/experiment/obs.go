@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"repro/internal/obs"
+)
+
+// Phase labels of the boot pipeline, in execution order. The
+// incremental front end records respan/check/compile for its span
+// re-parse, declaration re-check and in-place patch; the full pipeline
+// records the same three phases for its whole-program parse, check and
+// backend construction (compile includes insmod-time global
+// initialisers). Execute covers the workload's boot sequence, classify
+// the outcome taxonomy tail (console scan, coverage, damage audit).
+const (
+	PhaseRespan   = "respan"
+	PhaseCheck    = "check"
+	PhaseCompile  = "compile"
+	PhaseExecute  = "execute"
+	PhaseClassify = "classify"
+)
+
+// BootPhases lists the phase labels in pipeline order.
+var BootPhases = []string{PhaseRespan, PhaseCheck, PhaseCompile, PhaseExecute, PhaseClassify}
+
+// Metric family names the boot pipeline registers. Every name listed
+// here must appear in ARCHITECTURE.md's Observability section —
+// scripts/check_docs.sh enforces that via `driverlab metrics`.
+const (
+	// MetricBootPhase histograms wall time per pipeline phase, labelled
+	// {workload, phase}.
+	MetricBootPhase = "driverlab_boot_phase_seconds"
+	// MetricInterpFallbacks counts boots that requested the compiled
+	// backend but executed on the reference interpreter because the
+	// compiler rejected the program shape (ErrUnsupported).
+	MetricInterpFallbacks = "driverlab_boot_interp_fallbacks_total"
+	// MetricFullFrontend counts incremental-front-end boots that fell
+	// back to the full lex/parse/check/compile pipeline because the
+	// mutation was span-unsafe (or the configuration cannot run
+	// incrementally).
+	MetricFullFrontend = "driverlab_boot_frontend_full_total"
+)
+
+// BootMetricNames lists every metric family the boot pipeline can
+// register, for the docs check and the `driverlab metrics` subcommand.
+func BootMetricNames() []string {
+	return []string{MetricBootPhase, MetricInterpFallbacks, MetricFullFrontend}
+}
+
+// bootObs is the per-rig instrumentation bundle the boot pipeline
+// records into. All fields of the shared noObs instance are nil, and
+// every obs operation on nil is a no-op, so the uninstrumented hot
+// path costs one pointer load per phase and zero allocations.
+type bootObs struct {
+	respan   *obs.Histogram
+	check    *obs.Histogram
+	compile  *obs.Histogram
+	execute  *obs.Histogram
+	classify *obs.Histogram
+
+	interpFallback *obs.Counter
+	fullFrontend   *obs.Counter
+}
+
+// noObs is the disabled bundle every rig starts with.
+var noObs = &bootObs{}
+
+// newBootObs binds one workload's boot-pipeline metrics on col (the
+// disabled bundle when col is nil).
+func newBootObs(col *obs.Collector, workload string) *bootObs {
+	if col == nil {
+		return noObs
+	}
+	h := func(phase string) *obs.Histogram {
+		return col.Histogram(MetricBootPhase,
+			"Wall time of one boot-pipeline phase.", obs.DurationBuckets,
+			"workload", workload, "phase", phase)
+	}
+	return &bootObs{
+		respan:   h(PhaseRespan),
+		check:    h(PhaseCheck),
+		compile:  h(PhaseCompile),
+		execute:  h(PhaseExecute),
+		classify: h(PhaseClassify),
+		interpFallback: col.Counter(MetricInterpFallbacks,
+			"Compiled-backend boots that executed on the reference interpreter (ErrUnsupported).",
+			"workload", workload),
+		fullFrontend: col.Counter(MetricFullFrontend,
+			"Incremental-front-end boots that fell back to the full pipeline (span-unsafe).",
+			"workload", workload),
+	}
+}

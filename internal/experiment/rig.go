@@ -345,7 +345,11 @@ func (r *Rig) Boot(input BootInput) (*BootResult, error) {
 	}
 	// Phase 2: the workload's boot script drives the driver and audits
 	// the result; the classification below is shared by every workload.
+	o := r.caches.obs
+	te := o.execute.Start()
 	runErr, damaged := r.Desc.Run(r, ex, res)
+	te.Stop()
+	tc := o.classify.Start()
 	res.Console = r.Kern.ConsoleView()
 	res.Coverage = ex.Coverage()
 	res.Steps = r.Kern.Steps()
@@ -354,6 +358,7 @@ func (r *Rig) Boot(input BootInput) (*BootResult, error) {
 	if runErr == nil && damaged {
 		res.Outcome = kernel.OutcomeDamagedBoot
 	}
+	tc.Stop()
 	return res, nil
 }
 

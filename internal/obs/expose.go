@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one gathered series: the family identity plus a point-in-
+// time copy of its value. Counters and gauges fill Value; histograms
+// fill Count, Sum, Bounds and Buckets (non-cumulative, +Inf last).
+type Sample struct {
+	Name   string
+	Labels []string // ordered k,v pairs
+	Kind   Kind
+
+	Value float64 // counters and gauges
+
+	Count   uint64 // histograms
+	Sum     float64
+	Bounds  []float64
+	Buckets []uint64
+}
+
+// Label returns the value of the named label, or "" if absent.
+func (s Sample) Label(key string) string {
+	for i := 0; i+1 < len(s.Labels); i += 2 {
+		if s.Labels[i] == key {
+			return s.Labels[i+1]
+		}
+	}
+	return ""
+}
+
+// Gather snapshots every registered series, families in registration
+// order and series in creation order.
+func (c *Collector) Gather() []Sample {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	fams := append([]*family(nil), c.order...)
+	c.mu.Unlock()
+
+	var out []Sample
+	for _, f := range fams {
+		f.mu.Lock()
+		ser := append([]*series(nil), f.order...)
+		f.mu.Unlock()
+		for _, s := range ser {
+			smp := Sample{Name: f.name, Labels: s.labels, Kind: f.kind}
+			switch f.kind {
+			case KindCounter:
+				smp.Value = float64(s.c.Value())
+			case KindGauge:
+				smp.Value = float64(s.g.Value())
+			case KindHistogram:
+				smp.Count, smp.Sum, smp.Buckets = s.h.Snapshot()
+				smp.Bounds = s.h.Bounds()
+			}
+			out = append(out, smp)
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE headers per
+// family, cumulative le-labelled buckets plus _sum and _count for
+// histograms.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	fams := append([]*family(nil), c.order...)
+	c.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		ser := append([]*series(nil), f.order...)
+		f.mu.Unlock()
+		for _, s := range ser {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelSet(s.labels, "", 0), s.c.Value())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelSet(s.labels, "", 0), s.g.Value())
+		return err
+	case KindHistogram:
+		count, sum, buckets := s.h.Snapshot()
+		bounds := s.h.Bounds()
+		var cum uint64
+		for i, b := range bounds {
+			cum += buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, labelSet(s.labels, "le", b), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, labelSetInf(s.labels), count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			f.name, labelSet(s.labels, "", 0), formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelSet(s.labels, "", 0), count)
+		return err
+	}
+	return nil
+}
+
+// labelSet renders {k="v",...}; with a non-empty le key the bound is
+// appended as the final label. Empty set renders as nothing.
+func labelSet(labels []string, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		b.WriteString(formatFloat(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func labelSetInf(labels []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	if len(labels) > 0 {
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="+Inf"}`)
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram: ascending upper bounds plus
+// an implicit +Inf overflow bucket, atomic per-bucket counts, and an
+// atomically maintained float64 sum. A nil *Histogram is the disabled
+// histogram; Observe and Start on nil are no-ops.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	total  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be ascending")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Smallest bound >= v is exactly Prometheus `le` semantics; misses
+	// every bound -> the +Inf bucket at len(bounds).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the observation count, the running sum, and the
+// per-bucket (non-cumulative) counts, +Inf bucket last.
+func (h *Histogram) Snapshot() (count uint64, sum float64, buckets []uint64) {
+	if h == nil {
+		return 0, 0, nil
+	}
+	buckets = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		buckets[i] = h.counts[i].Load()
+	}
+	return h.total.Load(), math.Float64frombits(h.sum.Load()), buckets
+}
+
+// Bounds returns the configured upper bounds (without the implicit
+// +Inf bucket).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// Timer is an in-flight span measurement. The zero Timer (what a nil
+// histogram's Start returns) is inert: Stop on it does nothing, so the
+// disabled path never reads the clock.
+type Timer struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Start opens a span whose duration lands in h when stopped.
+func (h *Histogram) Start() Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, t0: time.Now()}
+}
+
+// Stop closes the span, recording its duration in seconds.
+func (t Timer) Stop() {
+	if t.h == nil {
+		return
+	}
+	t.h.Observe(time.Since(t.t0).Seconds())
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		panic("obs: ExpBuckets needs n > 0, start > 0, factor > 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets spans 1µs to ~4.2s in powers of four — wide enough
+// for both single pipeline phases and whole C-workload boots.
+var DurationBuckets = ExpBuckets(1e-6, 4, 12)
+
+// StepBuckets spans 16 to ~4M engine steps in powers of four, matching
+// the per-boot step budgets the experiment layer uses.
+var StepBuckets = ExpBuckets(16, 4, 10)

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterIdentity: the same (name, labels) must return the same
+// instance; different labels must not.
+func TestCounterIdentity(t *testing.T) {
+	c := New()
+	a := c.Counter("boots_total", "boots", "driver", "ide_c")
+	b := c.Counter("boots_total", "boots", "driver", "ide_c")
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	other := c.Counter("boots_total", "boots", "driver", "ide_devil")
+	if a == other {
+		t.Fatal("different labels shared a counter")
+	}
+	a.Inc()
+	a.Add(2)
+	if got := b.Value(); got != 3 {
+		t.Fatalf("shared counter = %d, want 3", got)
+	}
+	if got := other.Value(); got != 0 {
+		t.Fatalf("sibling counter = %d, want 0", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	c := New()
+	g := c.Gauge("workers", "active workers")
+	g.Set(8)
+	g.Add(-3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+// TestKindMismatchPanics: re-registering a family under another kind
+// is a programming error and must fail loudly.
+func TestKindMismatchPanics(t *testing.T) {
+	c := New()
+	c.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	c.Gauge("x_total", "x")
+}
+
+// TestHistogramBuckets pins the le semantics: a value equal to a bound
+// lands in that bound's bucket; above every bound lands in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	c := New()
+	h := c.Histogram("lat", "latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 100, 101, 1e6} {
+		h.Observe(v)
+	}
+	count, sum, buckets := h.Snapshot()
+	if count != 8 {
+		t.Fatalf("count = %d, want 8", count)
+	}
+	wantSum := 0.5 + 1 + 1.5 + 10 + 99 + 100 + 101 + 1e6
+	if sum != wantSum {
+		t.Fatalf("sum = %g, want %g", sum, wantSum)
+	}
+	want := []uint64{2, 2, 2, 2} // le=1: {0.5,1}; le=10: {1.5,10}; le=100: {99,100}; +Inf: {101,1e6}
+	for i, w := range want {
+		if buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, buckets[i], w, buckets)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+// TestDisabledPathAllocsNothing is the tentpole's cost contract: every
+// operation on the disabled (nil) collector and its nil metrics must
+// be alloc-free.
+func TestDisabledPathAllocsNothing(t *testing.T) {
+	var c *Collector
+	ctr := c.Counter("x_total", "x")
+	g := c.Gauge("y", "y")
+	h := c.Histogram("z", "z", nil)
+	if ctr != nil || g != nil || h != nil {
+		t.Fatal("nil collector handed out live metrics")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctr.Inc()
+		ctr.Add(5)
+		_ = ctr.Value()
+		g.Set(1)
+		h.Observe(3.5)
+		t := h.Start()
+		t.Stop()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f/op, want 0", allocs)
+	}
+	if c.Gather() != nil || c.Names() != nil {
+		t.Fatal("nil collector gathered samples")
+	}
+}
+
+// TestConcurrentExactness: hammering one counter and one histogram
+// from many goroutines must lose nothing (this test is part of the
+// -race surface CI runs).
+func TestConcurrentExactness(t *testing.T) {
+	c := New()
+	ctr := c.Counter("hits_total", "hits")
+	h := c.Histogram("v", "values", []float64{10})
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				ctr.Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctr.Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+	count, sum, _ := h.Snapshot()
+	if count != goroutines*per || sum != float64(goroutines*per) {
+		t.Fatalf("histogram count=%d sum=%g, want %d/%d",
+			count, sum, goroutines*per, goroutines*per)
+	}
+}
+
+// TestWritePrometheus pins the exposition format: HELP/TYPE headers,
+// label rendering, and cumulative histogram buckets with +Inf, _sum
+// and _count.
+func TestWritePrometheus(t *testing.T) {
+	c := New()
+	c.Counter("boots_total", "Boots executed.", "driver", "ide_c").Add(7)
+	h := c.Histogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var b strings.Builder
+	if err := c.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# HELP boots_total Boots executed.\n",
+		"# TYPE boots_total counter\n",
+		`boots_total{driver="ide_c"} 7` + "\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.1"} 1` + "\n",
+		`lat_seconds_bucket{le="1"} 2` + "\n",
+		`lat_seconds_bucket{le="+Inf"} 3` + "\n",
+		"lat_seconds_sum 5.55\n",
+		"lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	c := New()
+	c.Counter("x_total", "x", "path", `a\b"c`).Inc()
+	var b strings.Builder
+	c.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `x_total{path="a\\b\"c"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestSampleLabel(t *testing.T) {
+	c := New()
+	c.Counter("x_total", "x", "driver", "ide_c", "phase", "execute").Inc()
+	samples := c.Gather()
+	if len(samples) != 1 {
+		t.Fatalf("gathered %d samples, want 1", len(samples))
+	}
+	if got := samples[0].Label("phase"); got != "execute" {
+		t.Fatalf("Label(phase) = %q", got)
+	}
+	if got := samples[0].Label("absent"); got != "" {
+		t.Fatalf("Label(absent) = %q", got)
+	}
+}
+
+// BenchmarkDisabledSpan measures the tentpole's "~1 ns when disabled"
+// claim: a full Start/Stop pair plus a counter Inc on nil metrics.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var c *Collector
+	h := c.Histogram("z", "z", nil)
+	ctr := c.Counter("x_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := h.Start()
+		t.Stop()
+		ctr.Inc()
+	}
+}
+
+// BenchmarkEnabledSpan is the live-path cost for comparison.
+func BenchmarkEnabledSpan(b *testing.B) {
+	c := New()
+	h := c.Histogram("z", "z", nil)
+	ctr := c.Counter("x_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := h.Start()
+		t.Stop()
+		ctr.Inc()
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the HTTP surface for a collector: Prometheus text at
+// /metrics, an optional JSON snapshot at /status (status is called per
+// request; nil serves null), and the net/http/pprof handlers under
+// /debug/pprof/. The mux is self-contained — nothing is registered on
+// http.DefaultServeMux.
+func Handler(c *Collector, status func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.WritePrometheus(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v any
+		if status != nil {
+			v = status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "driverlab observability endpoint")
+		fmt.Fprintln(w, "  /metrics       Prometheus text format")
+		fmt.Fprintln(w, "  /status        JSON campaign snapshot")
+		fmt.Fprintln(w, "  /debug/pprof/  runtime profiles")
+	})
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	// URL is the base address, e.g. "http://127.0.0.1:41231". Useful
+	// when the listen address was ":0".
+	URL string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (":0" picks a free port)
+// exposing Handler(c, status). It returns once the listener is bound;
+// requests are served on a background goroutine until Close.
+func Serve(addr string, c *Collector, status func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(c, status)}
+	s := &Server{URL: "http://" + ln.Addr().String(), ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeEndpoints boots a real listener and exercises all three
+// surfaces: /metrics, /status, and pprof.
+func TestServeEndpoints(t *testing.T) {
+	c := New()
+	c.Counter("boots_total", "boots", "driver", "ide_c").Add(3)
+	type st struct {
+		Done int `json:"done"`
+	}
+	srv, err := Serve("127.0.0.1:0", c, func() any { return st{Done: 42} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, `boots_total{driver="ide_c"} 3`) {
+		t.Fatalf("/metrics: code %d body:\n%s", code, body)
+	}
+
+	code, body = get("/status")
+	if code != 200 {
+		t.Fatalf("/status: code %d", code)
+	}
+	var got st
+	if err := json.Unmarshal([]byte(body), &got); err != nil || got.Done != 42 {
+		t.Fatalf("/status body %q: err %v", body, err)
+	}
+
+	if code, _ = get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: code %d", code)
+	}
+
+	if code, _ = get("/nope"); code != 404 {
+		t.Fatalf("unknown path: code %d, want 404", code)
+	}
+}

@@ -7,7 +7,10 @@
 #     simulated hardware;
 #  3. the driverlab -h banner must name every embedded driver, so the
 #     corpus (including newly added pairs) stays discoverable from the
-#     CLI without reading the source.
+#     CLI without reading the source;
+#  4. every metric family the instrumented stack can register (the
+#     `driverlab metrics` list) must be documented in ARCHITECTURE.md's
+#     Observability section.
 #
 # Run from the repository root.
 set -e
@@ -57,3 +60,20 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "driver corpus in usage text: ok"
+
+arch=$(cat ARCHITECTURE.md)
+fail=0
+for m in $(go run ./cmd/driverlab metrics); do
+    case "$arch" in
+        *"$m"*) ;;
+        *)
+            echo "ARCHITECTURE.md does not document metric $m" >&2
+            fail=1
+            ;;
+    esac
+done
+if [ "$fail" -ne 0 ]; then
+    echo "add the metrics above to ARCHITECTURE.md's Observability section" >&2
+    exit 1
+fi
+echo "metric names in ARCHITECTURE.md: ok"
