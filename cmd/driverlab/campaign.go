@@ -56,6 +56,28 @@ func runMetrics(args []string) error {
 	return nil
 }
 
+// runScenarios lists the registered hardware scenarios — the values
+// `campaign run -scenario` accepts. With -names it prints bare names
+// only; scripts/check_docs.sh greps that list against the docs.
+func runScenarios(args []string) error {
+	fs := flag.NewFlagSet("driverlab scenarios", flag.ContinueOnError)
+	names := fs.Bool("names", false, "print bare scenario names only (for scripts)")
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("scenarios: takes no arguments")
+	}
+	for _, d := range experiment.Scenarios() {
+		if *names {
+			fmt.Println(d.Name)
+		} else {
+			fmt.Printf("%-12s %s\n", d.Name, d.Help)
+		}
+	}
+	return nil
+}
+
 // parseShards parses "-shard 0,2,5" into indices.
 func parseShards(s string) ([]int, error) {
 	if s == "" {
@@ -98,7 +120,7 @@ func campaignRun(args []string, resume bool) error {
 	quiet := fs.Bool("quiet", false, "suppress live progress")
 	statusAddr := fs.String("status-addr", "",
 		"serve /metrics (Prometheus), /status (JSON) and /debug/pprof on this address while the campaign runs (e.g. :9100)")
-	var name, driversFlag, stub, backend *string
+	var name, driversFlag, stub, backend, scenarios *string
 	var sample, shards *int
 	var seed *uint64
 	var permissive *bool
@@ -112,13 +134,18 @@ func campaignRun(args []string, resume bool) error {
 		stub = fs.String("stub", "", "Devil stub mode: debug (default) or production")
 		permissive = fs.Bool("permissive", false, "downgrade CDevil typing to plain C rules")
 		backend = fs.String("backend", "", "hwC execution backend: compiled (default) or interp")
+		scenarios = fs.String("scenario", "",
+			"comma-separated hardware scenario cells to cross with the driver list "+
+				"(see `driverlab scenarios`; e.g. pristine,flaky-bus:5,timing — default pristine only)")
 	}
 	// Execution-strategy knobs are fingerprint-excluded, so both run and
-	// resume accept them: a store started under one front end or flush
-	// interval may finish under another.
+	// resume accept them: a store started under one front end, flush
+	// interval or boot deadline may finish under another.
 	frontend := fs.String("frontend", "", "per-mutant front end: incremental (default) or full")
 	flushEvery := fs.Int("flush-every", 0,
 		"store checkpoint interval in records (0: the store default of 64); raise on long campaigns to trade crash-loss window for fewer writes")
+	bootTimeout := fs.Duration("boot-timeout", 0,
+		"per-boot wall-clock deadline behind the step watchdog (0: the 30s default)")
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
@@ -154,6 +181,9 @@ func campaignRun(args []string, resume bool) error {
 		if *flushEvery > 0 {
 			spec.FlushEvery = *flushEvery
 		}
+		if *bootTimeout > 0 {
+			spec.BootTimeoutMS = int(bootTimeout.Milliseconds())
+		}
 		fmt.Fprintf(os.Stderr, "campaign: resuming %q from %s\n", spec.Name, *store)
 	} else {
 		// Run builds the spec from flags; on an existing store the engine
@@ -173,6 +203,12 @@ func campaignRun(args []string, resume bool) error {
 		if _, err := experiment.ParseFrontend(*frontend); err != nil {
 			return err
 		}
+		var scenarioList []string
+		for _, sc := range strings.Split(*scenarios, ",") {
+			if sc = strings.TrimSpace(sc); sc != "" {
+				scenarioList = append(scenarioList, sc)
+			}
+		}
 		spec = campaign.Spec{
 			Name:       *name,
 			Drivers:    driverList,
@@ -182,8 +218,12 @@ func campaignRun(args []string, resume bool) error {
 			StubMode:   *stub,
 			Permissive: *permissive,
 			Backend:    *backend,
+			Scenarios:  scenarioList,
 			Frontend:   *frontend,
 			FlushEvery: *flushEvery,
+		}
+		if *bootTimeout > 0 {
+			spec.BootTimeoutMS = int(bootTimeout.Milliseconds())
 		}
 	}
 
@@ -260,6 +300,9 @@ func campaignRun(args []string, resume bool) error {
 	dedup := ""
 	if sum.Deduped > 0 {
 		dedup = fmt.Sprintf(", %d recorded from identical streams", sum.Deduped)
+	}
+	if sum.Panics > 0 {
+		dedup += fmt.Sprintf(", %d harness panics quarantined", sum.Panics)
 	}
 	fmt.Printf("campaign %q: %d selected, %d already stored, %d booted this run%s\n",
 		spec.Normalized().Name, sum.Total, sum.Skipped, sum.Ran, dedup)
@@ -372,15 +415,45 @@ func campaignReport(args []string) error {
 	if err != nil {
 		return err
 	}
-	for _, driver := range order {
-		t := tables[driver]
+	for _, label := range order {
+		t := tables[label]
 		status := "complete"
 		if !t.Complete() {
 			status = fmt.Sprintf("partial: %d/%d booted", t.Results, t.Selected)
 		}
+		cell := t.Driver
+		if t.Scenario != "" {
+			cell = fmt.Sprintf("%s under scenario %s", t.Driver, t.Scenario)
+		}
 		caption := fmt.Sprintf("Campaign %q: mutations on %s (%d%% sample, seed %d; %s)",
-			spec.Name, driver, spec.SamplePct, spec.Seed, status)
+			spec.Name, cell, spec.SamplePct, spec.Seed, status)
 		fmt.Println(experiment.FormatDriverTable(experiment.TableFromCampaign(t), caption))
+	}
+	// Cross-cell summary: how each scenario cell moved the headline
+	// detection metrics against the same driver's pristine cell.
+	var deltas []string
+	for _, label := range order {
+		t := tables[label]
+		if t.Scenario == "" {
+			continue
+		}
+		base, ok := tables[t.Driver]
+		if !ok {
+			continue // no pristine cell to compare against
+		}
+		bt := experiment.TableFromCampaign(base)
+		st := experiment.TableFromCampaign(t)
+		deltas = append(deltas, fmt.Sprintf(
+			"%-28s detected %+5.1f%% (%.1f%% vs pristine %.1f%%), silent %+5.1f%% (%.1f%% vs %.1f%%)",
+			label, st.DetectedPct()-bt.DetectedPct(), st.DetectedPct(), bt.DetectedPct(),
+			st.SilentPct()-bt.SilentPct(), st.SilentPct(), bt.SilentPct()))
+	}
+	if len(deltas) > 0 {
+		fmt.Println("Scenario detection deltas (vs the same driver's pristine cell):")
+		for _, d := range deltas {
+			fmt.Println("  " + d)
+		}
+		fmt.Println()
 	}
 	// Dedup savings, from the dedup_of provenance: results recorded by
 	// copying an identical mutant's outcome instead of booting. (The

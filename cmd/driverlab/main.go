@@ -105,6 +105,9 @@ Usage:
                                          per-phase boot time breakdown)
   driverlab metrics                      list every metric family the
                                          instrumented stack can register
+  driverlab scenarios                    list the hardware scenarios a
+                                         campaign matrix can cross its
+                                         drivers with (-names: bare list)
 
 Observability: campaign run -status-addr :PORT serves Prometheus
 /metrics, a JSON /status snapshot and /debug/pprof while the campaign
@@ -118,6 +121,10 @@ or interp (the tree-walking reference oracle).
 Front ends (campaign/bench -frontend): incremental (re-run the front
 end only on the mutated declaration, the default) or full (re-lex,
 re-parse, re-check and re-compile the whole driver per mutant).
+Scenarios (campaign run -scenario): cross the driver list with named
+hardware-degradation cells (pristine, flaky-bus[:pct], timing[:ticks]);
+fault injection is seeded per task, so matrix cells stay deterministic
+across shards, resumes, backends and front ends.
 
 Flags:
 `, 4+len(exts), strings.Join(drivers.Names(), ", "), extensionTableHelp(exts))
@@ -144,6 +151,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "metrics" {
 		return runMetrics(args[1:])
+	}
+	if len(args) > 0 && args[0] == "scenarios" {
+		return runScenarios(args[1:])
 	}
 	exts := extensionWorkloads()
 	fs := flag.NewFlagSet("driverlab", flag.ContinueOnError)

@@ -61,8 +61,14 @@ func TestUsageEnumeratesSurface(t *testing.T) {
 		"campaign", "run", "resume", "merge", "report", "status", "bench",
 		"metrics", "compiled", "interp", "BENCH_campaign.json",
 		"-status-addr", "-phases", "/metrics", "/status",
+		"scenarios", "-scenario",
 	}
 	wants = append(wants, drivers.Names()...)
+	// Every registered scenario must be named in the usage text, so the
+	// matrix axis is discoverable without reading the source.
+	for _, sc := range experiment.Scenarios() {
+		wants = append(wants, sc.Name)
+	}
 	// Every registered extension pair must appear in the table numbering.
 	for _, d := range experiment.Workloads() {
 		if d.Name != "ide" {
@@ -79,6 +85,7 @@ func TestUsageEnumeratesSurface(t *testing.T) {
 		{"campaign", "run", "-h"},
 		{"campaign", "status", "-h"},
 		{"bench", "-h"},
+		{"scenarios", "-h"},
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v) = %v, want nil (help is not an error)", args, err)
@@ -351,4 +358,69 @@ func TestCampaignCLIErrors(t *testing.T) {
 		t.Error("out-of-range shard accepted")
 	}
 	_ = os.Remove(filepath.Join(dir, "s.jsonl"))
+}
+
+// TestScenariosCLI: the scenarios subcommand lists every registered
+// scenario, -names emits the machine-readable form the docs gate
+// consumes, and positional arguments are rejected.
+func TestScenariosCLI(t *testing.T) {
+	if err := run([]string{"scenarios"}); err != nil {
+		t.Errorf("scenarios: %v", err)
+	}
+	if err := run([]string{"scenarios", "-names"}); err != nil {
+		t.Errorf("scenarios -names: %v", err)
+	}
+	if err := run([]string{"scenarios", "extra"}); err == nil {
+		t.Error("scenarios with arguments accepted")
+	}
+}
+
+// TestCampaignMatrixCLI drives a small fault-injection matrix through
+// the full CLI lifecycle — run with -scenario, offline status, report —
+// and checks the store holds every cell. This is the -race CI smoke for
+// the scenario engine.
+func TestCampaignMatrixCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign matrix CLI test is not short")
+	}
+	store := filepath.Join(t.TempDir(), "matrix.jsonl")
+	if err := run([]string{"campaign", "run", "-store", store,
+		"-drivers", "busmouse_devil", "-sample", "20", "-seed", "11",
+		"-scenario", "pristine,flaky-bus:10", "-quiet"}); err != nil {
+		t.Fatalf("campaign run -scenario: %v", err)
+	}
+	if err := run([]string{"campaign", "status", store}); err != nil {
+		t.Fatalf("campaign status: %v", err)
+	}
+	if err := run([]string{"campaign", "report", "-store", store}); err != nil {
+		t.Fatalf("campaign report: %v", err)
+	}
+
+	st, err := campaign.OpenFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tables, order, err := campaign.Aggregate(st.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("matrix store aggregates to cells %v, want 2", order)
+	}
+	for _, cell := range []string{"busmouse_devil", "busmouse_devil@flaky-bus:10"} {
+		if tables[cell] == nil || !tables[cell].Complete() {
+			t.Errorf("cell %s missing or incomplete", cell)
+		}
+	}
+
+	// A bad scenario name fails before any rig is assembled, naming the
+	// known scenarios.
+	err = run([]string{"campaign", "run", "-store",
+		filepath.Join(t.TempDir(), "bad.jsonl"),
+		"-drivers", "busmouse_devil", "-sample", "20",
+		"-scenario", "flaky-buss", "-quiet"})
+	if err == nil || !strings.Contains(err.Error(), "flaky-bus") {
+		t.Errorf("unknown scenario error = %v, want the known names listed", err)
+	}
 }

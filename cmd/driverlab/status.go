@@ -113,6 +113,9 @@ func formatSnapshot(s campaign.Snapshot, source string) string {
 	}
 	fmt.Fprintf(&b, "  progress: %d/%d recorded (%.1f%%) — %d booted, %d deduped, %d skipped\n",
 		s.Recorded, s.Total, s.Percent(), s.Ran, s.Deduped, s.Skipped)
+	if s.Panics > 0 {
+		fmt.Fprintf(&b, "  panics: %d (harness panics recovered and quarantined)\n", s.Panics)
+	}
 	if s.BootsPerSec > 0 {
 		fmt.Fprintf(&b, "  rate: %.1f boots/s", s.BootsPerSec)
 		if s.ETASec > 0 {

@@ -3,15 +3,19 @@ package campaign
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
-// TableData is the per-driver aggregate a record stream reduces to: the
-// exact inputs of the paper's Table 3/4 rendering. Aggregation is
-// order-independent and duplicate-tolerant (first result per mutant
-// wins), so serial, sharded and merged stores of the same spec reduce to
-// identical tables.
+// TableData is the per-cell aggregate a record stream reduces to: the
+// exact inputs of the paper's Table 3/4 rendering, one per (driver,
+// scenario) matrix cell. Aggregation is order-independent and
+// duplicate-tolerant (first result per mutant wins), so serial, sharded
+// and merged stores of the same spec reduce to identical tables.
 type TableData struct {
 	Driver string
+	// Scenario is the hardware scenario the cell ran under ("" for the
+	// pristine cell, whose map key stays the bare driver name).
+	Scenario string
 	// Counts maps a row label to its mutant count.
 	Counts map[string]int
 	// SiteSets maps a row label to the contributing site set.
@@ -30,21 +34,29 @@ type TableData struct {
 // Complete reports whether every selected mutant has a stored result.
 func (d *TableData) Complete() bool { return d.Results == d.Selected }
 
-// Aggregate reduces a record stream to per-driver table data, returning
-// the drivers in first-appearance order alongside the map.
+// Label names the cell: the driver, or driver@scenario off the
+// pristine cell — the key the cell carries in Aggregate's map.
+func (d *TableData) Label() string { return CellLabel(d.Driver, d.Scenario) }
+
+// Aggregate reduces a record stream to per-cell table data, keyed by
+// cell label (the bare driver name for pristine cells, so pre-matrix
+// stores and one-cell campaigns aggregate under the keys they always
+// had), returning the cells in first-appearance order alongside the map.
 func Aggregate(records []Record) (map[string]*TableData, []string, error) {
 	tables := make(map[string]*TableData)
 	var order []string
-	get := func(driver string) *TableData {
-		t, ok := tables[driver]
+	get := func(driver, scenario string) *TableData {
+		label := CellLabel(driver, scenario)
+		t, ok := tables[label]
 		if !ok {
 			t = &TableData{
 				Driver:   driver,
+				Scenario: scenario,
 				Counts:   make(map[string]int),
 				SiteSets: make(map[string]map[int]bool),
 			}
-			tables[driver] = t
-			order = append(order, driver)
+			tables[label] = t
+			order = append(order, label)
 		}
 		return t
 	}
@@ -52,7 +64,7 @@ func Aggregate(records []Record) (map[string]*TableData, []string, error) {
 	for _, r := range records {
 		switch r.Kind {
 		case KindMeta:
-			t := get(r.Driver)
+			t := get(r.Driver, r.Scenario)
 			if t.Selected == 0 { // first meta wins
 				t.TotalSites = r.Sites
 				t.Enumerated = r.Enumerated
@@ -60,15 +72,15 @@ func Aggregate(records []Record) (map[string]*TableData, []string, error) {
 			}
 		case KindResult:
 			if r.Row == "" {
-				return nil, nil, fmt.Errorf("campaign: result record for %s#%d has no row",
-					r.Driver, r.Mutant)
+				return nil, nil, fmt.Errorf("campaign: result record for %s has no row",
+					recordKey(r))
 			}
-			key := TaskKey(r.Driver, r.Mutant)
+			key := recordKey(r)
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			t := get(r.Driver)
+			t := get(r.Driver, r.Scenario)
 			t.Counts[r.Row]++
 			if t.SiteSets[r.Row] == nil {
 				t.SiteSets[r.Row] = make(map[int]bool)
@@ -83,21 +95,60 @@ func Aggregate(records []Record) (map[string]*TableData, []string, error) {
 	return tables, order, nil
 }
 
+// scenarioCells names a spec's matrix cells for merge diagnostics: the
+// scenario list, with the pristine cell spelled out.
+func scenarioCells(s *Spec) string {
+	if s == nil || len(s.Scenarios) == 0 {
+		return "pristine only"
+	}
+	names := make([]string, len(s.Scenarios))
+	for i, sc := range s.Scenarios {
+		if sc == "" {
+			sc = "pristine"
+		}
+		names[i] = sc
+	}
+	return strings.Join(names, ", ")
+}
+
+// fingerprintMismatch builds the error for two stores whose spec
+// fingerprints differ. When the specs differ only in their scenario
+// matrix — the same work-list crossed with different cells — the error
+// names the mismatched cells instead of leaving the user to diff hashes:
+// such stores are separate matrices, not shards of one, and must not be
+// merged (their per-cell fault seeds and dedup policies differ).
+func fingerprintMismatch(i int, got Record, wantFP string, wantSpec *Spec) error {
+	if got.Spec != nil && wantSpec != nil {
+		a, b := *got.Spec, *wantSpec
+		a.Scenarios, b.Scenarios = nil, nil
+		if a.Fingerprint() == b.Fingerprint() {
+			return fmt.Errorf("campaign merge: source %d runs scenario cells [%s] but the destination runs [%s]; "+
+				"stores from different scenario matrices cannot be merged",
+				i+1, scenarioCells(got.Spec), scenarioCells(wantSpec))
+		}
+	}
+	return fmt.Errorf("campaign merge: source %d has fingerprint %s, want %s",
+		i+1, got.Fingerprint, wantFP)
+}
+
 // Merge folds the records of every source store into dst, validating
 // that all stores carry the same spec fingerprint and deduplicating meta
-// and result records. Results already present in dst are kept.
+// and result records per matrix cell. Results already present in dst are
+// kept.
 func Merge(dst Store, sources ...Store) error {
 	want := ""
+	var wantSpec *Spec
 	haveMeta := make(map[string]bool)
 	seen := make(map[string]bool)
 	for _, r := range dst.Records() {
 		switch r.Kind {
 		case KindSpec:
 			want = r.Fingerprint
+			wantSpec = r.Spec
 		case KindMeta:
-			haveMeta[r.Driver] = true
+			haveMeta[CellLabel(r.Driver, r.Scenario)] = true
 		case KindResult:
-			seen[TaskKey(r.Driver, r.Mutant)] = true
+			seen[recordKey(r)] = true
 		}
 	}
 	for i, src := range sources {
@@ -106,22 +157,23 @@ func Merge(dst Store, sources ...Store) error {
 			case KindSpec:
 				if want == "" {
 					want = r.Fingerprint
+					wantSpec = r.Spec
 					if err := dst.Append(r); err != nil {
 						return err
 					}
 				} else if r.Fingerprint != want {
-					return fmt.Errorf("campaign merge: source %d has fingerprint %s, want %s",
-						i+1, r.Fingerprint, want)
+					return fingerprintMismatch(i, r, want, wantSpec)
 				}
 			case KindMeta:
-				if !haveMeta[r.Driver] {
-					haveMeta[r.Driver] = true
+				label := CellLabel(r.Driver, r.Scenario)
+				if !haveMeta[label] {
+					haveMeta[label] = true
 					if err := dst.Append(r); err != nil {
 						return err
 					}
 				}
 			case KindResult:
-				key := TaskKey(r.Driver, r.Mutant)
+				key := recordKey(r)
 				if seen[key] {
 					continue
 				}
@@ -135,8 +187,8 @@ func Merge(dst Store, sources ...Store) error {
 	return nil
 }
 
-// Completion summarises a store's progress per driver, sorted by driver
-// name: how many of the selected mutants have results.
+// Completion summarises a store's progress per matrix cell, sorted by
+// cell label: how many of the selected mutants have results.
 func Completion(records []Record) []string {
 	tables, order, err := Aggregate(records)
 	if err != nil {
@@ -144,9 +196,9 @@ func Completion(records []Record) []string {
 	}
 	sort.Strings(order)
 	var out []string
-	for _, driver := range order {
-		t := tables[driver]
-		out = append(out, fmt.Sprintf("%s: %d/%d booted", driver, t.Results, t.Selected))
+	for _, label := range order {
+		t := tables[label]
+		out = append(out, fmt.Sprintf("%s: %d/%d booted", label, t.Results, t.Selected))
 	}
 	return out
 }

@@ -52,6 +52,15 @@ type Spec struct {
 	// Backend forces the hwC execution backend: "" (the compiled default),
 	// "compiled" or "interp" (the tree-walking reference oracle).
 	Backend string `json:"backend,omitempty"`
+	// Scenarios lists the hardware scenarios to cross the driver list
+	// with, making the spec a scenario × driver matrix: every driver's
+	// selected mutants boot once per scenario, and records carry the
+	// scenario so each cell aggregates separately. Empty (or the single
+	// "pristine" entry) is the classic one-cell campaign on unmodified
+	// hardware. Scenario names are workload-defined (the experiment
+	// workload registers "pristine", "flaky-bus" and "timing", with
+	// optional ":param" suffixes); "" and "pristine" are the same cell.
+	Scenarios []string `json:"scenarios,omitempty"`
 	// Frontend forces the per-mutant front-end strategy: "" (the
 	// incremental default), "incremental" or "full" (re-run the whole
 	// lex/parse/check/compile pipeline per mutant). An execution
@@ -63,6 +72,12 @@ type Spec struct {
 	// to trade crash-loss window for fewer write(2) calls. A durability
 	// knob, not a workload change: excluded from the fingerprint.
 	FlushEvery int `json:"flush_every,omitempty"`
+	// BootTimeoutMS overrides the per-boot wall-clock deadline in
+	// milliseconds (0 keeps the workload's default). The deadline is the
+	// harness safety net behind the deterministic step-count watchdog;
+	// an execution knob, not a workload change: excluded from the
+	// fingerprint.
+	BootTimeoutMS int `json:"boot_timeout_ms,omitempty"`
 }
 
 // Normalized returns the spec with defaults applied and the backend
@@ -84,6 +99,29 @@ func (s Spec) Normalized() Spec {
 	if s.Frontend == "incremental" {
 		s.Frontend = "" // the default front end
 	}
+	// Scenario canonicalization: "pristine" and "" name the same cell,
+	// duplicates collapse, and a list that is nothing but the pristine
+	// cell is the same campaign as no list at all — so every spelling of
+	// the classic campaign fingerprints identically to the pre-matrix
+	// stores.
+	if len(s.Scenarios) > 0 {
+		var norm []string
+		seen := make(map[string]bool)
+		for _, sc := range s.Scenarios {
+			if sc == "pristine" {
+				sc = ""
+			}
+			if seen[sc] {
+				continue
+			}
+			seen[sc] = true
+			norm = append(norm, sc)
+		}
+		if len(norm) == 1 && norm[0] == "" {
+			norm = nil
+		}
+		s.Scenarios = norm
+	}
 	return s
 }
 
@@ -91,9 +129,10 @@ func (s Spec) Normalized() Spec {
 // spec record; resume and merge refuse stores whose fingerprints differ.
 func (s Spec) Fingerprint() string {
 	n := s.Normalized()
-	n.Shards = 1     // shard count does not change the work-list, only its partition
-	n.Frontend = ""  // front-end strategy does not change results (the oracle's guarantee)
-	n.FlushEvery = 0 // durability tuning does not change the work-list
+	n.Shards = 1        // shard count does not change the work-list, only its partition
+	n.Frontend = ""     // front-end strategy does not change results (the oracle's guarantee)
+	n.FlushEvery = 0    // durability tuning does not change the work-list
+	n.BootTimeoutMS = 0 // the wall-clock safety net does not change the work-list
 	data, err := json.Marshal(n)
 	if err != nil {
 		return "unhashable"
@@ -109,7 +148,11 @@ func (s Spec) Fingerprint() string {
 type Task struct {
 	Driver string
 	Mutant int
-	Shard  int
+	// Scenario is the hardware scenario cell this boot runs under (""
+	// for pristine hardware). Part of the task's stable identity: the
+	// same mutant boots once per matrix cell.
+	Scenario string
+	Shard    int
 	// Dedup, when non-empty, identifies the task's mutated token stream
 	// exactly. Distinct mutation operators occasionally synthesise
 	// byte-identical streams (two literal edits with the same result);
@@ -121,28 +164,74 @@ type Task struct {
 }
 
 // Key is the task's stable identity in stores.
-func (t Task) Key() string { return TaskKey(t.Driver, t.Mutant) }
+func (t Task) Key() string { return CellKey(t.Driver, t.Mutant, t.Scenario) }
 
-// TaskKey builds the stable identity of a (driver, mutant) pair.
+// FaultSeed derives the task's fault-injection seed: an fnv64a hash of
+// its stable identity. Scenario injectors reseed from it per boot, so
+// the fault pattern a mutant meets is a pure function of the task —
+// identical in serial, sharded and resumed runs, on either backend and
+// front end, never drawn from global randomness.
+func (t Task) FaultSeed() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(t.Key()))
+	return h.Sum64()
+}
+
+// TaskKey builds the stable identity of a pristine (driver, mutant)
+// pair — the record key every pre-matrix store used.
 func TaskKey(driver string, mutant int) string {
 	return fmt.Sprintf("%s#%d", driver, mutant)
 }
 
-// ShardOf assigns a task to a shard by hashing its stable key, so the
-// partition is independent of enumeration order and worker count.
+// CellKey builds the stable identity of a (driver, mutant, scenario)
+// boot. The pristine cell keeps the historical two-part key, so matrix
+// machinery resumes and merges pre-matrix stores unchanged.
+func CellKey(driver string, mutant int, scenario string) string {
+	if scenario == "" {
+		return TaskKey(driver, mutant)
+	}
+	return fmt.Sprintf("%s#%d@%s", driver, mutant, scenario)
+}
+
+// CellLabel names a (driver, scenario) matrix cell in aggregates,
+// status views and reports; the pristine cell is just the driver.
+func CellLabel(driver, scenario string) string {
+	if scenario == "" {
+		return driver
+	}
+	return driver + "@" + scenario
+}
+
+// recordKey is a result record's stable identity — CellKey over its
+// driver, mutant and scenario fields.
+func recordKey(r Record) string {
+	return CellKey(r.Driver, r.Mutant, r.Scenario)
+}
+
+// ShardOf assigns a pristine task to a shard by hashing its stable key;
+// ShardOfTask is the scenario-aware form.
 func ShardOf(driver string, mutant int, shards int) int {
+	return ShardOfTask(Task{Driver: driver, Mutant: mutant}, shards)
+}
+
+// ShardOfTask assigns a task to a shard by hashing its stable key, so
+// the partition is independent of enumeration order and worker count —
+// and, for matrix campaigns, spreads each cell independently.
+func ShardOfTask(t Task, shards int) int {
 	if shards <= 1 {
 		return 0
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s#%d", driver, mutant)
+	h.Write([]byte(t.Key()))
 	return int(h.Sum64() % uint64(shards))
 }
 
-// Meta is the per-driver enumeration metadata a run captures so tables
-// can be re-derived from the store without re-enumerating.
+// Meta is the per-cell enumeration metadata a run captures so tables
+// can be re-derived from the store without re-enumerating. Scenario is
+// "" for the pristine cell.
 type Meta struct {
 	Driver     string
+	Scenario   string
 	Sites      int
 	Enumerated int
 	Selected   int
@@ -155,6 +244,13 @@ const (
 	KindResult = "result" // one per booted mutant
 )
 
+// RowHarnessPanic is the outcome row of a boot the harness itself blew
+// up on: a recovered panic in the worker loop, recorded (and the mutant
+// quarantined) instead of killing the campaign. An engine-level row, not
+// part of the paper's taxonomy — it signals a harness bug to fix, and
+// reports only print it when present.
+const RowHarnessPanic = "Harness panic"
+
 // Record is one line of a campaign store. A single flat schema keeps the
 // JSONL human-greppable; Kind selects which fields are meaningful.
 type Record struct {
@@ -166,6 +262,10 @@ type Record struct {
 
 	// Driver is set on meta and result records.
 	Driver string `json:"driver,omitempty"`
+	// Scenario is the matrix cell the record belongs to, on meta and
+	// result records ("" — omitted — for the pristine cell, which keeps
+	// pre-matrix stores byte-compatible).
+	Scenario string `json:"scenario,omitempty"`
 
 	// Meta fields (KindMeta).
 	Sites      int `json:"sites,omitempty"`
@@ -184,6 +284,11 @@ type Record struct {
 	// actually booted; the outcome fields are copies of its record.
 	// Pure provenance: aggregation treats the record like any other.
 	DedupOf *int `json:"dedup_of,omitempty"`
+	// HarnessPanic marks a quarantined boot: the harness panicked, the
+	// engine recovered, and Row is RowHarnessPanic. Panic carries the
+	// recovered value's text for forensics.
+	HarnessPanic bool   `json:"harness_panic,omitempty"`
+	Panic        string `json:"panic,omitempty"`
 }
 
 // SpecRecord builds the leading store record for a spec.
@@ -192,8 +297,8 @@ func SpecRecord(s Spec) Record {
 	return Record{Kind: KindSpec, Fingerprint: n.Fingerprint(), Spec: &n}
 }
 
-// MetaRecord builds the store record for one driver's enumeration.
+// MetaRecord builds the store record for one cell's enumeration.
 func MetaRecord(m Meta) Record {
-	return Record{Kind: KindMeta, Driver: m.Driver, Sites: m.Sites,
-		Enumerated: m.Enumerated, Selected: m.Selected}
+	return Record{Kind: KindMeta, Driver: m.Driver, Scenario: m.Scenario,
+		Sites: m.Sites, Enumerated: m.Enumerated, Selected: m.Selected}
 }

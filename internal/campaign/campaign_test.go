@@ -276,13 +276,17 @@ func TestInvalidShardLeavesStoreUntouched(t *testing.T) {
 // failingStore rejects every Append after the first result record.
 type failingStore struct {
 	campaign.MemStore
+	mu      sync.Mutex
 	results int
 }
 
 func (s *failingStore) Append(r campaign.Record) error {
 	if r.Kind == campaign.KindResult {
+		s.mu.Lock()
 		s.results++
-		if s.results > 1 {
+		dead := s.results > 1
+		s.mu.Unlock()
+		if dead {
 			return fmt.Errorf("disk full")
 		}
 	}

@@ -79,8 +79,67 @@ type Summary struct {
 	// Deduped is how many were recorded without booting because their
 	// mutated token stream was identical to another task's (dedup_of).
 	Deduped int
+	// Panics is how many boots the harness panicked on; each was
+	// recovered, recorded as RowHarnessPanic and quarantined.
+	Panics int
 	// Rows histograms the outcomes recorded this run (boots + dedups).
 	Rows map[string]int
+}
+
+// expandMatrix crosses a workload's pristine expansion with the spec's
+// scenario list: one meta and one copy of every task per scenario cell.
+// A spec without scenarios passes through untouched, so pre-matrix
+// campaigns keep their exact work-list.
+func expandMatrix(spec Spec, metas []Meta, tasks []Task) ([]Meta, []Task) {
+	if len(spec.Scenarios) == 0 {
+		return metas, tasks
+	}
+	outM := make([]Meta, 0, len(metas)*len(spec.Scenarios))
+	outT := make([]Task, 0, len(tasks)*len(spec.Scenarios))
+	for _, sc := range spec.Scenarios {
+		for _, m := range metas {
+			m.Scenario = sc
+			outM = append(outM, m)
+		}
+		for _, t := range tasks {
+			t.Scenario = sc
+			if sc != "" {
+				// Off the pristine cell, stream-identical mutants no longer
+				// boot identically: each task's injector seed includes its
+				// mutant ID, so the engine boots every mutant rather than
+				// copying a representative's outcome.
+				t.Dedup = ""
+			}
+			outT = append(outT, t)
+		}
+	}
+	return outM, outT
+}
+
+// Transient store append/flush failures (an NFS hiccup, a momentary
+// ENOSPC) are retried with exponential backoff before they abort the
+// campaign; storeSleep is swapped out by tests.
+var (
+	storeBackoff = []time.Duration{5 * time.Millisecond, 25 * time.Millisecond, 125 * time.Millisecond}
+	storeSleep   = time.Sleep
+)
+
+// bootSafely runs one boot with a recover() fence: a panic anywhere in
+// the worker's boot path (workload hooks, sims, backends) comes back as
+// the panic's text instead of unwinding the pool. The campaign records
+// it as a quarantined RowHarnessPanic outcome and keeps going — one sick
+// mutant must not kill a fault-heavy run.
+func bootSafely(w Worker, t Task) (out Outcome, err error, panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprint(r)
+			if panicMsg == "" {
+				panicMsg = "panic with empty message"
+			}
+		}
+	}()
+	out, err = w.Boot(t)
+	return out, err, ""
 }
 
 // Run executes a campaign: expand, shard, skip already-stored results,
@@ -97,12 +156,15 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 		}
 	}
 
-	// put is the instrumented append: with metrics enabled every store
-	// append is timed, and FileStore checkpoints report their flush
-	// latency through the hook.
-	put := store.Append
+	// put is the instrumented, retrying append: with metrics enabled
+	// every store append is timed and FileStore checkpoints report their
+	// flush latency through the hook; a failing append is retried with
+	// backoff before it aborts the campaign. A retried append can leave
+	// a duplicate record behind a partially-flushed failure — harmless,
+	// since aggregation and resume are first-record-wins.
+	base := store.Append
 	if opts.Metrics != nil {
-		put = func(r Record) error {
+		base = func(r Record) error {
 			t := opts.Metrics.appendH.Start()
 			err := store.Append(r)
 			t.Stop()
@@ -111,6 +173,19 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 		if fs, ok := store.(interface{ SetFlushHook(func(time.Duration)) }); ok {
 			fs.SetFlushHook(opts.Metrics.ObserveFlush)
 		}
+	}
+	put := func(r Record) error {
+		err := base(r)
+		for attempt := 0; err != nil && attempt < len(storeBackoff); attempt++ {
+			storeSleep(storeBackoff[attempt])
+			opts.Metrics.retry()
+			err = base(r)
+		}
+		if err != nil {
+			return fmt.Errorf("campaign: store append failed after %d attempts: %w",
+				len(storeBackoff)+1, err)
+		}
+		return nil
 	}
 
 	wantShard := func(int) bool { return true }
@@ -139,9 +214,9 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 			}
 			haveSpec = true
 		case KindMeta:
-			haveMeta[r.Driver] = true
+			haveMeta[CellLabel(r.Driver, r.Scenario)] = true
 		case KindResult:
-			key := TaskKey(r.Driver, r.Mutant)
+			key := recordKey(r)
 			if !done[key] {
 				done[key] = true
 				resultAt[key] = i
@@ -153,13 +228,14 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	metas, tasks = expandMatrix(spec, metas, tasks)
 	if !haveSpec {
 		if err := put(SpecRecord(spec)); err != nil {
 			return nil, err
 		}
 	}
 	for _, m := range metas {
-		if !haveMeta[m.Driver] {
+		if !haveMeta[CellLabel(m.Driver, m.Scenario)] {
 			if err := put(MetaRecord(m)); err != nil {
 				return nil, err
 			}
@@ -192,18 +268,19 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 		dups      []Task // pending tasks awaiting the representative's boot
 	}
 	groups := make(map[string]*dedupGroup)
-	groupKey := func(t Task) string { return t.Driver + "\x00" + t.Dedup }
+	groupKey := func(t Task) string { return t.Driver + "\x00" + t.Scenario + "\x00" + t.Dedup }
 
 	var pending []Task
 	for _, t := range tasks {
-		t.Shard = ShardOf(t.Driver, t.Mutant, spec.Shards)
+		t.Shard = ShardOfTask(t, spec.Shards)
 		if !wantShard(t.Shard) {
 			continue
 		}
 		sum.Total++
 		key := t.Key()
+		cell := CellLabel(t.Driver, t.Scenario)
 		if opts.Status != nil {
-			opts.Status.plan(t.Driver, t.Shard)
+			opts.Status.plan(cell, t.Shard)
 		}
 		if done[key] {
 			if t.Dedup != "" && groups[groupKey(t)] == nil {
@@ -211,9 +288,9 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 			}
 			sum.Skipped++
 			row := existing[resultAt[key]].Row
-			opts.Metrics.skip(t.Driver, row)
+			opts.Metrics.skip(cell, row)
 			if opts.Status != nil {
-				opts.Status.record(t.Driver, t.Shard, row, recordSkip)
+				opts.Status.record(cell, t.Shard, row, recordSkip)
 			}
 			continue
 		}
@@ -235,9 +312,9 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 			}
 			sum.Deduped++
 			sum.Rows[rep.Row]++
-			opts.Metrics.dedup(t.Driver, rep.Row)
+			opts.Metrics.dedup(cell, rep.Row)
 			if opts.Status != nil {
-				opts.Status.record(t.Driver, t.Shard, rep.Row, recordDedup)
+				opts.Status.record(cell, t.Shard, rep.Row, recordDedup)
 			}
 		default:
 			g.dups = append(g.dups, t)
@@ -278,20 +355,44 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 				} // drain
 				return
 			}
-			defer w.Close()
+			// Closure, not a bound method: w is reassigned when a panic
+			// quarantine rebuilds the worker, and nil when the rebuild
+			// itself failed.
+			defer func() {
+				if w != nil {
+					w.Close()
+				}
+			}()
 			workerBoots := opts.Metrics.worker(worker)
 			for t := range feed {
 				if stopped.Load() {
 					continue // drain: the campaign is aborting
 				}
-				out, err := w.Boot(t)
-				if err != nil {
+				cell := CellLabel(t.Driver, t.Scenario)
+				out, err, panicMsg := bootSafely(w, t)
+				panicked := panicMsg != ""
+				if panicked {
+					// Quarantine: record the panic as the mutant's outcome and
+					// replace the worker — an unwound boot leaves its rigs in
+					// an unknown state, and the next mutant deserves a clean
+					// machine.
+					out = Outcome{Row: RowHarnessPanic}
+					opts.Metrics.panicked(cell)
+					w.Close()
+					if w, err = wl.NewWorker(spec); err != nil {
+						w = nil
+						fail(fmt.Errorf("campaign: worker rebuild after harness panic (%s): %w",
+							panicMsg, err))
+						continue
+					}
+				} else if err != nil {
 					fail(err)
 					continue
 				}
 				rec := Record{Kind: KindResult, Driver: t.Driver, Mutant: t.Mutant,
-					Site: out.Site, Row: out.Row, Lost: out.Lost, Steps: out.Steps,
-					Shard: t.Shard}
+					Scenario: t.Scenario, Site: out.Site, Row: out.Row, Lost: out.Lost,
+					Steps: out.Steps, Shard: t.Shard,
+					HarnessPanic: panicked, Panic: panicMsg}
 				if err := put(rec); err != nil {
 					fail(err)
 					continue
@@ -310,20 +411,30 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 								break
 							}
 							extra++
-							opts.Metrics.dedup(d.Driver, rec.Row)
+							opts.Metrics.dedup(CellLabel(d.Driver, d.Scenario), rec.Row)
 							if opts.Status != nil {
-								opts.Status.record(d.Driver, d.Shard, rec.Row, recordDedup)
+								opts.Status.record(CellLabel(d.Driver, d.Scenario),
+									d.Shard, rec.Row, recordDedup)
 							}
 						}
 					}
 				}
-				opts.Metrics.boot(t.Driver, out.Row, out.Steps)
-				workerBoots.Inc()
+				kind := recordRan
+				if panicked {
+					kind = recordPanic
+				} else {
+					opts.Metrics.boot(cell, out.Row, out.Steps)
+					workerBoots.Inc()
+				}
 				if opts.Status != nil {
-					opts.Status.record(t.Driver, t.Shard, out.Row, recordRan)
+					opts.Status.record(cell, t.Shard, out.Row, kind)
 				}
 				mu.Lock()
-				sum.Ran++
+				if panicked {
+					sum.Panics++
+				} else {
+					sum.Ran++
+				}
 				sum.Deduped += extra
 				sum.Rows[out.Row] += 1 + extra
 				recorded += 1 + extra
@@ -412,12 +523,15 @@ func ParallelDo(n, workers int, fn func(i int)) {
 }
 
 // ShardPlan reports how a spec's work-list distributes over its shards —
-// the operator-facing preview of a sharded campaign.
+// the operator-facing preview of a sharded campaign. Tasks are the
+// workload's pristine expansion; the spec's scenario matrix is applied
+// here, as Run does.
 func ShardPlan(spec Spec, tasks []Task) map[int]int {
 	spec = spec.Normalized()
+	_, tasks = expandMatrix(spec, nil, tasks)
 	plan := make(map[int]int, spec.Shards)
 	for _, t := range tasks {
-		plan[ShardOf(t.Driver, t.Mutant, spec.Shards)]++
+		plan[ShardOfTask(t, spec.Shards)]++
 	}
 	return plan
 }

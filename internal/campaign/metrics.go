@@ -34,6 +34,12 @@ const (
 	MetricAppend = "driverlab_campaign_store_append_seconds"
 	// MetricFlush histograms store checkpoint-flush latency in seconds.
 	MetricFlush = "driverlab_campaign_store_flush_seconds"
+	// MetricPanics counts boots the harness panicked on (recovered,
+	// recorded as RowHarnessPanic and quarantined), per cell.
+	MetricPanics = "driverlab_campaign_harness_panics_total"
+	// MetricStoreRetries counts store appends that needed a backoff
+	// retry after a transient failure.
+	MetricStoreRetries = "driverlab_campaign_store_retries_total"
 )
 
 // MetricNames lists every metric family the campaign engine can
@@ -42,6 +48,7 @@ func MetricNames() []string {
 	return []string{
 		MetricBoots, MetricOutcomes, MetricDedup, MetricSkipped,
 		MetricWorkerBoots, MetricSteps, MetricAppend, MetricFlush,
+		MetricPanics, MetricStoreRetries,
 	}
 }
 
@@ -53,6 +60,7 @@ type Metrics struct {
 	col     *obs.Collector
 	appendH *obs.Histogram
 	flushH  *obs.Histogram
+	retries *obs.Counter
 
 	mu      sync.Mutex
 	drivers map[string]*driverMetrics
@@ -63,6 +71,7 @@ type driverMetrics struct {
 	boots   *obs.Counter
 	dedups  *obs.Counter
 	skipped *obs.Counter
+	panics  *obs.Counter
 	steps   *obs.Histogram
 
 	mu       sync.Mutex
@@ -81,6 +90,8 @@ func NewMetrics(col *obs.Collector) *Metrics {
 			"Latency of one campaign store append.", obs.DurationBuckets),
 		flushH: col.Histogram(MetricFlush,
 			"Latency of one campaign store checkpoint flush.", obs.DurationBuckets),
+		retries: col.Counter(MetricStoreRetries,
+			"Store appends retried after a transient failure."),
 		drivers: make(map[string]*driverMetrics),
 		workers: make(map[int]*obs.Counter),
 	}
@@ -116,6 +127,9 @@ func (m *Metrics) driver(name string) *driverMetrics {
 				"driver", name),
 			skipped: m.col.Counter(MetricSkipped,
 				"Results the store already held on resume.", "driver", name),
+			panics: m.col.Counter(MetricPanics,
+				"Boots the harness panicked on (recovered and quarantined).",
+				"driver", name),
 			steps: m.col.Histogram(MetricSteps,
 				"Watchdog steps one boot consumed.", obs.StepBuckets, "driver", name),
 			outcomes: make(map[string]*obs.Counter),
@@ -144,6 +158,25 @@ func (m *Metrics) dedup(driver, row string) {
 	d := m.driver(driver)
 	d.dedups.Inc()
 	m.outcomeCounter(d, driver, row).Inc()
+}
+
+// panicked records one recovered harness panic; the quarantined result
+// also lands in the outcome histogram under RowHarnessPanic.
+func (m *Metrics) panicked(driver string) {
+	if m == nil {
+		return
+	}
+	d := m.driver(driver)
+	d.panics.Inc()
+	m.outcomeCounter(d, driver, RowHarnessPanic).Inc()
+}
+
+// retry records one store append that needed a backoff retry.
+func (m *Metrics) retry() {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
 }
 
 // skip records one result the store already held.

@@ -23,12 +23,16 @@ type Snapshot struct {
 	ElapsedSec float64 `json:"elapsed_s,omitempty"`
 
 	// Total is the number of selected tasks; Recorded how many have a
-	// result (Ran booted + Deduped copied + Skipped already stored).
+	// result (Ran booted + Deduped copied + Skipped already stored +
+	// Panics quarantined).
 	Total    int `json:"total"`
 	Recorded int `json:"recorded"`
 	Ran      int `json:"ran"`
 	Deduped  int `json:"deduped"`
 	Skipped  int `json:"skipped"`
+	// Panics counts quarantined harness panics: the boot blew up in the
+	// harness, was recovered and recorded as RowHarnessPanic.
+	Panics int `json:"panics,omitempty"`
 
 	// BootsPerSec is Ran over elapsed time; ETASec extrapolates the
 	// remaining tasks at that rate. Both are zero offline.
@@ -43,7 +47,8 @@ type Snapshot struct {
 	Shards []ShardStatus `json:"shards,omitempty"`
 }
 
-// DriverStatus is one driver's slice of a Snapshot.
+// DriverStatus is one matrix cell's slice of a Snapshot; Driver is the
+// cell label ("driver" or "driver@scenario").
 type DriverStatus struct {
 	Driver      string  `json:"driver"`
 	Selected    int     `json:"selected"`
@@ -85,6 +90,7 @@ type StatusTracker struct {
 	ran     int
 	deduped int
 	skipped int
+	panics  int
 
 	outcomes map[string]int
 	drivers  map[string]*driverProgress
@@ -141,6 +147,7 @@ const (
 	recordRan recordKind = iota
 	recordDedup
 	recordSkip
+	recordPanic
 )
 
 // record registers one recorded result.
@@ -155,6 +162,8 @@ func (t *StatusTracker) record(driver string, shard int, row string, kind record
 		t.deduped++
 	case recordSkip:
 		t.skipped++
+	case recordPanic:
+		t.panics++
 	}
 	t.outcomes[row]++
 	t.driverLocked(driver).recorded++
@@ -194,7 +203,8 @@ func (t *StatusTracker) Snapshot() Snapshot {
 		Ran:         t.ran,
 		Deduped:     t.deduped,
 		Skipped:     t.skipped,
-		Recorded:    t.ran + t.deduped + t.skipped,
+		Panics:      t.panics,
+		Recorded:    t.ran + t.deduped + t.skipped + t.panics,
 	}
 	var elapsed float64
 	if t.started {
@@ -262,20 +272,23 @@ func SnapshotFromRecords(records []Record) *Snapshot {
 			}
 			s.Fingerprint = r.Fingerprint
 		case KindMeta:
-			d := agg(r.Driver)
+			d := agg(CellLabel(r.Driver, r.Scenario))
 			d.selected = r.Selected
 			d.hasMeta = true
 		case KindResult:
-			key := TaskKey(r.Driver, r.Mutant)
+			key := recordKey(r)
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			d := agg(r.Driver)
+			d := agg(CellLabel(r.Driver, r.Scenario))
 			d.prog.recorded++
-			if r.DedupOf != nil {
+			switch {
+			case r.HarnessPanic:
+				s.Panics++
+			case r.DedupOf != nil:
 				s.Deduped++
-			} else {
+			default:
 				s.Ran++
 				d.prog.ran++
 			}
@@ -288,7 +301,7 @@ func SnapshotFromRecords(records []Record) *Snapshot {
 			sh.recorded++
 		}
 	}
-	s.Recorded = s.Ran + s.Deduped
+	s.Recorded = s.Ran + s.Deduped + s.Panics
 	for _, name := range order {
 		d := drivers[name]
 		ds := DriverStatus{Driver: name, Recorded: d.prog.recorded, Ran: d.prog.ran}

@@ -5,6 +5,7 @@ package experiment
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cdriver/cast"
 	"repro/internal/cdriver/ccheck"
@@ -219,6 +220,14 @@ type BootInput struct {
 	Budget int64
 	// Backend selects the execution engine (compiled when empty).
 	Backend Backend
+	// FaultSeed seeds the rig's fault injector (if a scenario armed one)
+	// for this boot. Campaign workers derive it from the task's stable
+	// identity, so fault patterns survive sharding and resume.
+	FaultSeed uint64
+	// WallBudget, when positive, arms a wall-clock deadline on the kernel
+	// for this boot — the harness safety net behind the deterministic
+	// step-count watchdog.
+	WallBudget time.Duration
 }
 
 // BootResult is the classified outcome of one build-and-boot.

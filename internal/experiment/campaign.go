@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/cdriver/cincr"
@@ -162,6 +163,17 @@ func (w *workload) Expand(spec campaign.Spec) ([]campaign.Meta, []campaign.Task,
 	if _, err := ParseFrontend(spec.Frontend); err != nil {
 		return nil, nil, err
 	}
+	// Validate every scenario cell up front (the engine crosses the
+	// work-list with them after Expand): a misspelled scenario fails the
+	// campaign before any rig is assembled.
+	for _, sc := range spec.Normalized().Scenarios {
+		if sc == "" {
+			continue
+		}
+		if err := CheckScenario(sc); err != nil {
+			return nil, nil, err
+		}
+	}
 	var metas []campaign.Meta
 	var tasks []campaign.Task
 	for _, driver := range spec.Drivers {
@@ -242,6 +254,11 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 		Permissive: wk.spec.Permissive,
 		Budget:     wk.spec.Budget,
 		Backend:    wk.backend,
+		FaultSeed:  t.FaultSeed(),
+		WallBudget: DefaultBootWallBudget,
+	}
+	if wk.spec.BootTimeoutMS > 0 {
+		input.WallBudget = time.Duration(wk.spec.BootTimeoutMS) * time.Millisecond
 	}
 	if wk.frontend == FrontendIncremental && p.incr != nil {
 		wk.mut = cincr.Mutation{Src: p.incr, Index: m.TokenIndex, Replacement: m.Replacement}
@@ -253,7 +270,7 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 		input.Budget = ExperimentBudget
 	}
 
-	rig, err := wk.rigs.rigFor(t.Driver)
+	rig, err := wk.rigs.rigFor(t.Driver, t.Scenario)
 	if err != nil {
 		return campaign.Outcome{}, err
 	}

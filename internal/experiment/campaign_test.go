@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -166,5 +167,121 @@ func TestMachineResetRestoresCleanBoot(t *testing.T) {
 	}, nil)
 	if len(res.DamagedSectors) != 0 || res.PartitionTableLost {
 		t.Errorf("audit found damage after Reset: %v", res.DamagedSectors)
+	}
+}
+
+// TestCampaignMatrixDeterminism runs the shared determinism protocol
+// over a scenario matrix: fault-injected cells must aggregate to
+// byte-identical tables across serial, sharded+merged, resumed and
+// interp-backend runs, because each boot's fault pattern is seeded from
+// the task identity rather than global randomness.
+func TestCampaignMatrixDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign matrix determinism test is not short")
+	}
+	spec := CampaignSpec("busmouse_devil", MutationOptions{SamplePct: 10, Seed: 11})
+	spec.Name = "matrix-determinism"
+	spec.Shards = 4
+	spec.Scenarios = []string{"pristine", "flaky-bus:10", "timing:16"}
+	tables := assertCampaignDeterminism(t, spec)
+	for _, cell := range []string{"busmouse_devil", "busmouse_devil@flaky-bus:10", "busmouse_devil@timing:16"} {
+		if tables[cell] == nil {
+			t.Errorf("matrix run produced no %s cell", cell)
+		}
+	}
+}
+
+// TestCampaignMatrixCrashResume is the crash story end to end: a
+// fault-injected matrix campaign with a small FlushEvery is killed
+// mid-cell — the store is abandoned unclosed with a torn trailing line,
+// exactly what SIGKILL leaves behind — and the resumed run must finish
+// every cell with tables byte-identical to an uninterrupted campaign.
+func TestCampaignMatrixCrashResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign crash-resume test is not short")
+	}
+	spec := CampaignSpec("busmouse_devil", MutationOptions{SamplePct: 10, Seed: 11})
+	spec.Name = "matrix-crash"
+	spec.Scenarios = []string{"pristine", "flaky-bus:10"}
+	spec.FlushEvery = 3
+	wl := NewWorkload()
+
+	render := func(st campaign.Store) string {
+		t.Helper()
+		tables, order, err := campaign.Aggregate(st.Records())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text string
+		for _, d := range order {
+			if !tables[d].Complete() {
+				t.Fatalf("cell %s incomplete after resume: %d/%d", d, tables[d].Results, tables[d].Selected)
+			}
+			text += FormatDriverTable(TableFromCampaign(tables[d]), d)
+		}
+		return text
+	}
+
+	// Uninterrupted reference.
+	reference := campaign.NewMemStore()
+	if _, err := campaign.Run(spec, wl, reference, campaign.Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := render(reference)
+
+	// Kill mid-second-cell: keep a record prefix that cuts inside the
+	// flaky-bus cell, so resume must both finish that cell and notice the
+	// pristine cell is already complete.
+	recs := reference.Records()
+	firstFlaky := -1
+	for i, r := range recs {
+		if r.Kind == campaign.KindResult && r.Scenario != "" {
+			firstFlaky = i
+			break
+		}
+	}
+	if firstFlaky < 0 || firstFlaky+2 >= len(recs) {
+		t.Fatalf("sample too small to cut mid-cell: %d records, first scenario result at %d",
+			len(recs), firstFlaky)
+	}
+	path := filepath.Join(t.TempDir(), "crash.jsonl")
+	torn, err := campaign.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[:firstFlaky+2] {
+		if err := torn.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := torn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The SIGKILL artefact: a half-written record with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"result","driver":"busmouse_de`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := campaign.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	sum, err := campaign.Run(spec, wl, resumed, campaign.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ran == 0 || sum.Skipped == 0 {
+		t.Fatalf("resume summary %+v: the crash cut must leave both done and pending work", sum)
+	}
+	if got := render(resumed); got != want {
+		t.Errorf("resumed matrix tables differ from uninterrupted run:\n--- want\n%s\n--- got\n%s", want, got)
 	}
 }

@@ -23,7 +23,10 @@ import (
 type diffRig struct {
 	backend     Backend
 	incremental bool
-	rigs        rigSet
+	// scenario, when non-empty, boots every mutant under the named
+	// hardware scenario with the campaign's task-derived fault seed.
+	scenario string
+	rigs     rigSet
 }
 
 func (r *diffRig) boot(t *testing.T, p *driverPlan, driver string, mutantID int) *BootResult {
@@ -33,6 +36,10 @@ func (r *diffRig) boot(t *testing.T, p *driverPlan, driver string, mutantID int)
 		Devil:   p.src.Devil,
 		Budget:  ExperimentBudget,
 		Backend: r.backend,
+		// The seed a campaign task of this cell would derive — the
+		// scenario determinism contract is that THIS seed, not run
+		// structure, decides the fault pattern.
+		FaultSeed: campaign.Task{Driver: driver, Mutant: mutantID, Scenario: r.scenario}.FaultSeed(),
 	}
 	if r.incremental {
 		if p.incr == nil {
@@ -45,7 +52,7 @@ func (r *diffRig) boot(t *testing.T, p *driverPlan, driver string, mutantID int)
 	if r.rigs == nil {
 		r.rigs = make(rigSet)
 	}
-	rig, err := r.rigs.rigFor(driver)
+	rig, err := r.rigs.rigFor(driver, r.scenario)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,21 +127,35 @@ func TestDifferentialOracle(t *testing.T) {
 		driver   string
 		pct      int // sample percentage (0 = all)
 		shortPct int // sample percentage under -short
+		scenario string
 	}{
-		{"busmouse_c", 0, 20},
-		{"busmouse_devil", 0, 0},
-		{"ide_devil", 0, 10},
-		{"ide_c", 8, 2},
-		{"ne2000_devil", 0, 5},
-		{"ne2000_c", 8, 2},
-		{"permedia_devil", 0, 10},
-		{"permedia_c", 8, 2},
-		{"busmaster_devil", 0, 25},
-		{"busmaster_c", 0, 5},
+		{"busmouse_c", 0, 20, ""},
+		{"busmouse_devil", 0, 0, ""},
+		{"ide_devil", 0, 10, ""},
+		{"ide_c", 8, 2, ""},
+		{"ne2000_devil", 0, 5, ""},
+		{"ne2000_c", 8, 2, ""},
+		{"permedia_devil", 0, 10, ""},
+		{"permedia_c", 8, 2, ""},
+		{"busmaster_devil", 0, 25, ""},
+		{"busmaster_c", 0, 5, ""},
+		// The scenario axes: the oracle must hold under injected faults
+		// too, because the injector is reseeded per boot from the task
+		// identity — both backends and front ends meet the exact same
+		// fault pattern at the same access ordinals.
+		{"busmouse_c", 0, 20, "flaky-bus:10"},
+		{"busmouse_devil", 0, 10, "flaky-bus:10"},
+		{"ide_devil", 5, 2, "flaky-bus"},
+		{"ne2000_devil", 5, 2, "timing:16"},
+		{"ide_c", 2, 1, "timing:8"},
 	}
 	wl := NewWorkload().(*workload)
 	for _, tc := range plans {
-		t.Run(tc.driver, func(t *testing.T) {
+		name := tc.driver
+		if tc.scenario != "" {
+			name += "@" + tc.scenario
+		}
+		t.Run(name, func(t *testing.T) {
 			p, err := wl.plan(tc.driver)
 			if err != nil {
 				t.Fatal(err)
@@ -144,14 +165,14 @@ func TestDifferentialOracle(t *testing.T) {
 				pct = tc.shortPct
 			}
 			selected := selectMutants(len(p.res.Mutants), MutationOptions{SamplePct: pct, Seed: 2001})
-			ref := &diffRig{backend: BackendInterp}
+			ref := &diffRig{backend: BackendInterp, scenario: tc.scenario}
 			variants := []struct {
 				name string
 				rig  *diffRig
 			}{
-				{"compiled/full", &diffRig{backend: BackendCompiled}},
-				{"compiled/incremental", &diffRig{backend: BackendCompiled, incremental: true}},
-				{"interp/incremental", &diffRig{backend: BackendInterp, incremental: true}},
+				{"compiled/full", &diffRig{backend: BackendCompiled, scenario: tc.scenario}},
+				{"compiled/incremental", &diffRig{backend: BackendCompiled, incremental: true, scenario: tc.scenario}},
+				{"interp/incremental", &diffRig{backend: BackendInterp, incremental: true, scenario: tc.scenario}},
 			}
 			for _, id := range selected {
 				rb := ref.boot(t, p, tc.driver, id)

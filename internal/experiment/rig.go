@@ -154,6 +154,12 @@ var registry = struct {
 	order    []*WorkloadDesc
 	byName   map[string]*WorkloadDesc
 	byDriver map[string]*WorkloadDesc
+	// initErr records the first builtin registration failure. A bad
+	// builtin descriptor must not panic the process at import time (the
+	// campaign engine is built to survive per-boot faults, not init
+	// crashes): every lookup surfaces the error instead, so a campaign
+	// over a broken registry fails cleanly with the root cause.
+	initErr error
 }{
 	byName:   make(map[string]*WorkloadDesc),
 	byDriver: make(map[string]*WorkloadDesc),
@@ -203,10 +209,25 @@ func RegisterWorkload(d WorkloadDesc) error {
 	return nil
 }
 
-func mustRegister(d WorkloadDesc) {
+// registerBuiltin registers one builtin workload, recording (rather
+// than panicking on) a bad descriptor; registryErr surfaces the failure
+// from every lookup.
+func registerBuiltin(d WorkloadDesc) {
 	if err := RegisterWorkload(d); err != nil {
-		panic(err)
+		registry.mu.Lock()
+		if registry.initErr == nil {
+			registry.initErr = fmt.Errorf("builtin workload registry: %w", err)
+		}
+		registry.mu.Unlock()
 	}
+}
+
+// registryErr returns the recorded builtin-registration failure, if any.
+// Callers must not hold the registry lock.
+func registryErr() error {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return registry.initErr
 }
 
 // unregisterWorkload removes a workload and its driver routes from the
@@ -243,7 +264,7 @@ func init() {
 		gfxWorkload,
 		dmaWorkload,
 	} {
-		mustRegister(d)
+		registerBuiltin(d)
 	}
 }
 
@@ -251,6 +272,9 @@ func init() {
 func WorkloadFor(driver string) (*WorkloadDesc, error) {
 	registry.mu.RLock()
 	defer registry.mu.RUnlock()
+	if registry.initErr != nil {
+		return nil, registry.initErr
+	}
 	if d, ok := registry.byDriver[driver]; ok {
 		return d, nil
 	}
@@ -287,6 +311,13 @@ type Rig struct {
 	// Dev is the device handle Desc.Build returned; Desc.Run and the
 	// workload's tests type-assert it back.
 	Dev any
+	// Injector is the fault injector a scenario's Build wrapper armed on
+	// the bus (nil on pristine rigs). Boot reseeds it per task so fault
+	// patterns are a function of the task, not of boot order.
+	Injector *hw.Injector
+	// Scenario is the scenario name this rig was transformed under (""
+	// for a pristine rig).
+	Scenario string
 
 	caches execCaches
 }
@@ -295,11 +326,15 @@ type Rig struct {
 // the named workload).
 func NewRig(name string) (*Rig, error) {
 	registry.mu.RLock()
+	initErr := registry.initErr
 	d, ok := registry.byDriver[name]
 	if !ok {
 		d = registry.byName[name]
 	}
 	registry.mu.RUnlock()
+	if initErr != nil {
+		return nil, initErr
+	}
 	if d == nil {
 		return nil, fmt.Errorf("no workload registered for %q", name)
 	}
@@ -332,6 +367,16 @@ func (r *Rig) Stubs(mode codegen.Mode) (*codegen.Stubs, error) {
 // Boot compiles and boots one driver build on the rig, which must be
 // freshly built or Reset.
 func (r *Rig) Boot(input BootInput) (*BootResult, error) {
+	// Scenario plumbing: rewind the fault injector to this task's seed —
+	// never global randomness, so the fault pattern a mutant meets is
+	// identical in serial, sharded and resumed runs on either backend —
+	// and arm the wall-clock safety net behind the step watchdog.
+	if r.Injector != nil {
+		r.Injector.Reseed(input.FaultSeed)
+	}
+	if input.WallBudget > 0 {
+		r.Kern.SetDeadline(input.WallBudget)
+	}
 	// Phase 1: "compilation" — parse plus type check, against the rig's
 	// per-worker caches. Only the mutated token stream (or, with the
 	// incremental front end, the one mutated declaration) is per-mutant
@@ -380,24 +425,34 @@ func BootDriver(driver string, input BootInput) (*BootResult, error) {
 	return r.Boot(input)
 }
 
-// rigSet pools one reused rig per workload: rigFor builds a workload's
-// rig on first use and Resets it on every later one — the per-worker
-// reuse pattern campaign workers and the differential oracle share.
+// rigSet pools one reused rig per (workload, scenario) cell: rigFor
+// builds a cell's rig on first use — applying the scenario's descriptor
+// transform — and Resets it on every later one: the per-worker reuse
+// pattern campaign workers and the differential oracle share.
 type rigSet map[string]*Rig
 
-func (s rigSet) rigFor(driver string) (*Rig, error) {
+func (s rigSet) rigFor(driver, scenario string) (*Rig, error) {
 	desc, err := WorkloadFor(driver)
 	if err != nil {
 		return nil, err
 	}
-	if r, ok := s[desc.Name]; ok {
+	key := desc.Name + "@" + scenario
+	if r, ok := s[key]; ok {
 		r.Reset()
 		return r, nil
 	}
-	r, err := desc.NewRig()
+	d := *desc
+	if scenario != "" {
+		d, err = ApplyScenario(scenario, d)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r, err := d.NewRig()
 	if err != nil {
 		return nil, err
 	}
-	s[desc.Name] = r
+	r.Scenario = scenario
+	s[key] = r
 	return r, nil
 }

@@ -151,11 +151,11 @@ func TestRegistryBootAndReuse(t *testing.T) {
 	// A worker's rig pool builds the workload's rig once and Resets it
 	// on every later request — the campaign hot-path contract.
 	rigs := make(rigSet)
-	r1, err := rigs.rigFor(driver)
+	r1, err := rigs.rigFor(driver, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := rigs.rigFor(driver)
+	r2, err := rigs.rigFor(driver, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestRegistryUnknownDriver(t *testing.T) {
 	if _, err := BootDriver("floppy_c", BootInput{}); err == nil {
 		t.Error("BootDriver booted an unrouted driver")
 	}
-	if _, err := make(rigSet).rigFor("floppy_c"); err == nil {
+	if _, err := make(rigSet).rigFor("floppy_c", ""); err == nil {
 		t.Error("worker built a rig for an unrouted driver")
 	}
 }

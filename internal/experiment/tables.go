@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/devil/codegen"
@@ -19,6 +20,13 @@ import (
 // driver-timeout path (~140k steps), so watchdog expiry reliably means a
 // non-terminating loop.
 const ExperimentBudget = 400_000
+
+// DefaultBootWallBudget is the wall-clock deadline campaign workers arm
+// per boot behind the deterministic step watchdog: a harness safety net
+// against real time sinks the step count cannot see, orders of
+// magnitude above any legitimate boot (milliseconds). Overridable per
+// spec via BootTimeoutMS.
+const DefaultBootWallBudget = 30 * time.Second
 
 // SpecRow is one row of Table 2.
 type SpecRow struct {
@@ -248,11 +256,27 @@ func FormatDriverTable(t *DriverTable, caption string) string {
 	fmt.Fprintf(&b, "%s\n", caption)
 	fmt.Fprintf(&b, "%-22s %8s %10s %12s\n",
 		"", "Sites", "Mutants", "% of total")
+	inOrder := make(map[string]bool, len(RowOrder))
 	for _, row := range RowOrder {
+		inOrder[row] = true
 		if t.Counts[row] == 0 && (row == RowRuntime || row == RowDead) &&
 			t.Driver == "ide_c" {
 			continue // the C table has no run-time-check or dead-code rows
 		}
+		fmt.Fprintf(&b, "%-22s %8d %10d %11.1f%%\n",
+			row, t.Sites(row), t.Counts[row], t.Pct(row))
+	}
+	// Engine-level rows outside the paper's taxonomy (e.g. the campaign's
+	// "Harness panic" quarantine row) print only when present, so they
+	// are never silently dropped from a report.
+	var extra []string
+	for row, n := range t.Counts {
+		if n > 0 && !inOrder[row] {
+			extra = append(extra, row)
+		}
+	}
+	sort.Strings(extra)
+	for _, row := range extra {
 		fmt.Fprintf(&b, "%-22s %8d %10d %11.1f%%\n",
 			row, t.Sites(row), t.Counts[row], t.Pct(row))
 	}

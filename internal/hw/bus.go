@@ -84,6 +84,7 @@ type Bus struct {
 	mu       sync.Mutex
 	mappings []mapping
 	last     *mapping // last-hit cache: polls hammer one register block
+	inj      *Injector
 	trace    []Access
 	tracing  bool
 	floating bool
@@ -106,6 +107,23 @@ func (b *Bus) SetFloating(on bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.floating = on
+}
+
+// SetInjector attaches (or, with nil, detaches) a fault injector to the
+// mapped-device data path. Like Map, it is a machine-assembly call: the
+// data path reads the field without locking, so it must not race with
+// execution. A bus without an injector pays one nil check per access.
+func (b *Bus) SetInjector(inj *Injector) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.inj = inj
+}
+
+// Injector returns the attached fault injector, if any.
+func (b *Bus) Injector() *Injector {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inj
 }
 
 // Map claims the port range [base, base+size) for dev. Overlapping claims are
@@ -207,12 +225,20 @@ func (b *Bus) Read(port Port, width AccessWidth) (uint32, error) {
 		b.record(Access{Port: port, Width: width, Fault: true})
 		return 0, &BusFaultError{Port: port, Width: width}
 	}
+	if b.inj != nil {
+		return b.inj.read(b, m, port, width)
+	}
 	v, err := m.dev.Read(port-m.base, width)
 	b.record(Access{Port: port, Width: width, Value: v, Fault: err != nil})
 	if err != nil {
-		return 0, fmt.Errorf("%s: %w", m.dev.Name(), err)
+		return 0, deviceError(m, err)
 	}
 	return v & widthMask(width), nil
+}
+
+// deviceError wraps a device-level access error with the device name.
+func deviceError(m *mapping, err error) error {
+	return fmt.Errorf("%s: %w", m.dev.Name(), err)
 }
 
 // Write performs an output operation of the given width at port.
@@ -226,10 +252,13 @@ func (b *Bus) Write(port Port, width AccessWidth, value uint32) error {
 		b.record(Access{Port: port, Width: width, Write: true, Value: value, Fault: true})
 		return &BusFaultError{Port: port, Width: width, Write: true}
 	}
+	if b.inj != nil {
+		b.inj.write()
+	}
 	err := m.dev.Write(port-m.base, width, value&widthMask(width))
 	b.record(Access{Port: port, Width: width, Write: true, Value: value, Fault: err != nil})
 	if err != nil {
-		return fmt.Errorf("%s: %w", m.dev.Name(), err)
+		return deviceError(m, err)
 	}
 	return nil
 }

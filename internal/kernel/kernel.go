@@ -3,6 +3,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/devil/codegen"
 	"repro/internal/hw"
@@ -28,6 +29,21 @@ func (e *WatchdogError) Error() string {
 	return fmt.Sprintf("watchdog: boot did not complete within %d steps", e.Budget)
 }
 
+// DeadlineError reports that the boot exceeded its wall-clock deadline.
+// The step-count watchdog is the deterministic detector for driver
+// loops; the deadline is the harness safety net behind it, catching
+// boots whose real time diverges from their step count (a sim spinning
+// inside one "step", a scheduler stall) so a fault-heavy campaign can
+// never wedge on one mutant.
+type DeadlineError struct {
+	Limit time.Duration
+}
+
+// Error implements the error interface.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("deadline: boot did not complete within %v of wall time", e.Limit)
+}
+
 // CrashError reports a machine-level failure that prints nothing: an
 // unhandled bus fault, a divide by zero, a wild jump. The paper's "Crash".
 type CrashError struct {
@@ -45,12 +61,21 @@ func (e *CrashError) Unwrap() error { return e.Cause }
 // non-terminating wait loop rather than a slow path.
 const DefaultStepBudget = 2_000_000
 
+// deadlineCheckMask picks how often the watchdog consults the wall
+// clock: every 4096 steps, so the deadline costs one mask test on the
+// step hot path instead of a time syscall per step.
+const deadlineCheckMask = 1<<12 - 1
+
 // Kernel is one simulated machine boot context.
 type Kernel struct {
 	clock   *hw.Clock
 	console []string
 	budget  int64
 	steps   int64
+	// deadline, when set, is the wall-clock instant the boot must finish
+	// by; limit is the duration it was derived from, for the error text.
+	deadline time.Time
+	limit    time.Duration
 	// buf is the kernel transfer buffer drivers DMA/PIO sector data into,
 	// exposed to driver code through the kbuf_* builtins.
 	buf []byte
@@ -64,6 +89,28 @@ func New(clock *hw.Clock) *Kernel {
 // SetBudget overrides the watchdog step budget (tests use small budgets).
 func (k *Kernel) SetBudget(n int64) { k.budget = n }
 
+// SetDeadline arms the wall-clock watchdog: the boot fails with a
+// DeadlineError once wall time passes limit from now. A zero limit
+// disarms it. Reset disarms it too, so reused kernels re-arm per boot.
+func (k *Kernel) SetDeadline(limit time.Duration) {
+	if limit <= 0 {
+		k.deadline = time.Time{}
+		k.limit = 0
+		return
+	}
+	k.deadline = time.Now().Add(limit)
+	k.limit = limit
+}
+
+// checkDeadline polls the wall clock; it only runs every
+// deadlineCheckMask+1 steps.
+func (k *Kernel) checkDeadline() error {
+	if !k.deadline.IsZero() && time.Now().After(k.deadline) {
+		return &DeadlineError{Limit: k.limit}
+	}
+	return nil
+}
+
 // Reset returns the kernel to its power-on state — console cleared,
 // watchdog rewound to the default budget, transfer buffer zeroed — so a
 // campaign worker can reuse the kernel across boots instead of allocating
@@ -74,6 +121,8 @@ func (k *Kernel) Reset() {
 	k.console = k.console[:0]
 	k.steps = 0
 	k.budget = DefaultStepBudget
+	k.deadline = time.Time{}
+	k.limit = 0
 	for i := range k.buf {
 		k.buf[i] = 0
 	}
@@ -95,6 +144,9 @@ func (k *Kernel) Step() error {
 	if k.steps > k.budget {
 		return &WatchdogError{Budget: k.budget}
 	}
+	if k.steps&deadlineCheckMask == 0 {
+		return k.checkDeadline()
+	}
 	return nil
 }
 
@@ -111,7 +163,8 @@ func (k *Kernel) Delay(n int64) error {
 	if k.steps > k.budget {
 		return &WatchdogError{Budget: k.budget}
 	}
-	return nil
+	// Delays are rare and large; always worth a wall-clock poll.
+	return k.checkDeadline()
 }
 
 // Printk appends a console line.
@@ -200,6 +253,12 @@ func Classify(err error) Outcome {
 	}
 	var wdErr *WatchdogError
 	if errors.As(err, &wdErr) {
+		return OutcomeInfiniteLoop
+	}
+	// A wall-clock deadline expiry is the non-terminating-boot detector's
+	// safety net: same outcome class as the step watchdog.
+	var dlErr *DeadlineError
+	if errors.As(err, &dlErr) {
 		return OutcomeInfiniteLoop
 	}
 	// Bus faults, wild pointers and any other machine-level error print

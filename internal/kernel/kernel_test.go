@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/devil/codegen"
 	"repro/internal/hw"
@@ -138,5 +139,46 @@ func TestOutcomeSemantics(t *testing.T) {
 	}
 	if kernel.OutcomeBoot.String() != "Boot" || kernel.Outcome(99).String() != "Unknown" {
 		t.Error("outcome names wrong")
+	}
+}
+
+func TestWallClockDeadline(t *testing.T) {
+	k := kernel.New(&hw.Clock{})
+	k.SetBudget(1 << 40) // the step watchdog must not be the one that fires
+	k.SetDeadline(time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	var err error
+	for i := 0; i < 4097 && err == nil; i++ { // deadline polls every 4096 steps
+		err = k.Step()
+	}
+	var dl *kernel.DeadlineError
+	if !errors.As(err, &dl) {
+		t.Fatalf("got %v, want DeadlineError", err)
+	}
+	if kernel.Classify(err) != kernel.OutcomeInfiniteLoop {
+		t.Errorf("deadline expiry classified as %v, want OutcomeInfiniteLoop", kernel.Classify(err))
+	}
+	// Delay polls the deadline immediately.
+	k2 := kernel.New(&hw.Clock{})
+	k2.SetBudget(1 << 40)
+	k2.SetDeadline(time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if err := k2.Delay(1); !errors.As(err, &dl) {
+		t.Fatalf("Delay after deadline: got %v, want DeadlineError", err)
+	}
+	// Reset disarms: a reused kernel does not inherit the old deadline.
+	k.Reset()
+	for i := 0; i < 5000; i++ {
+		if err := k.Step(); err != nil {
+			t.Fatalf("step after Reset tripped stale deadline: %v", err)
+		}
+	}
+	// A generous deadline never fires on a normal boot.
+	k3 := kernel.New(&hw.Clock{})
+	k3.SetDeadline(time.Hour)
+	for i := 0; i < 10000; i++ {
+		if err := k3.Step(); err != nil {
+			t.Fatalf("armed-but-distant deadline fired: %v", err)
+		}
 	}
 }

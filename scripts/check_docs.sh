@@ -10,7 +10,10 @@
 #     CLI without reading the source;
 #  4. every metric family the instrumented stack can register (the
 #     `driverlab metrics` list) must be documented in ARCHITECTURE.md's
-#     Observability section.
+#     Observability section;
+#  5. every registered hardware scenario (the `driverlab scenarios
+#     -names` list) must be named in both ARCHITECTURE.md and README.md,
+#     so the matrix axis stays discoverable from the docs.
 #
 # Run from the repository root.
 set -e
@@ -77,3 +80,27 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "metric names in ARCHITECTURE.md: ok"
+
+readme=$(cat README.md)
+fail=0
+for s in $(go run ./cmd/driverlab scenarios -names); do
+    case "$arch" in
+        *"$s"*) ;;
+        *)
+            echo "ARCHITECTURE.md does not document scenario $s" >&2
+            fail=1
+            ;;
+    esac
+    case "$readme" in
+        *"$s"*) ;;
+        *)
+            echo "README.md does not document scenario $s" >&2
+            fail=1
+            ;;
+    esac
+done
+if [ "$fail" -ne 0 ]; then
+    echo "add the scenarios above to ARCHITECTURE.md's Scenario axes section and the README" >&2
+    exit 1
+fi
+echo "scenario names in ARCHITECTURE.md and README.md: ok"
