@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/campaign/fleet"
 	"repro/internal/drivers"
 	"repro/internal/experiment"
 	"repro/internal/obs"
@@ -49,6 +50,7 @@ func runMetrics(args []string) error {
 		return fmt.Errorf("metrics: takes no arguments")
 	}
 	names := append(campaign.MetricNames(), experiment.BootMetricNames()...)
+	names = append(names, fleet.MetricNames()...)
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Println(n)

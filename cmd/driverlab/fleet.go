@@ -1,0 +1,293 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/campaign/fleet"
+	"repro/internal/drivers"
+	"repro/internal/experiment"
+	"repro/internal/obs"
+)
+
+// runServe starts a fleet coordinator: it loads (or creates) the
+// canonical JSONL store, expands the campaign into shard leases, and
+// serves them to `driverlab worker` processes until every task is
+// recorded. The coordinator boots nothing itself.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("driverlab serve", flag.ContinueOnError)
+	store := fs.String("store", "", "canonical JSONL result store (required)")
+	addr := fs.String("addr", "127.0.0.1:9309", "address to serve the fleet protocol on (use :0 for an ephemeral port)")
+	addrFile := fs.String("addr-file", "", "write the bound fleet address to this file (for scripts using -addr :0)")
+	leaseTTL := fs.Duration("lease-ttl", fleet.DefaultLeaseTTL,
+		"how long a shard lease survives without a worker heartbeat before it is re-leased")
+	resume := fs.Bool("resume", false, "take the spec from the store instead of flags (a restarted coordinator)")
+	quiet := fs.Bool("quiet", false, "suppress live progress")
+	statusAddr := fs.String("status-addr", "",
+		"serve /metrics (Prometheus), /status (JSON) and /debug/pprof on this address while the fleet runs (e.g. :9100)")
+	name := fs.String("name", "campaign", "campaign name")
+	driversFlag := fs.String("drivers", "ide_c,ide_devil",
+		"comma-separated driver list ("+strings.Join(drivers.Names(), ", ")+")")
+	sample := fs.Int("sample", 25, "percentage of mutants to boot (paper: 25)")
+	seed := fs.Uint64("seed", 2001, "sampling seed")
+	shards := fs.Int("shards", 8, "lease granularity: shard count the work-list partitions into "+
+		"(should comfortably exceed the worker count)")
+	stub := fs.String("stub", "", "Devil stub mode: debug (default) or production")
+	permissive := fs.Bool("permissive", false, "downgrade CDevil typing to plain C rules")
+	backend := fs.String("backend", "", "hwC execution backend: compiled (default) or interp")
+	scenarios := fs.String("scenario", "",
+		"comma-separated hardware scenario cells to cross with the driver list (see `driverlab scenarios`)")
+	flushEvery := fs.Int("flush-every", 0,
+		"store checkpoint interval in records (0: the store default of 64)")
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+	if *store == "" {
+		return fmt.Errorf("serve: -store is required")
+	}
+
+	st, err := campaign.OpenFile(*store)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	var spec campaign.Spec
+	if *resume {
+		prior, ok := storedSpec(st)
+		if !ok {
+			return fmt.Errorf("serve -resume: %s holds no spec record", *store)
+		}
+		spec = prior
+		if *shards != 8 {
+			// The shard count is fingerprint-excluded, so a restarted
+			// coordinator may repartition the remaining work.
+			spec.Shards = *shards
+		}
+		fmt.Fprintf(os.Stderr, "serve: resuming %q from %s\n", spec.Name, *store)
+	} else {
+		var driverList []string
+		for _, d := range strings.Split(*driversFlag, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				driverList = append(driverList, d)
+			}
+		}
+		if _, err := experiment.ParseBackend(*backend); err != nil {
+			return err
+		}
+		var scenarioList []string
+		for _, sc := range strings.Split(*scenarios, ",") {
+			if sc = strings.TrimSpace(sc); sc != "" {
+				scenarioList = append(scenarioList, sc)
+			}
+		}
+		spec = campaign.Spec{
+			Name:       *name,
+			Drivers:    driverList,
+			SamplePct:  *sample,
+			Seed:       *seed,
+			Shards:     *shards,
+			StubMode:   *stub,
+			Permissive: *permissive,
+			Backend:    *backend,
+			Scenarios:  scenarioList,
+			FlushEvery: *flushEvery,
+		}
+	}
+	if spec.FlushEvery > 0 {
+		st.SetFlushEvery(spec.FlushEvery)
+	}
+
+	// Live status: the tracker always runs (it feeds the progress line);
+	// the metric collector and HTTP endpoint only with -status-addr. The
+	// snapshot served there carries the coordinator's fleet counters, so
+	// `campaign status <addr>` is fleet-aware.
+	tracker := campaign.NewStatusTracker()
+	var col *obs.Collector
+	if *statusAddr != "" {
+		col = obs.New()
+	}
+	co, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Spec:      spec,
+		Workload:  experiment.NewWorkload(),
+		Store:     st,
+		LeaseTTL:  *leaseTTL,
+		Status:    tracker,
+		Collector: col,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if *statusAddr != "" {
+		srv, err := obs.Serve(*statusAddr, col, func() any {
+			s := tracker.Snapshot()
+			fstat := co.FleetStatus()
+			s.Fleet = &fstat
+			return s
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serve: observability endpoint at %s (/metrics, /status, /debug/pprof/)\n", srv.URL)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen on %s: %w", *addr, err)
+	}
+	co.Start(ln)
+	defer co.Close()
+	fmt.Fprintf(os.Stderr, "serve: coordinating %q on %s (%d shards); join with: driverlab worker -connect %s\n",
+		spec.Normalized().Name, co.Addr(), spec.Normalized().Shards, co.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(co.Addr()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	// The first SIGINT/SIGTERM shuts the fleet down gracefully (the
+	// store is flushed and consistent; a restarted coordinator leases
+	// only the remaining tasks); a second kills the process.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		fmt.Fprintf(os.Stderr, "\nserve: interrupted, shutting the fleet down (again to kill)\n")
+		go co.Close()
+		<-sigc
+		os.Exit(130)
+	}()
+
+	if !*quiet {
+		go func() {
+			width := termWidth()
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-co.Done():
+					return
+				case <-tick.C:
+					fmt.Fprintf(os.Stderr, "\r%s\x1b[K", progressLine(tracker.Snapshot(), width))
+				}
+			}
+		}()
+	}
+
+	err = co.Wait()
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if errors.Is(err, fleet.ErrClosed) {
+		if ferr := st.Flush(); ferr != nil {
+			return ferr
+		}
+		snap := tracker.Snapshot()
+		fmt.Fprintf(os.Stderr, "serve: interrupted — %d/%d results stored and flushed\n", snap.Recorded, snap.Total)
+		fmt.Fprintf(os.Stderr, "serve: restart with: driverlab serve -store %s -resume\n", *store)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	// Give connected workers their drain response before the listener
+	// goes away, so they exit cleanly rather than on a torn connection.
+	co.DrainWorkers(5 * time.Second)
+	snap := tracker.Snapshot()
+	fmt.Printf("fleet campaign %q complete: %d results (%d already stored), %d leases across the fleet\n",
+		spec.Normalized().Name, snap.Recorded, snap.Skipped, co.FleetStatus().Leases)
+	for _, line := range campaign.Completion(st.Records()) {
+		fmt.Println("  " + line)
+	}
+	return nil
+}
+
+// runWorker joins a fleet worker to a coordinator: it leases shards,
+// boots them on the unmodified campaign engine, and streams the records
+// back until the campaign drains.
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("driverlab worker", flag.ContinueOnError)
+	connect := fs.String("connect", "", "coordinator fleet address to join (required; see `driverlab serve`)")
+	name := fs.String("name", "", "worker name in coordinator logs and metrics (default: host:pid)")
+	workers := fs.Int("workers", 0, "boot worker count inside this process (default: GOMAXPROCS)")
+	frontend := fs.String("frontend", "", "per-mutant front end for this worker: incremental (default) or full")
+	fingerprint := fs.String("fingerprint", "",
+		"spec fingerprint to insist on; the coordinator rejects the handshake if it serves a different campaign")
+	quiet := fs.Bool("quiet", false, "suppress per-lease progress")
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("worker: -connect is required (the address `driverlab serve` printed)")
+	}
+	if _, err := experiment.ParseFrontend(*frontend); err != nil {
+		return err
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+
+	// The first SIGINT/SIGTERM drains in-flight boots and leaves the
+	// lease to the coordinator's re-lease machinery; a second kills.
+	interrupt := make(chan struct{})
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	finished := make(chan struct{})
+	defer close(finished)
+	go func() {
+		select {
+		case <-sigc:
+		case <-finished:
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\nworker: interrupted, finishing in-flight boots (again to kill)\n")
+		close(interrupt)
+		select {
+		case <-sigc:
+			os.Exit(130)
+		case <-finished:
+		}
+	}()
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	sum, err := fleet.RunWorker(*connect, experiment.NewWorkload(), fleet.WorkerOptions{
+		Name:        *name,
+		Workers:     *workers,
+		Frontend:    *frontend,
+		Fingerprint: *fingerprint,
+		Interrupt:   interrupt,
+		Logf:        logf,
+	})
+	if errors.Is(err, campaign.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "worker: interrupted; the coordinator re-leases any unfinished shard\n")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %q: %d shards completed, %d records streamed\n", *name, sum.Shards, sum.Records)
+	return nil
+}

@@ -100,6 +100,13 @@ Usage:
   driverlab [flags]                      tables 1-%d, figures, ablations
   driverlab campaign <verb> [flags]      sharded, resumable, persisted campaigns
                                          verbs: run, resume, merge, report, status
+  driverlab serve [flags]                coordinate a campaign fleet: lease the
+                                         work-list's shards to worker processes
+                                         over TCP, append their records to the
+                                         canonical -store
+  driverlab worker -connect <addr>       join a fleet: lease shards from a
+                                         coordinator, boot them, stream the
+                                         records back
   driverlab bench [flags]                campaign throughput (-json writes
                                          BENCH_campaign.json, -phases the
                                          per-phase boot time breakdown)
@@ -109,10 +116,11 @@ Usage:
                                          campaign matrix can cross its
                                          drivers with (-names: bare list)
 
-Observability: campaign run -status-addr :PORT serves Prometheus
-/metrics, a JSON /status snapshot and /debug/pprof while the campaign
-runs; campaign status <addr|store> renders the snapshot live from that
-endpoint or offline from a JSONL store.
+Observability: campaign run -status-addr :PORT (and serve -status-addr)
+serves Prometheus /metrics, a JSON /status snapshot and /debug/pprof
+while the campaign runs; campaign status <addr|store> renders the
+snapshot live from that endpoint or offline from a JSONL store. A fleet
+coordinator's snapshot adds per-worker throughput and lease counters.
 
 Drivers: %s.
 Extension tables: %s.
@@ -148,6 +156,12 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "bench" {
 		return runBench(args[1:])
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:])
+	}
+	if len(args) > 0 && args[0] == "worker" {
+		return runWorker(args[1:])
 	}
 	if len(args) > 0 && args[0] == "metrics" {
 		return runMetrics(args[1:])

@@ -62,6 +62,7 @@ func TestUsageEnumeratesSurface(t *testing.T) {
 		"metrics", "compiled", "interp", "BENCH_campaign.json",
 		"-status-addr", "-phases", "/metrics", "/status",
 		"scenarios", "-scenario",
+		"serve", "worker", "-connect",
 	}
 	wants = append(wants, drivers.Names()...)
 	// Every registered scenario must be named in the usage text, so the

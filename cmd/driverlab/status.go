@@ -85,7 +85,11 @@ func fetchSnapshot(addr string) (*campaign.Snapshot, error) {
 	client := &http.Client{Timeout: 5 * time.Second}
 	resp, err := client.Get(url)
 	if err != nil {
-		return nil, fmt.Errorf("campaign status: %w (is the campaign running with -status-addr?)", err)
+		return nil, fmt.Errorf("campaign status: nothing answered at %s: %w\n"+
+			"  start a campaign with `driverlab campaign run -status-addr`, a fleet\n"+
+			"  coordinator with `driverlab serve -status-addr` (workers join it with\n"+
+			"  `driverlab worker -connect`), or point at a JSONL store for an offline view",
+			url, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -110,6 +114,14 @@ func formatSnapshot(s campaign.Snapshot, source string) string {
 	fmt.Fprintf(&b, "campaign %q (%s, %s)\n", s.Name, mode, source)
 	if s.Live {
 		fmt.Fprintf(&b, "  workers %d, elapsed %s\n", s.Workers, fmtSeconds(s.ElapsedSec))
+	}
+	if f := s.Fleet; f != nil {
+		fmt.Fprintf(&b, "  fleet: %d workers connected, shards %d/%d complete (%d leased), %d leases (%d re-leased)\n",
+			f.Workers, f.ShardsComplete, f.ShardsTotal, f.ShardsLeased, f.Leases, f.Releases)
+		if f.RejectedFrames > 0 || f.StaleRecords > 0 {
+			fmt.Fprintf(&b, "  fleet health: %d rejected frames, %d stale records dropped\n",
+				f.RejectedFrames, f.StaleRecords)
+		}
 	}
 	fmt.Fprintf(&b, "  progress: %d/%d recorded (%.1f%%) — %d booted, %d deduped, %d skipped\n",
 		s.Recorded, s.Total, s.Percent(), s.Ran, s.Deduped, s.Skipped)

@@ -208,6 +208,11 @@ func recordKey(r Record) string {
 	return CellKey(r.Driver, r.Mutant, r.Scenario)
 }
 
+// Key is a result record's stable task identity — the same CellKey the
+// matching Task carries, so stores, coordinators and workers agree on
+// which task a record decides.
+func (r Record) Key() string { return recordKey(r) }
+
 // ShardOf assigns a pristine task to a shard by hashing its stable key;
 // ShardOfTask is the scenario-aware form.
 func ShardOf(driver string, mutant int, shards int) int {

@@ -224,11 +224,10 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 		}
 	}
 
-	metas, tasks, err := wl.Expand(spec)
+	metas, tasks, err := ExpandPlan(spec, wl)
 	if err != nil {
 		return nil, err
 	}
-	metas, tasks = expandMatrix(spec, metas, tasks)
 	if !haveSpec {
 		if err := put(SpecRecord(spec)); err != nil {
 			return nil, err
@@ -247,7 +246,7 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if opts.Status != nil {
-		opts.Status.begin(spec.Name, fp, workers)
+		opts.Status.Begin(spec.Name, fp, workers)
 	}
 
 	sum := &Summary{Rows: make(map[string]int)}
@@ -272,7 +271,6 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 
 	var pending []Task
 	for _, t := range tasks {
-		t.Shard = ShardOfTask(t, spec.Shards)
 		if !wantShard(t.Shard) {
 			continue
 		}
@@ -280,7 +278,7 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 		key := t.Key()
 		cell := CellLabel(t.Driver, t.Scenario)
 		if opts.Status != nil {
-			opts.Status.plan(cell, t.Shard)
+			opts.Status.Plan(cell, t.Shard)
 		}
 		if done[key] {
 			if t.Dedup != "" && groups[groupKey(t)] == nil {
@@ -290,7 +288,7 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 			row := existing[resultAt[key]].Row
 			opts.Metrics.skip(cell, row)
 			if opts.Status != nil {
-				opts.Status.record(cell, t.Shard, row, recordSkip)
+				opts.Status.Record(cell, t.Shard, row, RecordSkip)
 			}
 			continue
 		}
@@ -314,7 +312,7 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 			sum.Rows[rep.Row]++
 			opts.Metrics.dedup(cell, rep.Row)
 			if opts.Status != nil {
-				opts.Status.record(cell, t.Shard, rep.Row, recordDedup)
+				opts.Status.Record(cell, t.Shard, rep.Row, RecordDedup)
 			}
 		default:
 			g.dups = append(g.dups, t)
@@ -413,21 +411,21 @@ func Run(spec Spec, wl Workload, store Store, opts Options) (*Summary, error) {
 							extra++
 							opts.Metrics.dedup(CellLabel(d.Driver, d.Scenario), rec.Row)
 							if opts.Status != nil {
-								opts.Status.record(CellLabel(d.Driver, d.Scenario),
-									d.Shard, rec.Row, recordDedup)
+								opts.Status.Record(CellLabel(d.Driver, d.Scenario),
+									d.Shard, rec.Row, RecordDedup)
 							}
 						}
 					}
 				}
-				kind := recordRan
+				kind := RecordRan
 				if panicked {
-					kind = recordPanic
+					kind = RecordPanic
 				} else {
 					opts.Metrics.boot(cell, out.Row, out.Steps)
 					workerBoots.Inc()
 				}
 				if opts.Status != nil {
-					opts.Status.record(cell, t.Shard, out.Row, kind)
+					opts.Status.Record(cell, t.Shard, out.Row, kind)
 				}
 				mu.Lock()
 				if panicked {
@@ -486,6 +484,24 @@ func dedupRecord(rep Record, repMutant int, t Task) Record {
 		r.DedupOf = &m
 	}
 	return r
+}
+
+// ExpandPlan derives a spec's complete work plan: the workload's
+// pristine expansion crossed with the scenario matrix, every task
+// carrying its shard assignment. This is exactly the work-list Run
+// executes — exported so a fleet coordinator can partition the same
+// plan into leases without running a single boot itself.
+func ExpandPlan(spec Spec, wl Workload) ([]Meta, []Task, error) {
+	spec = spec.Normalized()
+	metas, tasks, err := wl.Expand(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	metas, tasks = expandMatrix(spec, metas, tasks)
+	for i := range tasks {
+		tasks[i].Shard = ShardOfTask(tasks[i], spec.Shards)
+	}
+	return metas, tasks, nil
 }
 
 // ParallelDo runs fn over [0,n) with a bounded worker pool and waits —

@@ -1,0 +1,167 @@
+// Package fleet scales the campaign engine across processes: a
+// long-running coordinator loads a campaign.Spec, partitions the
+// deterministic work-list into shard leases, and hands them to worker
+// processes over a small TCP protocol of length-prefixed JSON frames.
+//
+// The division of labour keeps every execution decision where it
+// already lives: the coordinator never boots a mutant — it expands the
+// spec (exactly as campaign.Run would), tracks which task keys the
+// canonical store still lacks, and leases shards; each worker runs the
+// unmodified campaign engine over its leased shard against a seeded
+// in-memory store and streams the freshly appended result records
+// back in batches. Because task outcomes are pure functions of the
+// task identity (seeded sampling, seeded fault injection, the
+// differential-oracle guarantee across backends and front ends), a
+// serial run, a fleet run, and a fleet run that lost workers
+// mid-campaign all converge to byte-identical report tables.
+//
+// Robustness is lease-based: workers heartbeat while booting, the
+// coordinator re-leases any shard whose owner disconnects or whose
+// heartbeat lapses, and record appends deduplicate by task key — so a
+// re-leased shard can be partially re-executed by a second worker
+// without losing or duplicating a single task record. Spec
+// fingerprints are exchanged at handshake; a worker built for a
+// different campaign is rejected by name before any work flows.
+package fleet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/campaign"
+)
+
+// Proto is the fleet protocol version. The handshake rejects a worker
+// whose version differs — frame shapes may change between versions.
+const Proto = 1
+
+// MaxFrame bounds one frame's JSON payload. A grant carrying every
+// already-stored record of a dense shard is the largest frame the
+// protocol produces; 8 MiB holds tens of thousands of records. Frames
+// announcing a larger payload are rejected without reading it.
+const MaxFrame = 8 << 20
+
+// Message types. Every frame is one Msg; T selects which fields are
+// meaningful, mirroring the flat campaign.Record schema.
+const (
+	// MsgHello is the worker's opening frame: name, protocol version,
+	// and (optionally) the spec fingerprint it insists on.
+	MsgHello = "hello"
+	// MsgWelcome is the coordinator's handshake reply: the campaign
+	// spec, its fingerprint, and the heartbeat/lease intervals.
+	MsgWelcome = "welcome"
+	// MsgReject refuses a handshake, naming the offense; the
+	// coordinator closes the connection after sending it.
+	MsgReject = "reject"
+	// MsgLease asks for the next shard lease.
+	MsgLease = "lease"
+	// MsgGrant hands the worker one shard plus the result records the
+	// store already holds for it (the worker seeds its engine with
+	// them, so only the remaining tasks boot).
+	MsgGrant = "grant"
+	// MsgRetry answers a lease request when nothing is leaseable right
+	// now (all pending shards are leased out); the worker sleeps
+	// DelayMS and asks again.
+	MsgRetry = "retry"
+	// MsgDrain answers a lease request when the campaign is complete;
+	// the worker exits cleanly.
+	MsgDrain = "drain"
+	// MsgRecords streams a batch of freshly booted result records.
+	MsgRecords = "records"
+	// MsgHeartbeat keeps the worker's leases alive while it boots.
+	MsgHeartbeat = "heartbeat"
+	// MsgDone reports a leased shard fully executed.
+	MsgDone = "done"
+)
+
+// knownTypes is the frame dispatch table; ReadMsg rejects anything
+// outside it by name.
+var knownTypes = map[string]bool{
+	MsgHello: true, MsgWelcome: true, MsgReject: true,
+	MsgLease: true, MsgGrant: true, MsgRetry: true, MsgDrain: true,
+	MsgRecords: true, MsgHeartbeat: true, MsgDone: true,
+}
+
+// Msg is the one envelope every fleet frame carries. A single flat
+// shape (like campaign.Record) keeps the codec trivial and the wire
+// format human-decodable; T selects the meaningful fields.
+type Msg struct {
+	T string `json:"t"`
+
+	// Handshake fields (hello/welcome).
+	Name        string         `json:"name,omitempty"`
+	Proto       int            `json:"proto,omitempty"`
+	Fingerprint string         `json:"fingerprint,omitempty"`
+	Spec        *campaign.Spec `json:"spec,omitempty"`
+	HeartbeatMS int            `json:"heartbeat_ms,omitempty"`
+	LeaseTTLMS  int            `json:"lease_ttl_ms,omitempty"`
+
+	// Lease fields (grant/records/done). Shard deliberately has no
+	// omitempty: shard 0 is a valid lease.
+	Shard   int               `json:"shard"`
+	Done    []campaign.Record `json:"done,omitempty"`
+	Records []campaign.Record `json:"records,omitempty"`
+
+	// Backpressure (retry) and refusal (reject) fields.
+	DelayMS int    `json:"delay_ms,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// WriteMsg encodes one frame: a 4-byte big-endian payload length
+// followed by the JSON payload, written in a single Write so a frame
+// is one TCP segment in the common case.
+func WriteMsg(w io.Writer, m Msg) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("fleet: encode %s frame: %w", m.T, err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("fleet: %s frame payload is %d bytes, exceeding the %d-byte limit",
+			m.T, len(payload), MaxFrame)
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("fleet: write %s frame: %w", m.T, err)
+	}
+	return nil
+}
+
+// ReadMsg decodes one frame. Every malformed input is rejected with an
+// error naming the offense — a torn frame (the stream ended mid-frame),
+// an oversized payload, an unparseable payload, or an unknown message
+// type — so a coordinator log names what a misbehaving peer sent. A
+// clean close at a frame boundary returns io.EOF unwrapped.
+func ReadMsg(r io.Reader) (Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Msg{}, io.EOF
+		}
+		return Msg{}, fmt.Errorf("fleet: torn frame: stream ended inside the length header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Msg{}, fmt.Errorf("fleet: empty frame (zero-length payload)")
+	}
+	if n > MaxFrame {
+		return Msg{}, fmt.Errorf("fleet: oversized frame: %d-byte payload announced, limit is %d",
+			n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if got, err := io.ReadFull(r, payload); err != nil {
+		return Msg{}, fmt.Errorf("fleet: torn frame: %d of %d payload bytes before the stream ended: %w",
+			got, n, err)
+	}
+	var m Msg
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return Msg{}, fmt.Errorf("fleet: unparseable frame payload: %w", err)
+	}
+	if !knownTypes[m.T] {
+		return Msg{}, fmt.Errorf("fleet: unknown message type %q", m.T)
+	}
+	return m, nil
+}

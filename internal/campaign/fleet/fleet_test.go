@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// TestFrameRoundTrip: every message type survives WriteMsg/ReadMsg with
+// its fields intact, including a shard-0 lease (the omitempty trap).
+func TestFrameRoundTrip(t *testing.T) {
+	spec := campaign.Spec{Name: "rt", Drivers: []string{"alpha"}, Seed: 3}.Normalized()
+	msgs := []Msg{
+		{T: MsgHello, Name: "w1", Proto: Proto, Fingerprint: "abc"},
+		{T: MsgWelcome, Spec: &spec, Fingerprint: spec.Fingerprint(), HeartbeatMS: 250, LeaseTTLMS: 1000},
+		{T: MsgReject, Error: "wrong campaign"},
+		{T: MsgLease},
+		{T: MsgGrant, Shard: 0, Done: []campaign.Record{
+			{Kind: campaign.KindResult, Driver: "alpha", Mutant: 4, Row: "Boot"},
+		}},
+		{T: MsgRetry, DelayMS: 50},
+		{T: MsgDrain},
+		{T: MsgRecords, Shard: 2, Records: []campaign.Record{
+			{Kind: campaign.KindResult, Driver: "alpha", Mutant: 7, Row: "Crash", Shard: 2},
+		}},
+		{T: MsgHeartbeat},
+		{T: MsgDone, Shard: 0},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatalf("write %s: %v", m.T, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", want.T, err)
+		}
+		if got.T != want.T || got.Shard != want.Shard || got.Error != want.Error ||
+			got.DelayMS != want.DelayMS || len(got.Done) != len(want.Done) ||
+			len(got.Records) != len(want.Records) {
+			t.Errorf("round trip %s: got %+v, want %+v", want.T, got, want)
+		}
+	}
+	if _, err := ReadMsg(&buf); err != io.EOF {
+		t.Errorf("drained stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestReadMsgRejectsMalformedFrames: every class of malformed input is
+// rejected with an error naming the offense — the coordinator's log
+// must say what a misbehaving peer actually sent.
+func TestReadMsgRejectsMalformedFrames(t *testing.T) {
+	frame := func(m Msg) []byte {
+		var buf bytes.Buffer
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"torn header", []byte{0, 0}, "torn frame"},
+		{"torn header names header", []byte{0, 0, 1}, "length header"},
+		{"empty frame", []byte{0, 0, 0, 0}, "empty frame"},
+		{"oversized frame", []byte{0xff, 0xff, 0xff, 0xff}, "oversized frame"},
+		{"oversized frame names limit", []byte{0x7f, 0, 0, 0}, "limit is 8388608"},
+		{"torn payload", frame(Msg{T: MsgHeartbeat})[:8], "torn frame"},
+		{"torn payload counts bytes", append([]byte{0, 0, 0, 10}, 'x', 'y'), "2 of 10 payload bytes"},
+		{"unparseable payload", append([]byte{0, 0, 0, 4}, []byte("{{{{")...), "unparseable frame payload"},
+		{"unknown type", func() []byte {
+			p := []byte(`{"t":"bogus"}`)
+			return append([]byte{0, 0, 0, byte(len(p))}, p...)
+		}(), `unknown message type "bogus"`},
+		{"missing type", func() []byte {
+			p := []byte(`{"shard":3}`)
+			return append([]byte{0, 0, 0, byte(len(p))}, p...)
+		}(), `unknown message type ""`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadMsg(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("ReadMsg accepted %q", tc.data)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the offense %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestWriteMsgRejectsOversizedPayload: a frame that would exceed the
+// limit is refused on the sending side too, before any bytes move.
+func TestWriteMsgRejectsOversizedPayload(t *testing.T) {
+	big := Msg{T: MsgRecords, Records: []campaign.Record{{
+		Kind: campaign.KindResult, Driver: strings.Repeat("x", MaxFrame),
+	}}}
+	var buf bytes.Buffer
+	err := WriteMsg(&buf, big)
+	if err == nil {
+		t.Fatal("WriteMsg accepted an oversized payload")
+	}
+	if !strings.Contains(err.Error(), "exceeding") {
+		t.Errorf("error %q does not name the limit", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("%d bytes written for a rejected frame", buf.Len())
+	}
+}
+
+// FuzzReadMsg: no input may panic the codec, and anything it accepts
+// must re-encode and re-decode to the same message type.
+func FuzzReadMsg(f *testing.F) {
+	var seed bytes.Buffer
+	WriteMsg(&seed, Msg{T: MsgHello, Name: "w", Proto: Proto})
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Add(append([]byte{0, 0, 0, 13}, []byte(`{"t":"lease"}`)...))
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMsg(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !knownTypes[m.T] {
+			t.Fatalf("ReadMsg accepted unknown type %q", m.T)
+		}
+		var buf bytes.Buffer
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatalf("accepted message does not re-encode: %v", err)
+		}
+		m2, err := ReadMsg(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded message does not re-decode: %v", err)
+		}
+		if m2.T != m.T {
+			t.Fatalf("round trip changed type %q -> %q", m.T, m2.T)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"repro/internal/obs"
+)
+
+// Metric family names the fleet coordinator registers. Every name
+// listed here must appear in ARCHITECTURE.md's Observability section —
+// scripts/check_docs.sh enforces that via `driverlab metrics`.
+const (
+	// MetricWorkers gauges the currently connected fleet workers.
+	MetricWorkers = "driverlab_fleet_workers_connected"
+	// MetricLeases counts shard leases granted.
+	MetricLeases = "driverlab_fleet_leases_total"
+	// MetricReleases counts leases returned to the pending queue for
+	// re-leasing, labelled by reason (disconnect, expired, incomplete).
+	MetricReleases = "driverlab_fleet_releases_total"
+	// MetricRejectedFrames counts protocol offenses, labelled by reason
+	// (handshake, frame).
+	MetricRejectedFrames = "driverlab_fleet_rejected_frames_total"
+	// MetricStaleRecords counts streamed records whose task the store
+	// already held — the residue of a re-leased shard, dropped on
+	// arrival.
+	MetricStaleRecords = "driverlab_fleet_stale_records_total"
+	// MetricWorkerRecords counts result records accepted per worker —
+	// the per-worker fleet throughput surface.
+	MetricWorkerRecords = "driverlab_fleet_worker_records_total"
+	// MetricShardsComplete gauges how many shards have every task
+	// recorded.
+	MetricShardsComplete = "driverlab_fleet_shards_complete"
+)
+
+// MetricNames lists every metric family the fleet coordinator can
+// register, for the docs check and the `driverlab metrics` subcommand.
+func MetricNames() []string {
+	return []string{
+		MetricWorkers, MetricLeases, MetricReleases, MetricRejectedFrames,
+		MetricStaleRecords, MetricWorkerRecords, MetricShardsComplete,
+	}
+}
+
+// metrics is the coordinator's instrumentation bundle. Built on a nil
+// collector it still works: obs hands out nil metrics whose methods
+// are no-ops, so the coordinator threads it unconditionally.
+type metrics struct {
+	col            *obs.Collector
+	workers        *obs.Gauge
+	leases         *obs.Counter
+	rejectedShake  *obs.Counter
+	rejectedFrame  *obs.Counter
+	stale          *obs.Counter
+	shardsComplete *obs.Gauge
+}
+
+func newMetrics(col *obs.Collector) *metrics {
+	return &metrics{
+		col:     col,
+		workers: col.Gauge(MetricWorkers, "Currently connected fleet workers."),
+		leases:  col.Counter(MetricLeases, "Shard leases granted."),
+		rejectedShake: col.Counter(MetricRejectedFrames,
+			"Protocol offenses, by reason.", "reason", "handshake"),
+		rejectedFrame: col.Counter(MetricRejectedFrames,
+			"Protocol offenses, by reason.", "reason", "frame"),
+		stale: col.Counter(MetricStaleRecords,
+			"Streamed records whose task the store already held (re-leased shards)."),
+		shardsComplete: col.Gauge(MetricShardsComplete,
+			"Shards with every task recorded."),
+	}
+}
+
+// release returns the re-lease counter for one reason label.
+func (m *metrics) release(reason string) *obs.Counter {
+	return m.col.Counter(MetricReleases,
+		"Leases returned to the pending queue for re-leasing, by reason.",
+		"reason", reason)
+}
+
+// workerRecords returns the accepted-records counter for one worker.
+func (m *metrics) workerRecords(worker string) *obs.Counter {
+	return m.col.Counter(MetricWorkerRecords,
+		"Result records accepted, per fleet worker.", "worker", worker)
+}

@@ -39,12 +39,42 @@ type Snapshot struct {
 	BootsPerSec float64 `json:"boots_per_s,omitempty"`
 	ETASec      float64 `json:"eta_s,omitempty"`
 
+	// Fleet, when non-nil, is the coordinator's slice of the snapshot:
+	// lease and protocol counters a single-process run does not have.
+	Fleet *FleetStatus `json:"fleet,omitempty"`
+
 	// Outcomes histograms every recorded result by outcome row.
 	Outcomes map[string]int `json:"outcomes,omitempty"`
 	// Drivers breaks progress down per driver, in plan order.
 	Drivers []DriverStatus `json:"drivers,omitempty"`
 	// Shards breaks progress down per shard index, ascending.
 	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// FleetStatus is a fleet coordinator's slice of a Snapshot: how the
+// shard leases and the wire protocol are doing. It exists in this
+// package (not in campaign/fleet) so Snapshot stays the one status
+// shape every surface — /status JSON, `campaign status`, progress line
+// — renders.
+type FleetStatus struct {
+	// Workers is the number of currently connected fleet workers.
+	Workers int `json:"workers"`
+	// ShardsTotal/ShardsComplete/ShardsLeased partition the campaign's
+	// shard count by lease state (pending shards are the remainder).
+	ShardsTotal    int `json:"shards_total"`
+	ShardsComplete int `json:"shards_complete"`
+	ShardsLeased   int `json:"shards_leased"`
+	// Leases counts grants handed out; Releases counts leases returned
+	// to the pending queue (worker disconnect, heartbeat lapse, or an
+	// incomplete done), i.e. re-leased work.
+	Leases   int64 `json:"leases"`
+	Releases int64 `json:"releases"`
+	// RejectedFrames counts protocol offenses (torn/oversized/unknown
+	// frames, handshake violations); StaleRecords counts result records
+	// that arrived for a task the store already held — the harmless
+	// residue of a re-leased shard.
+	RejectedFrames int64 `json:"rejected_frames"`
+	StaleRecords   int64 `json:"stale_records"`
 }
 
 // DriverStatus is one matrix cell's slice of a Snapshot; Driver is the
@@ -119,9 +149,11 @@ func NewStatusTracker() *StatusTracker {
 	}
 }
 
-// begin stamps the campaign identity and the clock. Idempotent so a
-// resume loop can reuse one tracker.
-func (t *StatusTracker) begin(name, fingerprint string, workers int) {
+// Begin stamps the campaign identity and the clock. Idempotent so a
+// resume loop can reuse one tracker. The engine calls it per Run; a
+// fleet coordinator calls it once at startup (with a zero worker count
+// that SetWorkers then follows the fleet with).
+func (t *StatusTracker) Begin(name, fingerprint string, workers int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.name, t.fingerprint, t.workers = name, fingerprint, workers
@@ -131,8 +163,16 @@ func (t *StatusTracker) begin(name, fingerprint string, workers int) {
 	}
 }
 
-// plan registers one selected task before any results flow.
-func (t *StatusTracker) plan(driver string, shard int) {
+// SetWorkers updates the live worker count — the fleet coordinator's
+// connected-worker gauge, where the pool size is not fixed at Begin.
+func (t *StatusTracker) SetWorkers(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.workers = n
+}
+
+// Plan registers one selected task before any results flow.
+func (t *StatusTracker) Plan(driver string, shard int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.total++
@@ -140,29 +180,48 @@ func (t *StatusTracker) plan(driver string, shard int) {
 	t.shardLocked(shard).planned++
 }
 
-// recordKind distinguishes how a result was obtained.
-type recordKind int
+// RecordKind distinguishes how a result was obtained.
+type RecordKind int
 
+// The four ways a result reaches a store: booted in this run, copied
+// from an identical mutant's outcome, already stored before the run,
+// or quarantined after a harness panic.
 const (
-	recordRan recordKind = iota
-	recordDedup
-	recordSkip
-	recordPanic
+	RecordRan RecordKind = iota
+	RecordDedup
+	RecordSkip
+	RecordPanic
 )
 
-// record registers one recorded result.
-func (t *StatusTracker) record(driver string, shard int, row string, kind recordKind) {
+// KindOfRecord classifies a result record the way the tracker counts
+// it: dedup copies and quarantined panics are distinguished by their
+// provenance fields, everything else counts as a boot. Skips are a
+// run-local notion (the store already held the record when the run
+// started), so streamed records never classify as RecordSkip.
+func KindOfRecord(r Record) RecordKind {
+	switch {
+	case r.HarnessPanic:
+		return RecordPanic
+	case r.DedupOf != nil:
+		return RecordDedup
+	default:
+		return RecordRan
+	}
+}
+
+// Record registers one recorded result.
+func (t *StatusTracker) Record(driver string, shard int, row string, kind RecordKind) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	switch kind {
-	case recordRan:
+	case RecordRan:
 		t.ran++
 		t.driverLocked(driver).ran++
-	case recordDedup:
+	case RecordDedup:
 		t.deduped++
-	case recordSkip:
+	case RecordSkip:
 		t.skipped++
-	case recordPanic:
+	case RecordPanic:
 		t.panics++
 	}
 	t.outcomes[row]++

@@ -1,11 +1,15 @@
 package experiment
 
 import (
+	"fmt"
+	"net"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/campaign/fleet"
 )
 
 // assertCampaignDeterminism runs the determinism protocol every
@@ -101,6 +105,53 @@ func assertCampaignDeterminism(t *testing.T, spec campaign.Spec) map[string]*cam
 	}
 	if got, _ := render(ost); got != want {
 		t.Errorf("interp-backend tables differ from compiled:\n--- compiled\n%s\n--- interp\n%s", want, got)
+	}
+
+	// Fleet: a loopback coordinator leasing shards to three in-process
+	// workers — one deliberately forced onto the full front end while
+	// the others run incremental — must converge to the identical text.
+	// Shard count is fingerprint-excluded, so the fleet repartitions.
+	fleetSpec := spec
+	if fleetSpec.Shards < 4 {
+		fleetSpec.Shards = 4
+	}
+	fstore := campaign.NewMemStore()
+	co, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Spec: fleetSpec, Workload: wl, Store: fstore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Start(ln)
+	defer co.Close()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := fleet.WorkerOptions{Name: fmt.Sprintf("det-w%d", i), Workers: 1}
+			if i == 0 {
+				opts.Frontend = "full"
+			}
+			_, workerErrs[i] = fleet.RunWorker(co.Addr(), NewWorkload(), opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, werr := range workerErrs {
+		if werr != nil {
+			t.Fatalf("fleet worker %d: %v", i, werr)
+		}
+	}
+	if err := co.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := render(fstore); got != want {
+		t.Errorf("fleet tables differ from serial:\n--- serial\n%s\n--- fleet\n%s", want, got)
 	}
 	return tables
 }

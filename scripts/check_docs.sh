@@ -13,7 +13,10 @@
 #     Observability section;
 #  5. every registered hardware scenario (the `driverlab scenarios
 #     -names` list) must be named in both ARCHITECTURE.md and README.md,
-#     so the matrix axis stays discoverable from the docs.
+#     so the matrix axis stays discoverable from the docs;
+#  6. the fleet subcommands (serve, worker) must be named in the
+#     driverlab -h banner, so the scale-out surface is discoverable
+#     from the CLI.
 #
 # Run from the repository root.
 set -e
@@ -63,6 +66,20 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "driver corpus in usage text: ok"
+
+for cmd in serve worker -connect; do
+    case "$usage" in
+        *"$cmd"*) ;;
+        *)
+            echo "driverlab -h does not mention fleet surface $cmd" >&2
+            fail=1
+            ;;
+    esac
+done
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "fleet subcommands in usage text: ok"
 
 arch=$(cat ARCHITECTURE.md)
 fail=0
