@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -18,8 +19,14 @@ import (
 // BenchDriver is the measured throughput of one driver's campaign under
 // one front end.
 type BenchDriver struct {
-	Driver        string  `json:"driver"`
-	Frontend      string  `json:"frontend"`
+	Driver   string `json:"driver"`
+	Frontend string `json:"frontend"`
+	// Backend is the execution backend the row was measured on.
+	Backend string `json:"backend,omitempty"`
+	// SamplePct is the row's effective mutant sampling percentage —
+	// the -sample flag, unless the -min-boots floor raised it for a
+	// driver whose mutation space is too small to sample meaningfully.
+	SamplePct     int     `json:"sample_pct,omitempty"`
 	Boots         int     `json:"boots"`
 	ElapsedSec    float64 `json:"elapsed_s"`
 	BootsPerSec   float64 `json:"boots_per_s"`
@@ -109,22 +116,107 @@ func benchFrontends(flagVal string) ([]experiment.Frontend, bool, error) {
 	return []experiment.Frontend{f}, false, nil
 }
 
+// loadBenchReport reads an earlier bench report for the -compare gate.
+func loadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench -compare: %w", err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench -compare: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports gates the fresh measurement against an older report,
+// printing a per-driver delta table and returning an error when any
+// driver regressed beyond pct percent.
+//
+// The two reports usually come from different machines (the checked-in
+// report vs a CI runner), so absolute boots/s are not comparable.
+// Instead every common driver×frontend row gets a new/old throughput
+// ratio and the median ratio is taken as the machine-speed factor; a
+// driver regresses when its own ratio falls more than pct percent below
+// that factor. This catches one driver's hot path eroding relative to
+// the rest; a uniform slowdown of every driver is indistinguishable
+// from a slower machine and needs a same-machine before/after run.
+func compareReports(old, cur *BenchReport, pct float64) error {
+	type key struct{ driver, frontend string }
+	oldRate := make(map[key]float64)
+	for _, d := range old.Drivers {
+		if d.BootsPerSec > 0 {
+			oldRate[key{d.Driver, d.Frontend}] = d.BootsPerSec
+		}
+	}
+	type row struct {
+		driver, frontend string
+		oldR, newR, rat  float64
+	}
+	var rows []row
+	for _, d := range cur.Drivers {
+		o, ok := oldRate[key{d.Driver, d.Frontend}]
+		if !ok || d.BootsPerSec <= 0 {
+			continue
+		}
+		rows = append(rows, row{d.Driver, d.Frontend, o, d.BootsPerSec, d.BootsPerSec / o})
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("bench -compare: no driver/frontend rows in common with the old report")
+	}
+	ratios := make([]float64, len(rows))
+	for i, r := range rows {
+		ratios[i] = r.rat
+	}
+	sort.Float64s(ratios)
+	scale := ratios[len(ratios)/2]
+	if n := len(ratios); n%2 == 0 {
+		scale = (ratios[n/2-1] + ratios[n/2]) / 2
+	}
+	floor := 1 - pct/100
+	fmt.Printf("bench compare vs old report: machine-speed factor %.2fx (median of %d rows), threshold -%.0f%%\n",
+		scale, len(rows), pct)
+	var bad []string
+	for _, r := range rows {
+		rel := r.rat / scale
+		status := "ok"
+		if rel < floor {
+			status = "REGRESSED"
+			bad = append(bad, fmt.Sprintf("%s/%s %.1f%% below the fleet", r.driver, r.frontend, 100*(1-rel)))
+		}
+		fmt.Printf("  %-14s %-12s %9.1f -> %9.1f boots/s  %+6.1f%% vs fleet  %s\n",
+			r.driver, r.frontend, r.oldR, r.newR, 100*(rel-1), status)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench -compare: throughput regression: %s", strings.Join(bad, "; "))
+	}
+	fmt.Println("bench compare vs old report: no driver regressed")
+	return nil
+}
+
 // runBench measures end-to-end campaign throughput — the boots/s number
 // every future scenario multiplies against — and optionally persists it.
 // With -frontend compare it exits non-zero if the incremental front end
 // is slower than a full recompile on any driver (the CI regression
-// gate). With -obs on (or -phases) the metric collector is enabled and
-// the per-phase boot time breakdown lands in the report; -obs compare
-// measures disabled-then-enabled and exits non-zero if the collector
-// costs more than 3% throughput (reported rows keep the disabled
-// numbers).
+// gate); with -compare old.json it additionally gates every driver
+// against an earlier report (see compareReports). With -obs on (or
+// -phases) the metric collector is enabled and the per-phase boot time
+// breakdown lands in the report; -obs compare measures
+// disabled-then-enabled and exits non-zero if the collector costs more
+// than 3% throughput (reported rows keep the disabled numbers).
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("driverlab bench", flag.ContinueOnError)
 	driversFlag := fs.String("drivers", strings.Join(drivers.Names(), ","),
 		"comma-separated driver list to measure")
 	sample := fs.Int("sample", 2, "percentage of mutants to boot per driver")
+	minBoots := fs.Int("min-boots", 25,
+		"per-driver minimum boots: raise a driver's sampling percentage until at least this many mutants boot (0 disables)")
 	seed := fs.Uint64("seed", 2001, "sampling seed")
-	backendFlag := fs.String("backend", "", "hwC execution backend: compiled (default) or interp")
+	backendFlag := fs.String("backend", "", "hwC execution backend: block (default), compiled or interp")
+	comparePath := fs.String("compare", "",
+		"older BENCH_campaign.json to gate against: exit non-zero if any driver regresses beyond -compare-pct")
+	comparePct := fs.Float64("compare-pct", 25,
+		"regression threshold for -compare, in percent, after cross-driver machine-speed normalization")
 	frontendFlag := fs.String("frontend", "both",
 		"front end(s) to measure: incremental, full, both, or compare (both + fail if incremental is slower)")
 	workers := fs.Int("workers", 0, "boot worker count (default: GOMAXPROCS)")
@@ -170,7 +262,7 @@ func runBench(args []string) error {
 	perSec := make(map[string]map[experiment.Frontend]float64) // driver -> frontend -> boots/s
 	wl := experiment.NewWorkload()
 	for _, frontend := range frontends {
-		total := BenchDriver{Driver: "total", Frontend: string(frontend)}
+		total := BenchDriver{Driver: "total", Frontend: string(frontend), Backend: string(backend)}
 		var allocs, bytes float64
 		for _, driver := range strings.Split(*driversFlag, ",") {
 			driver = strings.TrimSpace(driver)
@@ -183,9 +275,31 @@ func runBench(args []string) error {
 			spec.Frontend = string(frontend)
 
 			// Warm the per-campaign caches (enumeration, spec compilation) so
-			// the measurement is the steady-state hot path.
-			if _, _, err := wl.Expand(spec); err != nil {
+			// the measurement is the steady-state hot path — and pre-flight
+			// the work-list size for the sampling floor: a boots/s number
+			// derived from a handful of boots is scheduler noise, so a
+			// driver whose mutation space is too small for -sample gets its
+			// percentage raised until at least -min-boots mutants boot.
+			metas, _, err := wl.Expand(spec)
+			if err != nil {
 				return err
+			}
+			effPct := *sample
+			if *minBoots > 0 && len(metas) > 0 {
+				m := metas[0]
+				if m.Selected < *minBoots && m.Selected < m.Enumerated {
+					effPct = (*minBoots*100 + m.Enumerated - 1) / m.Enumerated
+					if effPct > 100 {
+						effPct = 100
+					}
+					opts.SamplePct = effPct
+					spec = experiment.CampaignSpec(driver, opts)
+					spec.Name = "bench"
+					spec.Frontend = string(frontend)
+					if _, _, err := wl.Expand(spec); err != nil {
+						return err
+					}
+				}
 			}
 
 			// measure runs the campaign *repeat times against one workload
@@ -279,6 +393,8 @@ func runBench(args []string) error {
 			if *phases && col != nil {
 				d.Phases = phaseRows(col)
 			}
+			d.Backend = string(backend)
+			d.SamplePct = effPct
 			report.Drivers = append(report.Drivers, d)
 			total.Boots += d.Boots
 			total.ElapsedSec += d.ElapsedSec
@@ -314,6 +430,16 @@ func runBench(args []string) error {
 			return err
 		}
 		fmt.Printf("bench report written to %s\n", *out)
+	}
+
+	if *comparePath != "" {
+		old, err := loadBenchReport(*comparePath)
+		if err != nil {
+			return err
+		}
+		if err := compareReports(old, &report, *comparePct); err != nil {
+			return err
+		}
 	}
 
 	if compare {

@@ -135,7 +135,7 @@ func campaignRun(args []string, resume bool) error {
 		shards = fs.Int("shards", 1, "shard count the work-list partitions into")
 		stub = fs.String("stub", "", "Devil stub mode: debug (default) or production")
 		permissive = fs.Bool("permissive", false, "downgrade CDevil typing to plain C rules")
-		backend = fs.String("backend", "", "hwC execution backend: compiled (default) or interp")
+		backend = fs.String("backend", "", "hwC execution backend: block (default), compiled or interp")
 		scenarios = fs.String("scenario", "",
 			"comma-separated hardware scenario cells to cross with the driver list "+
 				"(see `driverlab scenarios`; e.g. pristine,flaky-bus:5,timing — default pristine only)")
@@ -196,7 +196,7 @@ func campaignRun(args []string, resume bool) error {
 				driverList = append(driverList, d)
 			}
 		}
-		// Aliases of the same engine ("tree", "compiled" vs "") are
+		// Aliases of the same engine ("tree", "block" vs "") are
 		// canonicalized by Spec.Normalized, so they fingerprint the same;
 		// here only validity is checked.
 		if _, err := experiment.ParseBackend(*backend); err != nil {

@@ -109,7 +109,9 @@ Usage:
                                          records back
   driverlab bench [flags]                campaign throughput (-json writes
                                          BENCH_campaign.json, -phases the
-                                         per-phase boot time breakdown)
+                                         per-phase boot time breakdown,
+                                         -compare old.json the regression
+                                         gate, -min-boots the sampling floor)
   driverlab metrics                      list every metric family the
                                          instrumented stack can register
   driverlab scenarios                    list the hardware scenarios a
@@ -124,8 +126,11 @@ coordinator's snapshot adds per-worker throughput and lease counters.
 
 Drivers: %s.
 Extension tables: %s.
-Backends (-backend): compiled (closure-compiled hot path, the default)
-or interp (the tree-walking reference oracle).
+Backends (-backend): block (closure compilation plus basic-block fusion
+and batched port I/O, the default), compiled (per-statement closures)
+or interp (the tree-walking reference oracle). All three charge the
+watchdog per basic block, so step counts and every other observable are
+identical across backends.
 Front ends (campaign/bench -frontend): incremental (re-run the front
 end only on the mutated declaration, the default) or full (re-lex,
 re-parse, re-check and re-compile the whole driver per mutant).
@@ -176,7 +181,7 @@ func run(args []string) error {
 	ablation := fs.Bool("ablation", false, "run the design-choice ablations")
 	sample := fs.Int("sample", 25, "percentage of driver mutants to boot (paper: 25)")
 	seed := fs.Uint64("seed", 2001, "sampling seed")
-	backendFlag := fs.String("backend", "", "hwC execution backend: compiled (default) or interp")
+	backendFlag := fs.String("backend", "", "hwC execution backend: block (default), compiled or interp")
 	fs.Usage = func() {
 		fmt.Fprint(fs.Output(), usageText())
 		fs.PrintDefaults()

@@ -59,7 +59,8 @@ func TestUsageEnumeratesSurface(t *testing.T) {
 	usage := usageText()
 	wants := []string{
 		"campaign", "run", "resume", "merge", "report", "status", "bench",
-		"metrics", "compiled", "interp", "BENCH_campaign.json",
+		"metrics", "block", "compiled", "interp", "BENCH_campaign.json",
+		"-compare", "-min-boots",
 		"-status-addr", "-phases", "/metrics", "/status",
 		"scenarios", "-scenario",
 		"serve", "worker", "-connect",
@@ -140,8 +141,8 @@ func TestBenchCLI(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("bench report is not JSON: %v", err)
 	}
-	if rep.Bench != "campaign" || rep.Backend != "compiled" {
-		t.Errorf("report header = %q/%q, want campaign/compiled", rep.Bench, rep.Backend)
+	if rep.Bench != "campaign" || rep.Backend != "block" {
+		t.Errorf("report header = %q/%q, want campaign/block", rep.Bench, rep.Backend)
 	}
 	// The default -frontend both emits one driver row and one total per
 	// front end, full first.

@@ -49,8 +49,9 @@ type Spec struct {
 	Permissive bool `json:"permissive,omitempty"`
 	// Budget overrides the per-boot watchdog budget when non-zero.
 	Budget int64 `json:"budget,omitempty"`
-	// Backend forces the hwC execution backend: "" (the compiled default),
-	// "compiled" or "interp" (the tree-walking reference oracle).
+	// Backend forces the hwC execution backend: "" (the block-compiled
+	// default), "block", "compiled" (per-statement closures) or "interp"
+	// (the tree-walking reference oracle).
 	Backend string `json:"backend,omitempty"`
 	// Scenarios lists the hardware scenarios to cross the driver list
 	// with, making the spec a scenario × driver matrix: every driver's
@@ -82,7 +83,7 @@ type Spec struct {
 
 // Normalized returns the spec with defaults applied and the backend
 // name canonicalized, so every spelling of the same engine ("" vs
-// "compiled", "tree" vs "interp") expands — and fingerprints — the same.
+// "block", "tree" vs "interp") expands — and fingerprints — the same.
 func (s Spec) Normalized() Spec {
 	if s.Shards <= 0 {
 		s.Shards = 1
@@ -91,7 +92,7 @@ func (s Spec) Normalized() Spec {
 		s.Name = "campaign"
 	}
 	switch s.Backend {
-	case "compiled":
+	case "block":
 		s.Backend = "" // the default engine
 	case "tree", "interpreter":
 		s.Backend = "interp"

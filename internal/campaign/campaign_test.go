@@ -203,9 +203,14 @@ func TestBackendSpellingsFingerprintIdentically(t *testing.T) {
 	base := spec2()
 	want := base.Fingerprint()
 	explicit := spec2()
-	explicit.Backend = "compiled"
+	explicit.Backend = "block"
 	if explicit.Fingerprint() != want {
-		t.Error(`"compiled" fingerprints differently from the "" default`)
+		t.Error(`"block" fingerprints differently from the "" default`)
+	}
+	compiled := spec2()
+	compiled.Backend = "compiled"
+	if compiled.Fingerprint() == want {
+		t.Error(`"compiled" fingerprints like the block default`)
 	}
 	interp := spec2()
 	interp.Backend = "interp"
@@ -215,7 +220,7 @@ func TestBackendSpellingsFingerprintIdentically(t *testing.T) {
 		t.Error(`"tree" fingerprints differently from "interp"`)
 	}
 	if interp.Fingerprint() == want {
-		t.Error("interp backend fingerprints like the compiled default")
+		t.Error("interp backend fingerprints like the block default")
 	}
 }
 

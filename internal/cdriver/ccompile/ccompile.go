@@ -121,7 +121,12 @@ type Proc struct {
 	inits   []initStep
 	inited  bool
 	maxDecl int
+	stats   BlockStats
 }
+
+// Stats reports what the block-fusion pass produced for this program
+// (zero-valued under plain Compile except the I/O-site counters).
+func (p *Proc) Stats() BlockStats { return p.stats }
 
 // initStep is one global-variable initialisation.
 type initStep struct {
@@ -132,14 +137,77 @@ type initStep struct {
 	init    exprFn // nil when the declaration has no initialiser
 }
 
+// BlockStats counts what the block-fusion pass produced during one
+// compilation (or one incremental Patch): how many basic blocks were
+// emitted, how many statements were fused into them, how many port-I/O
+// sites compiled to the batched single-resolution path, and how many
+// fell back to the generic per-access bus lookup. The experiment layer
+// surfaces these as the driverlab_exec_blocks_* metric family.
+type BlockStats struct {
+	// Blocks is the number of fused basic blocks emitted (maximal runs
+	// of simple statements charging one watchdog step at entry).
+	Blocks int64
+	// FusedStmts is the number of statements inside those blocks.
+	FusedStmts int64
+	// BatchedIO is the number of port-I/O sites compiled to a cached
+	// single-resolution bus handle.
+	BatchedIO int64
+	// FallbackIO is the number of port-I/O sites left on the generic
+	// per-access bus lookup (wrong arity or no bus bound at compile
+	// time).
+	FallbackIO int64
+}
+
+// add accumulates another compilation's counts.
+func (s *BlockStats) add(o BlockStats) {
+	s.Blocks += o.Blocks
+	s.FusedStmts += o.FusedStmts
+	s.BatchedIO += o.BatchedIO
+	s.FallbackIO += o.FallbackIO
+}
+
+// sub returns the counts accumulated since an earlier snapshot.
+func (s BlockStats) sub(o BlockStats) BlockStats {
+	return BlockStats{
+		Blocks:     s.Blocks - o.Blocks,
+		FusedStmts: s.FusedStmts - o.FusedStmts,
+		BatchedIO:  s.BatchedIO - o.BatchedIO,
+		FallbackIO: s.FallbackIO - o.FallbackIO,
+	}
+}
+
 // Compile lowers a checked program to closure form bound to a concrete
 // machine (kernel, bus, and — for CDevil drivers — generated stubs). The
 // returned Proc is not yet initialised: Init runs the global
 // initialisers, whose faults are insmod-time boot outcomes, not compile
 // errors. Compile itself fails only with ErrUnsupported.
+//
+// Compile emits one closure per statement — the "compiled" backend.
+// CompileBlocks additionally fuses straight-line statement runs into
+// basic-block closures — the "block" backend, the campaign default.
+// Both charge the watchdog per basic block (see cinterp.SimpleStmt for
+// the shared fusion rule), so step counts are identical across every
+// backend.
 func Compile(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
 	stubs *codegen.Stubs, m *Mach) (*Proc, error) {
+	return compile(prog, kern, bus, stubs, m, false)
+}
+
+// CompileBlocks is Compile with the block-fusion pass enabled: maximal
+// runs of simple statements compile to single basic-block closures
+// (same one-charge-per-block watchdog accounting, fewer closure
+// dispatches), and port-I/O sites batch consecutive accesses to the
+// same device through one cached hw.Bus resolution.
+func CompileBlocks(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
+	stubs *codegen.Stubs, m *Mach) (*Proc, error) {
+	return compile(prog, kern, bus, stubs, m, true)
+}
+
+func compile(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
+	stubs *codegen.Stubs, m *Mach, fuse bool) (*Proc, error) {
 	c := newCompiler(prog, stubs)
+	c.fuse = fuse
+	c.bus = bus
 	c.registerDecls()
 	inits := c.compileInits(nil)
 	c.compileFuncs(nil)
@@ -162,6 +230,7 @@ func newCompiler(prog *cast.Program, stubs *codegen.Stubs) *compiler {
 		funcIdx:   make(map[string]int),
 		globalIdx: make(map[string]globalRef),
 		macros:    make(map[string]macroRef),
+		domLine:   -1,
 	}
 	if stubs != nil {
 		for _, sig := range stubs.Interface().Vars {
@@ -263,6 +332,7 @@ func (c *compiler) newProc(kern *kernel.Kernel, bus *hw.Bus, stubs *codegen.Stub
 	for _, f := range c.funcs {
 		p.byName[f.name] = f
 	}
+	p.stats = c.stats
 	return p
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cdriver/cinterp"
 	"repro/internal/cdriver/ctoken"
 	"repro/internal/devil/codegen"
+	"repro/internal/hw"
 	"repro/internal/kernel"
 )
 
@@ -34,6 +35,23 @@ type compiler struct {
 	prog    *cast.Program
 	stubs   *codegen.Stubs
 	varSigs map[string]codegen.VarSig
+	// bus is the machine's I/O space, bound at compile time so port-I/O
+	// sites can batch their bus resolution (nil in unit tests that
+	// compile without a machine).
+	bus *hw.Bus
+	// fuse enables the block-fusion pass: maximal runs of simple
+	// statements compile to single basic-block closures. Watchdog
+	// charging is per basic block either way (see seq).
+	fuse bool
+	// domLine is the source line the innermost enclosing statement
+	// closure unconditionally covers before any sub-expression runs
+	// (-1 outside statements). Under fuse, expression closures on that
+	// line skip their own redundant coverage add: line coverage is a
+	// set, so re-adding a line the dominating statement already added
+	// is unobservable. Compile-time state only.
+	domLine int
+	// stats counts what the fusion pass produced.
+	stats BlockStats
 
 	funcIdx   map[string]int
 	funcs     []*cfunc
@@ -117,37 +135,113 @@ func (c *compiler) compileFunc(f *cfunc, d *cast.FuncDecl) {
 // (statement blocks do, function bodies do not — as in the interpreter).
 func (c *compiler) blockBody(b *cast.Block) []stmtFn {
 	c.pushScope()
-	out := make([]stmtFn, len(b.Stmts))
-	for i, s := range b.Stmts {
-		out[i] = c.stmt(s)
-	}
+	out := c.seq(b.Stmts)
 	c.popScope()
 	return out
 }
 
-// runSeq executes a compiled statement sequence with block semantics.
-func runSeq(body []stmtFn, st *state, fr []Value) (flow, Value, error) {
-	for _, sf := range body {
-		fl, v, err := sf(st, fr)
-		if err != nil || fl != flowNormal {
-			return fl, v, err
+// chargeWrap prefixes a compiled statement with one watchdog charge.
+func chargeWrap(f stmtFn) stmtFn {
+	return func(st *state, fr []Value) (flow, Value, error) {
+		if err := st.kern.Step(); err != nil {
+			return flowNormal, voidValue, err
 		}
+		return f(st, fr)
 	}
-	return flowNormal, voidValue, nil
 }
 
-// stmt compiles one statement into a closure with the interpreter's
-// execStmt semantics: one watchdog step, the statement's line covered,
-// then the node-specific behaviour.
+// fuseRun folds a maximal run of simple statements into one basic-block
+// closure: a single watchdog charge at entry, then the statement bodies
+// in order. A failing charge executes (and covers) none of the run, and
+// control flow (break/continue/return) propagates out of the block —
+// exactly the interpreter's execSeq semantics.
+func fuseRun(run []stmtFn) stmtFn {
+	if len(run) == 1 {
+		return chargeWrap(run[0])
+	}
+	body := make([]stmtFn, len(run))
+	copy(body, run)
+	return func(st *state, fr []Value) (flow, Value, error) {
+		if err := st.kern.Step(); err != nil {
+			return flowNormal, voidValue, err
+		}
+		for _, f := range body {
+			fl, v, err := f(st, fr)
+			if err != nil || fl != flowNormal {
+				return fl, v, err
+			}
+		}
+		return flowNormal, voidValue, nil
+	}
+}
+
+// seq compiles a statement list with basic-block step accounting: one
+// watchdog charge at the head of every maximal run of simple statements
+// (cinterp.SimpleStmt is the shared fusion rule), one per control-flow
+// statement. With fusion on, each run additionally collapses into a
+// single closure; with fusion off, the per-statement closures are kept
+// and only the charges are elided — the "compiled" backend, the oracle
+// midpoint between the interpreter and the block backend.
+func (c *compiler) seq(stmts []cast.Stmt) []stmtFn {
+	if !c.fuse {
+		out := make([]stmtFn, len(stmts))
+		prevSimple := false
+		for i, s := range stmts {
+			simple := cinterp.SimpleStmt(s)
+			f := c.stmtBody(s)
+			if !simple || !prevSimple {
+				f = chargeWrap(f)
+			}
+			out[i] = f
+			prevSimple = simple
+		}
+		return out
+	}
+	var out []stmtFn
+	var run []stmtFn
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		c.stats.Blocks++
+		c.stats.FusedStmts += int64(len(run))
+		out = append(out, fuseRun(run))
+		run = run[:0]
+	}
+	for _, s := range stmts {
+		if cinterp.SimpleStmt(s) {
+			run = append(run, c.stmtBody(s))
+			continue
+		}
+		flush()
+		out = append(out, chargeWrap(c.stmtBody(s)))
+	}
+	flush()
+	return out
+}
+
+// stmt compiles one statement for statement position (a loop body, an
+// if branch, a for init/post), with the interpreter's execStmt
+// semantics: one watchdog step, then the body.
 func (c *compiler) stmt(s cast.Stmt) stmtFn {
+	return chargeWrap(c.stmtBody(s))
+}
+
+// stmtBody compiles a statement's behaviour without the watchdog
+// charge: the statement's line is covered, then the node-specific
+// behaviour runs. The caller (seq or stmt) decides run-head vs
+// per-statement charging.
+func (c *compiler) stmtBody(s cast.Stmt) stmtFn {
 	line := c.line(s.Pos())
+	// Every case below emits a closure that covers line before its
+	// sub-expressions run, so line dominates them for coverage purposes.
+	prevDom := c.domLine
+	c.domLine = line
+	defer func() { c.domLine = prevDom }()
 	switch s := s.(type) {
 	case *cast.Block:
 		body := c.blockBody(s)
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			return runSeq(body, st, fr)
 		}
@@ -162,9 +256,6 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 		typ := d.Type
 		if initFn != nil {
 			return func(st *state, fr []Value) (flow, Value, error) {
-				if err := st.kern.Step(); err != nil {
-					return flowNormal, voidValue, err
-				}
 				st.cov.Add(line)
 				iv, err := initFn(st, fr)
 				if err != nil {
@@ -176,9 +267,6 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 		}
 		def := defaultValue(d.Type)
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			fr[slot] = def
 			return flowNormal, voidValue, nil
@@ -187,9 +275,6 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 	case *cast.ExprStmt:
 		xf := c.expr(s.X)
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			_, err := xf(st, fr)
 			return flowNormal, voidValue, err
@@ -206,21 +291,22 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 		// Local counters (every loop induction variable) update their
 		// frame slot directly — no load/store closure pair.
 		if ls, ok := c.lookupLocal(s.X.Name); ok {
-			slot, typ := ls.idx, ls.typ
-			return func(st *state, fr []Value) (flow, Value, error) {
-				if err := st.kern.Step(); err != nil {
-					return flowNormal, voidValue, err
+			slot := ls.idx
+			if tf := truncFn(ls.typ); tf != nil {
+				return func(st *state, fr []Value) (flow, Value, error) {
+					st.cov.Add(line)
+					fr[slot] = intValue(tf(fr[slot].I + delta))
+					return flowNormal, voidValue, nil
 				}
+			}
+			return func(st *state, fr []Value) (flow, Value, error) {
 				st.cov.Add(line)
-				fr[slot] = cinterp.Truncate(typ, intValue(fr[slot].I+delta))
+				fr[slot] = intValue(fr[slot].I + delta)
 				return flowNormal, voidValue, nil
 			}
 		}
 		store := c.lvalue(s.X)
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			cell, err := store.load(st, fr)
 			if err != nil {
@@ -238,9 +324,6 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 			elseFn = c.stmt(s.Else)
 		}
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			cond, err := condFn(st, fr)
 			if err != nil {
@@ -259,9 +342,6 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 		condFn := c.expr(s.Cond)
 		bodyFn := c.stmt(s.Body)
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			for {
 				cond, err := condFn(st, fr)
@@ -292,9 +372,6 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 		bodyFn := c.stmt(s.Body)
 		condFn := c.expr(s.Cond)
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			for {
 				fl, v, err := bodyFn(st, fr)
@@ -338,9 +415,6 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 		bodyFn := c.stmt(s.Body)
 		c.popScope()
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			if initFn != nil {
 				if fl, v, err := initFn(st, fr); err != nil || fl != flowNormal {
@@ -384,18 +458,12 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 
 	case *cast.BreakStmt:
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			return flowBreak, voidValue, nil
 		}
 
 	case *cast.ContinueStmt:
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			return flowContinue, voidValue, nil
 		}
@@ -403,18 +471,12 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 	case *cast.ReturnStmt:
 		if s.X == nil {
 			return func(st *state, fr []Value) (flow, Value, error) {
-				if err := st.kern.Step(); err != nil {
-					return flowNormal, voidValue, err
-				}
 				st.cov.Add(line)
 				return flowReturn, voidValue, nil
 			}
 		}
 		xf := c.expr(s.X)
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			v, err := xf(st, fr)
 			if err != nil {
@@ -425,14 +487,23 @@ func (c *compiler) stmt(s cast.Stmt) stmtFn {
 	}
 
 	// Unknown statement kinds execute as a charged no-op, exactly like
-	// the interpreter's execStmt default.
+	// the interpreter's execStmt default (unknown kinds are not simple,
+	// so seq always charges them).
 	return func(st *state, fr []Value) (flow, Value, error) {
-		if err := st.kern.Step(); err != nil {
-			return flowNormal, voidValue, err
-		}
 		st.cov.Add(line)
 		return flowNormal, voidValue, nil
 	}
+}
+
+// runSeq executes a compiled statement sequence with block semantics.
+func runSeq(body []stmtFn, st *state, fr []Value) (flow, Value, error) {
+	for _, sf := range body {
+		fl, v, err := sf(st, fr)
+		if err != nil || fl != flowNormal {
+			return fl, v, err
+		}
+	}
+	return flowNormal, voidValue, nil
 }
 
 // cclause is one compiled switch arm.
@@ -452,16 +523,11 @@ func (c *compiler) switchStmt(s *cast.SwitchStmt, line int) stmtFn {
 			cc.vals = append(cc.vals, c.expr(vx))
 		}
 		c.pushScope()
-		for _, st := range cl.Stmts {
-			cc.body = append(cc.body, c.stmt(st))
-		}
+		cc.body = c.seq(cl.Stmts)
 		c.popScope()
 		clauses[i] = cc
 	}
 	return func(st *state, fr []Value) (flow, Value, error) {
-		if err := st.kern.Step(); err != nil {
-			return flowNormal, voidValue, err
-		}
 		st.cov.Add(line)
 		tag, err := tagFn(st, fr)
 		if err != nil {
@@ -516,11 +582,26 @@ func (c *compiler) switchStmt(s *cast.SwitchStmt, line int) stmtFn {
 // bad-operator fault).
 func (c *compiler) assignLocal(s *cast.AssignStmt, line int, rhsFn exprFn, ls localSlot) stmtFn {
 	slot, typ := ls.idx, ls.typ
+	tf := truncFn(typ)
 	if s.Op == ctoken.Assign {
-		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
+		if tf == nil {
+			// Full-width storage: truncation is identity.
+			return func(st *state, fr []Value) (flow, Value, error) {
+				st.cov.Add(line)
+				rhs, err := rhsFn(st, fr)
+				if err != nil {
+					return flowNormal, voidValue, err
+				}
+				// Direct assignment: Devil values flow through unchanged.
+				if fr[slot].Kind == cinterp.ValDevil || rhs.Kind == cinterp.ValDevil {
+					fr[slot] = rhs
+				} else {
+					fr[slot] = intValue(rhs.I)
+				}
+				return flowNormal, voidValue, nil
 			}
+		}
+		return func(st *state, fr []Value) (flow, Value, error) {
 			st.cov.Add(line)
 			rhs, err := rhsFn(st, fr)
 			if err != nil {
@@ -530,48 +611,72 @@ func (c *compiler) assignLocal(s *cast.AssignStmt, line int, rhsFn exprFn, ls lo
 			if fr[slot].Kind == cinterp.ValDevil || rhs.Kind == cinterp.ValDevil {
 				fr[slot] = rhs
 			} else {
-				fr[slot] = cinterp.Truncate(typ, intValue(rhs.I))
+				fr[slot] = intValue(tf(rhs.I))
 			}
 			return flowNormal, voidValue, nil
 		}
 	}
+	var base ctoken.Kind
 	switch s.Op {
-	case ctoken.OrAssign, ctoken.AndAssign, ctoken.XorAssign,
-		ctoken.ShlAssign, ctoken.ShrAssign, ctoken.AddAssign, ctoken.SubAssign:
+	case ctoken.OrAssign:
+		base = ctoken.Or
+	case ctoken.AndAssign:
+		base = ctoken.And
+	case ctoken.XorAssign:
+		base = ctoken.Xor
+	case ctoken.ShlAssign:
+		base = ctoken.Shl
+	case ctoken.ShrAssign:
+		base = ctoken.Shr
+	case ctoken.AddAssign:
+		base = ctoken.Add
+	case ctoken.SubAssign:
+		base = ctoken.Sub
 	default:
 		return nil
 	}
-	opk := s.Op
-	return func(st *state, fr []Value) (flow, Value, error) {
-		if err := st.kern.Step(); err != nil {
-			return flowNormal, voidValue, err
+	opf := intBinOp(base)
+	if tf == nil {
+		return func(st *state, fr []Value) (flow, Value, error) {
+			st.cov.Add(line)
+			rhs, err := rhsFn(st, fr)
+			if err != nil {
+				return flowNormal, voidValue, err
+			}
+			fr[slot] = intValue(opf(fr[slot].I, rhs.I))
+			return flowNormal, voidValue, nil
 		}
+	}
+	return func(st *state, fr []Value) (flow, Value, error) {
 		st.cov.Add(line)
 		rhs, err := rhsFn(st, fr)
 		if err != nil {
 			return flowNormal, voidValue, err
 		}
-		a, b := fr[slot].I, rhs.I
-		var x int64
-		switch opk {
-		case ctoken.OrAssign:
-			x = a | b
-		case ctoken.AndAssign:
-			x = a & b
-		case ctoken.XorAssign:
-			x = a ^ b
-		case ctoken.ShlAssign:
-			x = a << uint(b&63)
-		case ctoken.ShrAssign:
-			x = a >> uint(b&63)
-		case ctoken.AddAssign:
-			x = a + b
-		case ctoken.SubAssign:
-			x = a - b
-		}
-		fr[slot] = cinterp.Truncate(typ, intValue(x))
+		fr[slot] = intValue(tf(opf(fr[slot].I, rhs.I)))
 		return flowNormal, voidValue, nil
 	}
+}
+
+// truncFn resolves cinterp.Truncate's storage-type switch at compile
+// time. Returns nil when the declared type stores full 64-bit values,
+// so callers can drop the call entirely.
+func truncFn(t cast.CType) func(int64) int64 {
+	switch t.Kind {
+	case cast.TypeU8:
+		return func(x int64) int64 { return int64(uint8(x)) }
+	case cast.TypeU16:
+		return func(x int64) int64 { return int64(uint16(x)) }
+	case cast.TypeU32:
+		return func(x int64) int64 { return int64(uint32(x)) }
+	case cast.TypeS8:
+		return func(x int64) int64 { return int64(int8(x)) }
+	case cast.TypeS16:
+		return func(x int64) int64 { return int64(int16(x)) }
+	case cast.TypeInt, cast.TypeS32:
+		return func(x int64) int64 { return int64(int32(x)) }
+	}
+	return nil
 }
 
 // lval is a compiled storage location: local slot, global slot, or the
@@ -633,9 +738,6 @@ func (c *compiler) assign(s *cast.AssignStmt, line int) stmtFn {
 	typ := target.typ
 	if s.Op == ctoken.Assign {
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			rhs, err := rhsFn(st, fr)
 			if err != nil {
@@ -673,9 +775,6 @@ func (c *compiler) assign(s *cast.AssignStmt, line int) stmtFn {
 	default:
 		badOp := s.Op
 		return func(st *state, fr []Value) (flow, Value, error) {
-			if err := st.kern.Step(); err != nil {
-				return flowNormal, voidValue, err
-			}
 			st.cov.Add(line)
 			rhs, err := rhsFn(st, fr)
 			if err != nil {
@@ -690,9 +789,6 @@ func (c *compiler) assign(s *cast.AssignStmt, line int) stmtFn {
 		}
 	}
 	return func(st *state, fr []Value) (flow, Value, error) {
-		if err := st.kern.Step(); err != nil {
-			return flowNormal, voidValue, err
-		}
 		st.cov.Add(line)
 		rhs, err := rhsFn(st, fr)
 		if err != nil {

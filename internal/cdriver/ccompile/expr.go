@@ -20,6 +20,11 @@ func (c *compiler) expr(x cast.Expr) exprFn {
 	switch x := x.(type) {
 	case *cast.IntLit:
 		v := intValue(x.Value)
+		if c.skipCov(line) {
+			return func(st *state, fr []Value) (Value, error) {
+				return v, nil
+			}
+		}
 		return func(st *state, fr []Value) (Value, error) {
 			st.cov.Add(line)
 			return v, nil
@@ -132,6 +137,11 @@ func (c *compiler) ident(id *cast.Ident, line int) exprFn {
 	name := id.Name
 	if ls, ok := c.lookupLocal(name); ok {
 		slot := ls.idx
+		if c.skipCov(line) {
+			return func(st *state, fr []Value) (Value, error) {
+				return fr[slot], nil
+			}
+		}
 		return func(st *state, fr []Value) (Value, error) {
 			st.cov.Add(line)
 			return fr[slot], nil
@@ -151,6 +161,14 @@ func (c *compiler) ident(id *cast.Ident, line int) exprFn {
 
 	if g, ok := c.globalIdx[name]; ok {
 		slot, ord := g.slot, g.ord
+		if c.skipCov(line) {
+			return func(st *state, fr []Value) (Value, error) {
+				if ord >= st.declsReady {
+					return lateFallback(st)
+				}
+				return st.globals[slot], nil
+			}
+		}
 		return func(st *state, fr []Value) (Value, error) {
 			st.cov.Add(line)
 			if ord >= st.declsReady {
@@ -174,6 +192,20 @@ func (c *compiler) ident(id *cast.Ident, line int) exprFn {
 			v := intValue(lit.Value)
 			bodyLine := c.line(lit.Pos())
 			ord := m.ord
+			if c.skipCov(line) {
+				return func(st *state, fr []Value) (Value, error) {
+					if ord >= st.declsReady {
+						return lateFallback(st)
+					}
+					if st.depth >= maxCallDepth {
+						return voidValue, &kernel.CrashError{
+							Cause: fmt.Errorf("macro expansion too deep at %q", name),
+						}
+					}
+					st.cov.Add(bodyLine)
+					return v, nil
+				}
+			}
 			return func(st *state, fr []Value) (Value, error) {
 				st.cov.Add(line)
 				if ord >= st.declsReady {
@@ -321,6 +353,267 @@ func macroLate(st *state, name string) (int64, error) {
 	return 0, undefIdentErr(name)
 }
 
+// skipCov reports whether an expression on line may omit its own
+// coverage add: under fuse, the innermost enclosing statement closure
+// has already added that exact line before the expression runs, and
+// the covered-line set is idempotent.
+func (c *compiler) skipCov(line int) bool {
+	return c.fuse && line == c.domLine
+}
+
+// covLine resolves an operand's coverage line at compile time: -1 when
+// the add is redundant (the operator's own line or the dominating
+// statement's line covers it first), the line itself otherwise.
+func (c *compiler) covLine(useLine, opLine int) int {
+	if useLine == opLine || (c.fuse && useLine == c.domLine) {
+		return -1
+	}
+	return useLine
+}
+
+// covWrap prefixes a closure with a coverage add when one is needed.
+func covWrap(add bool, line int, f exprFn) exprFn {
+	if !add {
+		return f
+	}
+	return func(st *state, fr []Value) (Value, error) {
+		st.cov.Add(line)
+		return f(st, fr)
+	}
+}
+
+// intBinOp resolves a binary operator to its pure integer
+// implementation at compile time — the applyBin jump table without the
+// per-execution switch. Returns nil for the operators that need an
+// error path (div/mod) or short-circuit evaluation.
+func intBinOp(op ctoken.Kind) func(a, b int64) int64 {
+	switch op {
+	case ctoken.Or:
+		return func(a, b int64) int64 { return a | b }
+	case ctoken.Xor:
+		return func(a, b int64) int64 { return a ^ b }
+	case ctoken.And:
+		return func(a, b int64) int64 { return a & b }
+	case ctoken.Shl:
+		return func(a, b int64) int64 { return a << uint(b&63) }
+	case ctoken.Shr:
+		return func(a, b int64) int64 { return a >> uint(b&63) }
+	case ctoken.Add:
+		return func(a, b int64) int64 { return a + b }
+	case ctoken.Sub:
+		return func(a, b int64) int64 { return a - b }
+	case ctoken.Mul:
+		return func(a, b int64) int64 { return a * b }
+	case ctoken.Eq:
+		return func(a, b int64) int64 { return b2i(a == b) }
+	case ctoken.Ne:
+		return func(a, b int64) int64 { return b2i(a != b) }
+	case ctoken.Lt:
+		return func(a, b int64) int64 { return b2i(a < b) }
+	case ctoken.Gt:
+		return func(a, b int64) int64 { return b2i(a > b) }
+	case ctoken.Le:
+		return func(a, b int64) int64 { return b2i(a <= b) }
+	case ctoken.Ge:
+		return func(a, b int64) int64 { return b2i(a >= b) }
+	}
+	return nil
+}
+
+func b2i(ok bool) int64 {
+	if ok {
+		return 1
+	}
+	return 0
+}
+
+// fusedBinary emits an operator-specialized closure for a binary whose
+// operands both fused and whose operator has a pure integer
+// implementation: the operator resolves at compile time, unguarded
+// operands read their frame slot or constant inline with no error
+// path, and compile-time-redundant coverage adds are gone. Two
+// constant operands fold to a literal. Returns nil when the shape
+// needs one of the generic closures (guarded macro operands keep their
+// declsReady/depth guards through evalFused).
+func (c *compiler) fusedBinary(op ctoken.Kind, line int, xo, yo fop) exprFn {
+	f := intBinOp(op)
+	if f == nil {
+		return nil
+	}
+	add := !c.skipCov(line)
+	if xo.guarded || yo.guarded {
+		xo, yo := xo, yo
+		return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+			a, err := evalFused(st, fr, &xo)
+			if err != nil {
+				return voidValue, err
+			}
+			b, err := evalFused(st, fr, &yo)
+			if err != nil {
+				return voidValue, err
+			}
+			return intValue(f(a, b)), nil
+		})
+	}
+	xl := c.covLine(xo.useLine, line)
+	yl := c.covLine(yo.useLine, line)
+	switch {
+	case xo.slot >= 0 && yo.slot >= 0:
+		i, j := xo.slot, yo.slot
+		return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+			cover2(st, xl, yl)
+			return intValue(f(fr[i].I, fr[j].I)), nil
+		})
+	case xo.slot >= 0:
+		i, k := xo.slot, yo.v
+		return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+			cover2(st, xl, yl)
+			return intValue(f(fr[i].I, k)), nil
+		})
+	case yo.slot >= 0:
+		k, j := xo.v, yo.slot
+		return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+			cover2(st, xl, yl)
+			return intValue(f(k, fr[j].I)), nil
+		})
+	default:
+		v := intValue(f(xo.v, yo.v)) // constant folding, coverage kept
+		return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+			cover2(st, xl, yl)
+			return v, nil
+		})
+	}
+}
+
+// halfFused emits an operator-specialized closure for a binary with one
+// compiled operand and one fused, unguarded operand — the
+// `inb(port) & MASK` shape of every status poll. The operator resolves
+// at compile time; the fused operand reads its frame slot or constant
+// inline. fusedLeft says which side fused, preserving evaluation and
+// coverage order exactly: a left fused operand records its use line
+// before the compiled side runs, a right one only after the compiled
+// side succeeded.
+func (c *compiler) halfFused(op ctoken.Kind, line int, ef exprFn, o fop, fusedLeft bool) exprFn {
+	if !c.fuse {
+		return nil
+	}
+	f := intBinOp(op)
+	if f == nil {
+		return nil
+	}
+	add := !c.skipCov(line)
+	if o.guarded {
+		// Guarded macro operands: the declsReady/depth guards inline
+		// with evalFused's exact coverage order — use line first
+		// (dedup'd at compile time when the statement line already
+		// covers it), body line only once the guards pass. The
+		// init-time-only slow case defers to evalFused.
+		o := o
+		ul := c.covLine(o.useLine, line)
+		bodyLine, ord, k := o.bodyLine, o.ord, o.v
+		if fusedLeft {
+			return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+				if ul >= 0 {
+					st.cov.Add(ul)
+				}
+				a := k
+				if ord >= st.declsReady || st.depth >= maxCallDepth {
+					var err error
+					if a, err = evalFused(st, fr, &o); err != nil {
+						return voidValue, err
+					}
+				} else {
+					st.cov.Add(bodyLine)
+				}
+				r, err := ef(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				return intValue(f(a, r.I)), nil
+			})
+		}
+		return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+			l, err := ef(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			if ul >= 0 {
+				st.cov.Add(ul)
+			}
+			b := k
+			if ord >= st.declsReady || st.depth >= maxCallDepth {
+				if b, err = evalFused(st, fr, &o); err != nil {
+					return voidValue, err
+				}
+			} else {
+				st.cov.Add(bodyLine)
+			}
+			return intValue(f(l.I, b)), nil
+		})
+	}
+	ol := c.covLine(o.useLine, line)
+	if o.slot >= 0 {
+		j := o.slot
+		if fusedLeft {
+			return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+				if ol >= 0 {
+					st.cov.Add(ol)
+				}
+				a := fr[j].I
+				r, err := ef(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				return intValue(f(a, r.I)), nil
+			})
+		}
+		return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+			l, err := ef(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			if ol >= 0 {
+				st.cov.Add(ol)
+			}
+			return intValue(f(l.I, fr[j].I)), nil
+		})
+	}
+	k := o.v
+	if fusedLeft {
+		return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+			if ol >= 0 {
+				st.cov.Add(ol)
+			}
+			r, err := ef(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			return intValue(f(k, r.I)), nil
+		})
+	}
+	return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+		l, err := ef(st, fr)
+		if err != nil {
+			return voidValue, err
+		}
+		if ol >= 0 {
+			st.cov.Add(ol)
+		}
+		return intValue(f(l.I, k)), nil
+	})
+}
+
+// cover2 adds the (rare) operand coverage lines a fused binary could
+// not prove redundant at compile time.
+func cover2(st *state, xl, yl int) {
+	if xl >= 0 {
+		st.cov.Add(xl)
+	}
+	if yl >= 0 {
+		st.cov.Add(yl)
+	}
+}
+
 // binary compiles a binary operation. Operands that are local slots,
 // literals or constant macros fuse into the operator's own closure —
 // the `status & MASK` shape of every polling loop then costs one
@@ -331,6 +624,11 @@ func (c *compiler) binary(x *cast.BinaryExpr, line int) exprFn {
 	if op != ctoken.LAnd && op != ctoken.LOr {
 		xo, xok := c.fuseOperand(x.X)
 		yo, yok := c.fuseOperand(x.Y)
+		if c.fuse && xok && yok {
+			if f := c.fusedBinary(op, line, xo, yo); f != nil {
+				return f
+			}
+		}
 		switch {
 		case xok && yok:
 			return func(st *state, fr []Value) (Value, error) {
@@ -346,7 +644,15 @@ func (c *compiler) binary(x *cast.BinaryExpr, line int) exprFn {
 				return applyBin(op, opPos, a, b)
 			}
 		case yok:
+			if cx, isCall := x.X.(*cast.CallExpr); isCall {
+				if f := c.maskedRead(op, line, cx, yo); f != nil {
+					return f
+				}
+			}
 			lf := c.expr(x.X)
+			if f := c.halfFused(op, line, lf, yo, false); f != nil {
+				return f
+			}
 			return func(st *state, fr []Value) (Value, error) {
 				st.cov.Add(line)
 				l, err := lf(st, fr)
@@ -361,6 +667,9 @@ func (c *compiler) binary(x *cast.BinaryExpr, line int) exprFn {
 			}
 		case xok:
 			rf := c.expr(x.Y)
+			if f := c.halfFused(op, line, rf, xo, true); f != nil {
+				return f
+			}
 			return func(st *state, fr []Value) (Value, error) {
 				st.cov.Add(line)
 				a, err := evalFused(st, fr, &xo)
@@ -547,6 +856,41 @@ func (c *compiler) directBuiltin(x *cast.CallExpr, argFns []exprFn, line int) ex
 	switch {
 	case ok && x.Name[0] == 'i' && len(argFns) == 1:
 		af := argFns[0]
+		if c.fuse {
+			// Block backend: batch consecutive accesses to the same
+			// device through a per-site one-entry resolution cache. The
+			// typical poll loop reads one status register thousands of
+			// times; after the first access the mapping scan is gone.
+			// The cache is sound because a rig's port map is fixed at
+			// machine assembly and a Proc is bound to one rig. Unmapped
+			// ports resolve to nil and take the generic path, which
+			// owns the floating/fault semantics.
+			c.stats.BatchedIO++
+			if o, fok := c.fuseOperand(x.Args[0]); fok {
+				// The port operand fused: no argument closure call, and
+				// a compile-time-constant port pins its handle for good.
+				return c.fusedRead(o, line, width)
+			}
+			var cp hw.Port
+			var ch *hw.PortHandle
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				a, err := af(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				p := hw.Port(a.I)
+				if ch == nil || p != cp {
+					ch, cp = st.bus.Resolve(p), p
+				}
+				if ch == nil {
+					v, err := st.bus.Read(p, width)
+					return intValue(int64(v)), err
+				}
+				v, err := ch.Read(width)
+				return intValue(int64(v)), err
+			}
+		}
 		return func(st *state, fr []Value) (Value, error) {
 			st.cov.Add(line)
 			a, err := af(st, fr)
@@ -558,6 +902,33 @@ func (c *compiler) directBuiltin(x *cast.CallExpr, argFns []exprFn, line int) ex
 		}
 	case ok && x.Name[0] == 'o' && len(argFns) == 2:
 		vf, pf := argFns[0], argFns[1]
+		if c.fuse {
+			c.stats.BatchedIO++
+			if o, fok := c.fuseOperand(x.Args[1]); fok {
+				return c.fusedWrite(vf, o, line, width)
+			}
+			var cp hw.Port
+			var ch *hw.PortHandle
+			return func(st *state, fr []Value) (Value, error) {
+				st.cov.Add(line)
+				v, err := vf(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				p, err := pf(st, fr)
+				if err != nil {
+					return voidValue, err
+				}
+				pp := hw.Port(p.I)
+				if ch == nil || pp != cp {
+					ch, cp = st.bus.Resolve(pp), pp
+				}
+				if ch == nil {
+					return voidValue, st.bus.Write(pp, width, uint32(v.I))
+				}
+				return voidValue, ch.Write(width, uint32(v.I))
+			}
+		}
 		return func(st *state, fr []Value) (Value, error) {
 			st.cov.Add(line)
 			v, err := vf(st, fr)
@@ -626,9 +997,267 @@ func (c *compiler) directBuiltin(x *cast.CallExpr, argFns []exprFn, line int) ex
 	return nil
 }
 
+// portCache memoises Bus.Resolve for a slot-valued port operand. Call
+// sites that cycle through a handful of ports (a register-window helper
+// taking the port as a parameter) keep every handle; a linear scan of a
+// few entries beats re-resolving under the bus lock. Misses are cached
+// too — a mutant polling a mutated, unmapped port would otherwise pay
+// a full mapping scan twice per access (Resolve, then the generic
+// read). Like the pinned constant-port handles, entries stay valid
+// because each compiled program runs against one bus whose mappings
+// are fixed at attach time.
+type portCache struct {
+	ports   [4]hw.Port
+	handles [4]*hw.PortHandle
+	n       int
+}
+
+func (pc *portCache) get(st *state, p hw.Port) *hw.PortHandle {
+	for i := 0; i < pc.n; i++ {
+		if pc.ports[i] == p {
+			return pc.handles[i]
+		}
+	}
+	h := st.bus.Resolve(p)
+	if pc.n < len(pc.ports) {
+		pc.ports[pc.n] = p
+		pc.handles[pc.n] = h
+		pc.n++
+	}
+	return h
+}
+
+// fusedRead emits the port-input closure for a fused port operand: no
+// argument closure call, and a compile-time-constant port resolves its
+// handle once and pins it — the port can never change, so the
+// per-access compare is gone too. Macro-constant ports keep their
+// declsReady/depth guards inline, deferring to evalFused (and the
+// generic bus path) in the init-time-only slow case.
+func (c *compiler) fusedRead(o fop, line int, width hw.AccessWidth) exprFn {
+	add := !c.skipCov(line)
+	pl := c.covLine(o.useLine, line)
+	if o.slot >= 0 {
+		slot := o.slot
+		var cache portCache
+		return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+			if pl >= 0 {
+				st.cov.Add(pl)
+			}
+			p := hw.Port(fr[slot].I)
+			if ch := cache.get(st, p); ch != nil {
+				v, err := ch.Read(width)
+				return intValue(int64(v)), err
+			}
+			v, err := st.bus.Read(p, width)
+			return intValue(int64(v)), err
+		})
+	}
+	port := hw.Port(o.v)
+	bodyLine := o.bodyLine
+	guarded := o.guarded
+	var ch *hw.PortHandle
+	var tried bool
+	return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+		if pl >= 0 {
+			st.cov.Add(pl)
+		}
+		if guarded {
+			if o.ord >= st.declsReady || st.depth >= maxCallDepth {
+				a, err := evalFused(st, fr, &o)
+				if err != nil {
+					return voidValue, err
+				}
+				v, err := st.bus.Read(hw.Port(a), width)
+				return intValue(int64(v)), err
+			}
+			st.cov.Add(bodyLine)
+		}
+		if !tried {
+			tried, ch = true, st.bus.Resolve(port)
+		}
+		if ch == nil {
+			v, err := st.bus.Read(port, width)
+			return intValue(int64(v)), err
+		}
+		v, err := ch.Read(width)
+		return intValue(int64(v)), err
+	})
+}
+
+// maskedRead fuses the full poll-loop condition shape
+// `in*(port) OP mask` — a read builtin with a fusable port operand,
+// combined with a fusable mask through a pure integer operator — into
+// one closure: no call-closure hop, no boxed intermediate value. The
+// compile-time resolution rules of call() apply unchanged (driver
+// functions shadow builtins, only exact-arity reads qualify), and the
+// coverage/guard order matches the split closures it replaces exactly:
+// binary line, call line, port use line, port read, mask use line,
+// mask guards. Returns nil whenever any piece falls outside the shape.
+func (c *compiler) maskedRead(op ctoken.Kind, line int, call *cast.CallExpr, yo fop) exprFn {
+	if !c.fuse {
+		return nil
+	}
+	f := intBinOp(op)
+	if f == nil {
+		return nil
+	}
+	if _, isFunc := c.funcIdx[call.Name]; isFunc {
+		return nil
+	}
+	var width hw.AccessWidth
+	switch call.Name {
+	case "inb":
+		width = hw.Width8
+	case "inw":
+		width = hw.Width16
+	case "inl":
+		width = hw.Width32
+	default:
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return nil
+	}
+	po, pok := c.fuseOperand(call.Args[0])
+	if !pok {
+		return nil
+	}
+	c.stats.BatchedIO++
+	add := !c.skipCov(line)
+	callLine := c.line(call.Pos())
+	cl := c.covLine(callLine, line)
+	pl := c.covLine(po.useLine, callLine)
+	ml := c.covLine(yo.useLine, line)
+	var cache portCache
+	var ch *hw.PortHandle
+	var tried bool
+	return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+		if cl >= 0 {
+			st.cov.Add(cl)
+		}
+		if pl >= 0 {
+			st.cov.Add(pl)
+		}
+		var v uint32
+		var err error
+		switch {
+		case po.slot >= 0:
+			p := hw.Port(fr[po.slot].I)
+			if h := cache.get(st, p); h != nil {
+				v, err = h.Read(width)
+			} else {
+				v, err = st.bus.Read(p, width)
+			}
+		case po.guarded && (po.ord >= st.declsReady || st.depth >= maxCallDepth):
+			var a int64
+			if a, err = evalFused(st, fr, &po); err != nil {
+				return voidValue, err
+			}
+			v, err = st.bus.Read(hw.Port(a), width)
+		default:
+			if po.guarded {
+				st.cov.Add(po.bodyLine)
+			}
+			if !tried {
+				tried, ch = true, st.bus.Resolve(hw.Port(po.v))
+			}
+			if ch != nil {
+				v, err = ch.Read(width)
+			} else {
+				v, err = st.bus.Read(hw.Port(po.v), width)
+			}
+		}
+		if err != nil {
+			return voidValue, err
+		}
+		if ml >= 0 {
+			st.cov.Add(ml)
+		}
+		b := yo.v
+		if yo.slot >= 0 {
+			b = fr[yo.slot].I
+		} else if yo.guarded {
+			if yo.ord >= st.declsReady || st.depth >= maxCallDepth {
+				if b, err = evalFused(st, fr, &yo); err != nil {
+					return voidValue, err
+				}
+				return intValue(f(int64(v), b)), nil
+			}
+			st.cov.Add(yo.bodyLine)
+		}
+		return intValue(f(int64(v), b)), nil
+	})
+}
+
+// fusedWrite is fusedRead's output twin: the value still evaluates
+// through its compiled closure (it is rarely a constant), the fused
+// port operand is inlined.
+func (c *compiler) fusedWrite(vf exprFn, o fop, line int, width hw.AccessWidth) exprFn {
+	add := !c.skipCov(line)
+	pl := c.covLine(o.useLine, line)
+	if o.slot >= 0 {
+		slot := o.slot
+		var cache portCache
+		return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+			v, err := vf(st, fr)
+			if err != nil {
+				return voidValue, err
+			}
+			if pl >= 0 {
+				st.cov.Add(pl)
+			}
+			p := hw.Port(fr[slot].I)
+			if ch := cache.get(st, p); ch != nil {
+				return voidValue, ch.Write(width, uint32(v.I))
+			}
+			return voidValue, st.bus.Write(p, width, uint32(v.I))
+		})
+	}
+	port := hw.Port(o.v)
+	bodyLine := o.bodyLine
+	guarded := o.guarded
+	var ch *hw.PortHandle
+	var tried bool
+	return covWrap(add, line, func(st *state, fr []Value) (Value, error) {
+		v, err := vf(st, fr)
+		if err != nil {
+			return voidValue, err
+		}
+		if pl >= 0 {
+			st.cov.Add(pl)
+		}
+		if guarded {
+			if o.ord >= st.declsReady || st.depth >= maxCallDepth {
+				a, err := evalFused(st, fr, &o)
+				if err != nil {
+					return voidValue, err
+				}
+				return voidValue, st.bus.Write(hw.Port(a), width, uint32(v.I))
+			}
+			st.cov.Add(bodyLine)
+		}
+		if !tried {
+			tried, ch = true, st.bus.Resolve(port)
+		}
+		if ch == nil {
+			return voidValue, st.bus.Write(port, width, uint32(v.I))
+		}
+		return voidValue, ch.Write(width, uint32(v.I))
+	})
+}
+
 // builtin resolves a non-driver call at compile time: kernel builtins,
 // the Devil stub surface, or the undefined-function fault.
 func (c *compiler) builtin(x *cast.CallExpr) callImpl {
+	switch x.Name {
+	case "inb", "inw", "inl", "outb", "outw", "outl":
+		// A wrong-arity I/O call (a mutant artefact) stays on the
+		// generic bus path — count the site so the fallback rate is
+		// observable.
+		if c.fuse {
+			c.stats.FallbackIO++
+		}
+	}
 	switch x.Name {
 	case "inb":
 		return func(st *state, args []Value) (Value, error) {

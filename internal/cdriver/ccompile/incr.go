@@ -57,6 +57,9 @@ type Incr struct {
 	touchedFuncs []int
 	touchedInits []int
 	patchedMacro string
+
+	// lastPatch is the fusion work of the most recent successful Patch.
+	lastPatch BlockStats
 }
 
 // NewIncr compiles a checked pristine program against a concrete machine
@@ -65,6 +68,20 @@ type Incr struct {
 // the interpreter for every boot, as the full path would.
 func NewIncr(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
 	stubs *codegen.Stubs, m *Mach) (*Incr, error) {
+	return newIncr(prog, kern, bus, stubs, m, false)
+}
+
+// NewIncrBlocks is NewIncr for the block backend: recompiled units get
+// the same basic-block fusion and batched port I/O as CompileBlocks, so
+// a patched declaration's observables — including step counts — match a
+// from-scratch block compile.
+func NewIncrBlocks(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
+	stubs *codegen.Stubs, m *Mach) (*Incr, error) {
+	return newIncr(prog, kern, bus, stubs, m, true)
+}
+
+func newIncr(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
+	stubs *codegen.Stubs, m *Mach, fuse bool) (*Incr, error) {
 	if m == nil {
 		m = NewMach()
 	}
@@ -77,6 +94,8 @@ func NewIncr(prog *cast.Program, kern *kernel.Kernel, bus *hw.Bus,
 		pristineMacros: make(map[string]macroRef),
 	}
 	c := newCompiler(prog, stubs)
+	c.fuse = fuse
+	c.bus = bus
 	in.c = c
 	c.registerDecls()
 	for name, mr := range c.macros {
@@ -205,6 +224,7 @@ func (in *Incr) recompileInit(idx int, d *cast.VarDecl) {
 func (in *Incr) Patch(ord int, d cast.Decl) (*Proc, error) {
 	in.revert()
 	in.c.err = nil
+	before := in.c.stats
 	switch d := d.(type) {
 	case *cast.FuncDecl:
 		idx, ok := in.funcIdxOfOrd[ord]
@@ -249,8 +269,15 @@ func (in *Incr) Patch(ord int, d cast.Decl) (*Proc, error) {
 	in.c.sizeMach(in.mach)
 	in.proc.st.stack = in.mach.stack[:cap(in.mach.stack)]
 	in.proc.resetRun()
+	in.lastPatch = in.c.stats.sub(before)
 	return in.proc, nil
 }
+
+// PatchStats reports the fusion work the most recent successful Patch
+// performed: the basic blocks, fused statements and I/O sites of just
+// the recompiled units (zero on the non-fusing backend). The campaign
+// engine feeds it into the driverlab_exec_blocks_* counters.
+func (in *Incr) PatchStats() BlockStats { return in.lastPatch }
 
 // resetRun rewinds a Proc's mutable execution state to the moment
 // Compile would have returned it: globals cleared, stack and call depth

@@ -203,11 +203,47 @@ func (in *Interp) cover(pos ctoken.Pos) {
 	in.coverage.Add(pos.Line)
 }
 
+// SimpleStmt reports whether s is a straight-line statement for
+// basic-block fusion: in a statement list, a maximal run of consecutive
+// simple statements charges ONE watchdog step at run entry instead of
+// one per statement. The predicate is the single definition of the
+// fusion rule — the compiled backend (ccompile) segments its basic
+// blocks with this exact function, so both backends charge identically
+// by construction. Control-flow statements (blocks, conditionals,
+// loops, switches — and unknown kinds) are not simple: they charge
+// their own step, and statements in statement position (a loop body, an
+// if branch, a for init/post) always charge individually.
+func SimpleStmt(s cast.Stmt) bool {
+	switch s.(type) {
+	case *cast.DeclStmt, *cast.ExprStmt, *cast.AssignStmt, *cast.IncDecStmt,
+		*cast.BreakStmt, *cast.ContinueStmt, *cast.ReturnStmt:
+		return true
+	}
+	return false
+}
+
 func (in *Interp) execBlock(fr *frame, b *cast.Block) (flow, Value, error) {
 	fr.push()
 	defer fr.pop()
-	for _, s := range b.Stmts {
-		fl, v, err := in.execStmt(fr, s)
+	return in.execSeq(fr, b.Stmts)
+}
+
+// execSeq executes a statement list with basic-block step accounting:
+// one watchdog charge at the head of every maximal run of simple
+// statements (see SimpleStmt), one per control-flow statement. When the
+// charge at a run's head fails, none of the run's statements execute or
+// cover — the compiled backends reproduce exactly this.
+func (in *Interp) execSeq(fr *frame, stmts []cast.Stmt) (flow, Value, error) {
+	prevSimple := false
+	for _, s := range stmts {
+		simple := SimpleStmt(s)
+		if !simple || !prevSimple {
+			if err := in.kern.Step(); err != nil {
+				return flowNormal, VoidValue, err
+			}
+		}
+		prevSimple = simple
+		fl, v, err := in.stmtBody(fr, s)
 		if err != nil || fl != flowNormal {
 			return fl, v, err
 		}
@@ -215,10 +251,19 @@ func (in *Interp) execBlock(fr *frame, b *cast.Block) (flow, Value, error) {
 	return flowNormal, VoidValue, nil
 }
 
+// execStmt runs one statement in statement position (a loop body, an if
+// branch, a for init/post): its own watchdog charge, then the body.
 func (in *Interp) execStmt(fr *frame, s cast.Stmt) (flow, Value, error) {
 	if err := in.kern.Step(); err != nil {
 		return flowNormal, VoidValue, err
 	}
+	return in.stmtBody(fr, s)
+}
+
+// stmtBody covers the statement's line and executes it, without the
+// watchdog charge (the caller decides run-head vs per-statement
+// charging).
+func (in *Interp) stmtBody(fr *frame, s cast.Stmt) (flow, Value, error) {
 	in.cover(s.Pos())
 	switch s := s.(type) {
 	case *cast.Block:
@@ -403,8 +448,16 @@ func (in *Interp) execSwitch(fr *frame, s *cast.SwitchStmt) (flow, Value, error)
 	in.cover(chosen.CasePos)
 	fr.push()
 	defer fr.pop()
+	prevSimple := false
 	for _, st := range chosen.Stmts {
-		fl, v, err := in.execStmt(fr, st)
+		simple := SimpleStmt(st)
+		if !simple || !prevSimple {
+			if err := in.kern.Step(); err != nil {
+				return flowNormal, VoidValue, err
+			}
+		}
+		prevSimple = simple
+		fl, v, err := in.stmtBody(fr, st)
 		if err != nil {
 			return flowNormal, VoidValue, err
 		}

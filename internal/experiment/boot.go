@@ -33,24 +33,31 @@ const (
 // Backend names an hwC execution engine.
 type Backend string
 
-// The two execution backends. The compiled backend is the campaign hot
-// path; the tree-walking interpreter is the reference oracle the
-// differential test holds it to.
+// The three execution backends. The block backend — closure compilation
+// plus basic-block fusion and batched port I/O — is the campaign hot
+// path; the per-statement compiled backend is the oracle midpoint; the
+// tree-walking interpreter is the reference oracle the differential
+// test holds both to. All three charge the watchdog per basic block
+// (one step per straight-line run), so every observable, step counts
+// included, is identical across backends.
 const (
+	BackendBlock    Backend = "block"
 	BackendCompiled Backend = "compiled"
 	BackendInterp   Backend = "interp"
 )
 
 // ParseBackend normalises a backend name; the empty string selects the
-// default (compiled) engine.
+// default (block) engine.
 func ParseBackend(s string) (Backend, error) {
 	switch s {
-	case "", string(BackendCompiled):
+	case "", string(BackendBlock):
+		return BackendBlock, nil
+	case string(BackendCompiled):
 		return BackendCompiled, nil
 	case string(BackendInterp), "tree", "interpreter":
 		return BackendInterp, nil
 	}
-	return "", fmt.Errorf("unknown execution backend %q (want compiled or interp)", s)
+	return "", fmt.Errorf("unknown execution backend %q (want block, compiled or interp)", s)
 }
 
 // envKey indexes the cached type environments: the environment depends
@@ -272,11 +279,20 @@ func newEngine(b Backend, prog *cast.Program, env *ctypes.Env, kern *kernel.Kern
 	if b == BackendInterp {
 		return cinterp.New(prog, env, kern, bus, stubs)
 	}
-	p, cerr := ccompile.Compile(prog, kern, bus, stubs, mach)
+	var (
+		p    *ccompile.Proc
+		cerr error
+	)
+	if b == BackendBlock {
+		p, cerr = ccompile.CompileBlocks(prog, kern, bus, stubs, mach)
+	} else {
+		p, cerr = ccompile.Compile(prog, kern, bus, stubs, mach)
+	}
 	if cerr != nil {
 		o.interpFallback.Inc()
 		return cinterp.New(prog, env, kern, bus, stubs)
 	}
+	o.addBlockStats(p.Stats())
 	if err := p.Init(); err != nil {
 		return p, err
 	}

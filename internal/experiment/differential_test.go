@@ -172,6 +172,8 @@ func TestDifferentialOracle(t *testing.T) {
 			}{
 				{"compiled/full", &diffRig{backend: BackendCompiled, scenario: tc.scenario}},
 				{"compiled/incremental", &diffRig{backend: BackendCompiled, incremental: true, scenario: tc.scenario}},
+				{"block/full", &diffRig{backend: BackendBlock, scenario: tc.scenario}},
+				{"block/incremental", &diffRig{backend: BackendBlock, incremental: true, scenario: tc.scenario}},
 				{"interp/incremental", &diffRig{backend: BackendInterp, incremental: true, scenario: tc.scenario}},
 			}
 			for _, id := range selected {
@@ -218,16 +220,43 @@ func TestDifferentialTables(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		opts.Backend = BackendBlock
+		block, err := DriverMutation(tc.driver, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
 		opts.Backend = BackendInterp
 		interp, err := DriverMutation(tc.driver, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		ct := FormatDriverTable(compiled, tc.caption)
+		bt := FormatDriverTable(block, tc.caption)
 		it := FormatDriverTable(interp, tc.caption)
 		if ct != it {
 			t.Errorf("%s differs between backends:\ncompiled:\n%s\ninterp:\n%s", tc.caption, ct, it)
 		}
+		if bt != it {
+			t.Errorf("%s differs between backends:\nblock:\n%s\ninterp:\n%s", tc.caption, bt, it)
+		}
+	}
+}
+
+// TestCampaignBlockBackendSmoke runs a parallel campaign on the block
+// backend — under -race in CI, this is the data-race smoke for the
+// fused-closure hot path (per-site I/O handle caches, pooled machines)
+// across concurrent workers.
+func TestCampaignBlockBackendSmoke(t *testing.T) {
+	spec := CampaignSpec("busmouse_c", MutationOptions{SamplePct: 30, Seed: 7})
+	spec.Backend = "block"
+	spec.Shards = 2
+	store := campaign.NewMemStore()
+	sum, err := campaign.Run(spec, NewWorkload(), store, campaign.Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("block-backend campaign: %v", err)
+	}
+	if sum.Ran == 0 {
+		t.Fatal("block-backend campaign booted nothing")
 	}
 }
 

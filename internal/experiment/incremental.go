@@ -147,7 +147,11 @@ func (c *execCaches) incrFor(kern *kernel.Kernel, bus *hw.Bus,
 			// leaves inc nil and every incremental boot uses the
 			// interpreter, exactly as the full path's per-boot fallback
 			// would.
-			if inc, err := ccompile.NewIncr(prog, kern, bus, st.stubs, c.exec); err == nil {
+			build := ccompile.NewIncr
+			if input.Backend == BackendBlock {
+				build = ccompile.NewIncrBlocks
+			}
+			if inc, err := build(prog, kern, bus, st.stubs, c.exec); err == nil {
 				st.inc = inc
 			}
 		}
@@ -216,6 +220,7 @@ func (c *execCaches) buildIncremental(kern *kernel.Kernel, bus *hw.Bus,
 	if input.Backend != BackendInterp && st.inc != nil {
 		p, cerr := st.inc.Patch(declIdx, decl)
 		if cerr == nil {
+			o.addBlockStats(st.inc.PatchStats())
 			ierr := p.Init()
 			tb.Stop()
 			if ierr != nil {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"repro/internal/cdriver/ccompile"
 	"repro/internal/obs"
 )
 
@@ -38,12 +39,24 @@ const (
 	// mutation was span-unsafe (or the configuration cannot run
 	// incrementally).
 	MetricFullFrontend = "driverlab_boot_frontend_full_total"
+	// MetricBlocksCompiled counts basic blocks the block backend fused
+	// (full compiles and incremental patches alike).
+	MetricBlocksCompiled = "driverlab_exec_blocks_compiled_total"
+	// MetricBlocksFusedStmts counts statements folded into fused blocks.
+	MetricBlocksFusedStmts = "driverlab_exec_blocks_fused_stmts_total"
+	// MetricBlocksBatchedIO counts port-I/O call sites compiled to the
+	// batched (cached bus-resolution) path.
+	MetricBlocksBatchedIO = "driverlab_exec_blocks_batched_io_total"
+	// MetricBlocksFallback counts port-I/O call sites the block backend
+	// left on the generic per-access bus path (wrong-arity mutants).
+	MetricBlocksFallback = "driverlab_exec_blocks_fallback_total"
 )
 
 // BootMetricNames lists every metric family the boot pipeline can
 // register, for the docs check and the `driverlab metrics` subcommand.
 func BootMetricNames() []string {
-	return []string{MetricBootPhase, MetricInterpFallbacks, MetricFullFrontend}
+	return []string{MetricBootPhase, MetricInterpFallbacks, MetricFullFrontend,
+		MetricBlocksCompiled, MetricBlocksFusedStmts, MetricBlocksBatchedIO, MetricBlocksFallback}
 }
 
 // bootObs is the per-rig instrumentation bundle the boot pipeline
@@ -59,6 +72,19 @@ type bootObs struct {
 
 	interpFallback *obs.Counter
 	fullFrontend   *obs.Counter
+
+	blocksCompiled  *obs.Counter
+	blocksFused     *obs.Counter
+	blocksBatchedIO *obs.Counter
+	blocksFallback  *obs.Counter
+}
+
+// addBlockStats records one compile's (or patch's) fusion work.
+func (o *bootObs) addBlockStats(s ccompile.BlockStats) {
+	o.blocksCompiled.Add(s.Blocks)
+	o.blocksFused.Add(s.FusedStmts)
+	o.blocksBatchedIO.Add(s.BatchedIO)
+	o.blocksFallback.Add(s.FallbackIO)
 }
 
 // noObs is the disabled bundle every rig starts with.
@@ -86,6 +112,18 @@ func newBootObs(col *obs.Collector, workload string) *bootObs {
 			"workload", workload),
 		fullFrontend: col.Counter(MetricFullFrontend,
 			"Incremental-front-end boots that fell back to the full pipeline (span-unsafe).",
+			"workload", workload),
+		blocksCompiled: col.Counter(MetricBlocksCompiled,
+			"Basic blocks the block backend fused (compiles and patches).",
+			"workload", workload),
+		blocksFused: col.Counter(MetricBlocksFusedStmts,
+			"Statements folded into fused basic blocks.",
+			"workload", workload),
+		blocksBatchedIO: col.Counter(MetricBlocksBatchedIO,
+			"Port-I/O call sites compiled to the batched bus-resolution path.",
+			"workload", workload),
+		blocksFallback: col.Counter(MetricBlocksFallback,
+			"Port-I/O call sites left on the generic per-access bus path.",
 			"workload", workload),
 	}
 }

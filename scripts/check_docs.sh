@@ -16,7 +16,10 @@
 #     so the matrix axis stays discoverable from the docs;
 #  6. the fleet subcommands (serve, worker) must be named in the
 #     driverlab -h banner, so the scale-out surface is discoverable
-#     from the CLI.
+#     from the CLI;
+#  7. every execution backend (block, compiled, interp) must be named
+#     in the driverlab -h banner, ARCHITECTURE.md and README.md, so
+#     the -backend axis stays discoverable from the docs.
 #
 # Run from the repository root.
 set -e
@@ -121,3 +124,22 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "scenario names in ARCHITECTURE.md and README.md: ok"
+
+fail=0
+for b in block compiled interp; do
+    for doc in usage arch readme; do
+        eval "text=\$$doc"
+        case "$text" in
+            *"$b"*) ;;
+            *)
+                echo "$doc does not mention execution backend $b" >&2
+                fail=1
+                ;;
+        esac
+    done
+done
+if [ "$fail" -ne 0 ]; then
+    echo "name every execution backend in driverlab -h, ARCHITECTURE.md and README.md" >&2
+    exit 1
+fi
+echo "backend names in usage, ARCHITECTURE.md and README.md: ok"
