@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -131,7 +132,7 @@ func loadBenchReport(path string) (*BenchReport, error) {
 
 // compareReports gates the fresh measurement against an older report,
 // printing a per-driver delta table and returning an error when any
-// driver regressed beyond pct percent.
+// driver regressed beyond pct percent — in boots/s or in allocs/boot.
 //
 // The two reports usually come from different machines (the checked-in
 // report vs a CI runner), so absolute boots/s are not comparable.
@@ -141,54 +142,92 @@ func loadBenchReport(path string) (*BenchReport, error) {
 // that factor. This catches one driver's hot path eroding relative to
 // the rest; a uniform slowdown of every driver is indistinguishable
 // from a slower machine and needs a same-machine before/after run.
+//
+// Allocations per boot get the same normalized treatment (the median
+// alloc ratio absorbs a deliberate fleet-wide allocator change, e.g. a
+// new per-boot cache): a driver fails when its allocs/boot grow more
+// than pct percent beyond the fleet's factor. Allocation counts are
+// deterministic per code version, so this gate is far less noisy than
+// throughput and catches a hot path quietly starting to allocate.
 func compareReports(old, cur *BenchReport, pct float64) error {
 	type key struct{ driver, frontend string }
-	oldRate := make(map[key]float64)
+	oldRows := make(map[key]BenchDriver)
 	for _, d := range old.Drivers {
 		if d.BootsPerSec > 0 {
-			oldRate[key{d.Driver, d.Frontend}] = d.BootsPerSec
+			oldRows[key{d.Driver, d.Frontend}] = d
 		}
 	}
 	type row struct {
 		driver, frontend string
 		oldR, newR, rat  float64
+		oldA, newA, arat float64 // allocs/boot; arat 0 when either side lacks it
 	}
 	var rows []row
 	for _, d := range cur.Drivers {
-		o, ok := oldRate[key{d.Driver, d.Frontend}]
+		o, ok := oldRows[key{d.Driver, d.Frontend}]
 		if !ok || d.BootsPerSec <= 0 {
 			continue
 		}
-		rows = append(rows, row{d.Driver, d.Frontend, o, d.BootsPerSec, d.BootsPerSec / o})
+		r := row{
+			driver: d.Driver, frontend: d.Frontend,
+			oldR: o.BootsPerSec, newR: d.BootsPerSec, rat: d.BootsPerSec / o.BootsPerSec,
+			oldA: o.AllocsPerBoot, newA: d.AllocsPerBoot,
+		}
+		if o.AllocsPerBoot > 0 && d.AllocsPerBoot > 0 {
+			r.arat = d.AllocsPerBoot / o.AllocsPerBoot
+		}
+		rows = append(rows, r)
 	}
 	if len(rows) == 0 {
 		return fmt.Errorf("bench -compare: no driver/frontend rows in common with the old report")
 	}
+	median := func(v []float64) float64 {
+		sort.Float64s(v)
+		m := v[len(v)/2]
+		if n := len(v); n%2 == 0 {
+			m = (v[n/2-1] + v[n/2]) / 2
+		}
+		return m
+	}
 	ratios := make([]float64, len(rows))
+	var aratios []float64
 	for i, r := range rows {
 		ratios[i] = r.rat
+		if r.arat > 0 {
+			aratios = append(aratios, r.arat)
+		}
 	}
-	sort.Float64s(ratios)
-	scale := ratios[len(ratios)/2]
-	if n := len(ratios); n%2 == 0 {
-		scale = (ratios[n/2-1] + ratios[n/2]) / 2
+	scale := median(ratios)
+	ascale := 1.0
+	if len(aratios) > 0 {
+		ascale = median(aratios)
 	}
 	floor := 1 - pct/100
-	fmt.Printf("bench compare vs old report: machine-speed factor %.2fx (median of %d rows), threshold -%.0f%%\n",
-		scale, len(rows), pct)
+	ceil := 1 + pct/100
+	fmt.Printf("bench compare vs old report: machine-speed factor %.2fx, alloc factor %.2fx (medians of %d rows), threshold %.0f%%\n",
+		scale, ascale, len(rows), pct)
 	var bad []string
 	for _, r := range rows {
 		rel := r.rat / scale
 		status := "ok"
 		if rel < floor {
 			status = "REGRESSED"
-			bad = append(bad, fmt.Sprintf("%s/%s %.1f%% below the fleet", r.driver, r.frontend, 100*(1-rel)))
+			bad = append(bad, fmt.Sprintf("%s/%s throughput %.1f%% below the fleet", r.driver, r.frontend, 100*(1-rel)))
 		}
-		fmt.Printf("  %-14s %-12s %9.1f -> %9.1f boots/s  %+6.1f%% vs fleet  %s\n",
-			r.driver, r.frontend, r.oldR, r.newR, 100*(rel-1), status)
+		arel := 0.0
+		if r.arat > 0 {
+			arel = r.arat / ascale
+			if arel > ceil {
+				status = "REGRESSED"
+				bad = append(bad, fmt.Sprintf("%s/%s allocs/boot %.1f%% above the fleet (%.0f -> %.0f)",
+					r.driver, r.frontend, 100*(arel-1), r.oldA, r.newA))
+			}
+		}
+		fmt.Printf("  %-14s %-12s %9.1f -> %9.1f boots/s  %+6.1f%% vs fleet  %6.0f -> %6.0f allocs/boot  %s\n",
+			r.driver, r.frontend, r.oldR, r.newR, 100*(rel-1), r.oldA, r.newA, status)
 	}
 	if len(bad) > 0 {
-		return fmt.Errorf("bench -compare: throughput regression: %s", strings.Join(bad, "; "))
+		return fmt.Errorf("bench -compare: regression: %s", strings.Join(bad, "; "))
 	}
 	fmt.Println("bench compare vs old report: no driver regressed")
 	return nil
@@ -227,6 +266,10 @@ func runBench(args []string) error {
 		"metric collector: off (default), on, or compare (measure off then on; fail if enabled is >3% slower)")
 	phases := fs.Bool("phases", false,
 		"record the per-phase boot time breakdown per driver (implies -obs on)")
+	cpuProfile := fs.String("cpuprofile", "",
+		"write a pprof CPU profile of the campaign loop to this file")
+	memProfile := fs.String("memprofile", "",
+		"write a pprof allocation profile of the campaign loop to this file")
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
@@ -257,6 +300,21 @@ func runBench(args []string) error {
 	}
 	for _, f := range frontends {
 		report.Frontends = append(report.Frontends, string(f))
+	}
+
+	// The profiles cover exactly the measurement loop below — campaign
+	// boots plus the warm-up expansion, none of the report plumbing — so
+	// the flat top of the CPU profile is the boot hot path.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("bench -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("bench -cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	perSec := make(map[string]map[experiment.Frontend]float64) // driver -> frontend -> boots/s
@@ -419,6 +477,28 @@ func runBench(args []string) error {
 		report.Totals = append(report.Totals, total)
 		fmt.Printf("bench %-14s %-12s %5d boots  %8.1f boots/s  %8.0f allocs/boot  %10.0f B/boot\n",
 			"total", frontend, total.Boots, total.BootsPerSec, total.AllocsPerBoot, total.BytesPerBoot)
+	}
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile() // idempotent with the deferred stop
+		fmt.Printf("bench CPU profile written to %s\n", *cpuProfile)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("bench -memprofile: %w", err)
+		}
+		// The allocs profile carries cumulative allocation sites since
+		// process start — effectively the campaign loop, which dwarfs
+		// flag parsing — so no GC fence is needed for alloc_objects.
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("bench -memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("bench -memprofile: %w", err)
+		}
+		fmt.Printf("bench allocation profile written to %s\n", *memProfile)
 	}
 
 	if *jsonOut {

@@ -156,6 +156,14 @@ type BlockStats struct {
 	// per-access bus lookup (wrong arity or no bus bound at compile
 	// time).
 	FallbackIO int64
+	// Superblocks is the number of while/for loops compiled to loop
+	// superblocks: the whole loop runs inside one closure with a
+	// specialized bool predicate and lean error-only statement cores,
+	// charging the watchdog in per-iteration batches.
+	Superblocks int64
+	// SuperStmts is the number of body statements inside those
+	// superblocks (the post statement of a for loop counts too).
+	SuperStmts int64
 }
 
 // add accumulates another compilation's counts.
@@ -164,15 +172,19 @@ func (s *BlockStats) add(o BlockStats) {
 	s.FusedStmts += o.FusedStmts
 	s.BatchedIO += o.BatchedIO
 	s.FallbackIO += o.FallbackIO
+	s.Superblocks += o.Superblocks
+	s.SuperStmts += o.SuperStmts
 }
 
 // sub returns the counts accumulated since an earlier snapshot.
 func (s BlockStats) sub(o BlockStats) BlockStats {
 	return BlockStats{
-		Blocks:     s.Blocks - o.Blocks,
-		FusedStmts: s.FusedStmts - o.FusedStmts,
-		BatchedIO:  s.BatchedIO - o.BatchedIO,
-		FallbackIO: s.FallbackIO - o.FallbackIO,
+		Blocks:      s.Blocks - o.Blocks,
+		FusedStmts:  s.FusedStmts - o.FusedStmts,
+		BatchedIO:   s.BatchedIO - o.BatchedIO,
+		FallbackIO:  s.FallbackIO - o.FallbackIO,
+		Superblocks: s.Superblocks - o.Superblocks,
+		SuperStmts:  s.SuperStmts - o.SuperStmts,
 	}
 }
 
@@ -364,6 +376,40 @@ func (p *Proc) Init() error {
 	}
 	st.declsReady = p.maxDecl
 	return nil
+}
+
+// InitSnapshot is a Proc's saved post-Init value state: the global
+// variable slots, the coverage bitset and the declaration-visibility
+// watermark at the moment Init returned. The zero value is an empty
+// snapshot whose buffers are grown on first capture and reused by every
+// later one (copy-in-place, like kernel.Snapshot).
+type InitSnapshot struct {
+	globals    []Value
+	cov        ccov.Set
+	declsReady int
+}
+
+// SnapshotInit captures p's post-Init value state into s. It is only
+// meaningful after a successful Init and before the boot script runs —
+// the pristine-prefix snapshot point of the campaign engine.
+func (p *Proc) SnapshotInit(s *InitSnapshot) {
+	s.globals = append(s.globals[:0], p.st.globals...)
+	s.cov.CopyFrom(p.st.cov)
+	s.declsReady = p.st.declsReady
+}
+
+// RestoreInit rewinds p to a captured post-Init state, standing in for
+// an Init call on a freshly patched Proc: globals, coverage and the
+// visibility watermark are restored, the stack and call depth rewound.
+// The snapshot must come from a Proc of the same program shape (the
+// incremental compiler's Patch preserves global slot assignment), which
+// the campaign rig's snapshot validity key guarantees.
+func (p *Proc) RestoreInit(s *InitSnapshot) {
+	copy(p.st.globals, s.globals)
+	p.st.cov.CopyFrom(&s.cov)
+	p.st.sp, p.st.depth = 0, 0
+	p.st.declsReady = s.declsReady
+	p.inited = true
 }
 
 // Call invokes a driver function by name — the boot script entry point.

@@ -339,6 +339,9 @@ func (c *compiler) stmtBody(s cast.Stmt) stmtFn {
 		}
 
 	case *cast.WhileStmt:
+		if c.fuse && c.loopEligible(s.Body, nil) {
+			return c.whileSuper(s, line)
+		}
 		condFn := c.expr(s.Cond)
 		bodyFn := c.stmt(s.Body)
 		return func(st *state, fr []Value) (flow, Value, error) {
@@ -399,6 +402,9 @@ func (c *compiler) stmtBody(s cast.Stmt) stmtFn {
 		}
 
 	case *cast.ForStmt:
+		if c.fuse && c.loopEligible(s.Body, s.Post) {
+			return c.forSuper(s, line)
+		}
 		c.pushScope() // the init declaration's scope, as in the interpreter
 		var initFn stmtFn
 		if s.Init != nil {

@@ -140,11 +140,10 @@ func (c *execCaches) envFor(input BootInput, stubs *codegen.Stubs) (*ctypes.Env,
 // and recompiled against the worker's cached pristine pipeline. A
 // span-unsafe mutation materialises the full mutated stream and falls
 // through to the full pipeline below.
-func (c *execCaches) buildEngine(kern *kernel.Kernel, bus *hw.Bus,
-	generate func(codegen.Mode) (*codegen.Stubs, error),
-	input BootInput) (Engine, *BootResult, error) {
+func (c *execCaches) buildEngine(r *Rig, input BootInput) (Engine, *BootResult, error) {
+	kern, bus, generate := r.Kern, r.Bus, r.Stubs
 	if input.Mutation != nil {
-		ex, res, done, err := c.buildIncremental(kern, bus, generate, input)
+		ex, res, done, err := c.buildIncremental(r, input)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -191,6 +190,11 @@ func (c *execCaches) buildEngine(kern *kernel.Kernel, bus *hw.Bus,
 			res.CompileErrors = append(res.CompileErrors, e)
 		}
 		return nil, res, nil
+	}
+	if input.Mutation != nil && r.snapCounts(input) {
+		// A span-unsafe mutation on a snapshotting rig still runs the
+		// full prefix below (machine reset plus global initialisers).
+		c.obs.snapshotFallback.Inc()
 	}
 	tb := c.obs.compile.Start()
 	ex, rerr := newEngine(input.Backend, prog, env, kern, bus, stubs, c.exec, c.obs)
@@ -342,6 +346,22 @@ var ideWorkload = WorkloadDesc{
 		// cold-started.
 		d.Image.RestoreFrom(d.Pristine)
 		d.Ctrl.Reset()
+	},
+	Snapshot: func(dev, snap any) any {
+		// Controller registers only: the prefix cannot touch the disk (no
+		// calls run in global initialisers), so the image is pristine at
+		// capture time and Restore rewinds it from the pristine copy.
+		s, _ := snap.(*ide.State)
+		if s == nil {
+			s = &ide.State{}
+		}
+		dev.(*ideDev).Ctrl.Snapshot(s)
+		return s
+	},
+	Restore: func(dev, snap any) {
+		d := dev.(*ideDev)
+		d.Image.RestoreFrom(d.Pristine)
+		d.Ctrl.Restore(snap.(*ide.State))
 	},
 	Run: runIDEBoot,
 }

@@ -163,6 +163,9 @@ func (w *workload) Expand(spec campaign.Spec) ([]campaign.Meta, []campaign.Task,
 	if _, err := ParseFrontend(spec.Frontend); err != nil {
 		return nil, nil, err
 	}
+	if _, err := parseSnapshotKnob(spec.Snapshot); err != nil {
+		return nil, nil, err
+	}
 	// Validate every scenario cell up front (the engine crosses the
 	// work-list with them after Expand): a misspelled scenario fails the
 	// campaign before any rig is assembled.
@@ -211,8 +214,26 @@ func (w *workload) NewWorker(spec campaign.Spec) (campaign.Worker, error) {
 	if err != nil {
 		return nil, err
 	}
+	noSnap, err := parseSnapshotKnob(spec.Snapshot)
+	if err != nil {
+		return nil, err
+	}
 	return &worker{w: w, spec: spec, mode: mode, backend: backend,
-		frontend: frontend, rigs: make(rigSet), obs: make(map[string]*bootObs)}, nil
+		frontend: frontend, noSnap: noSnap,
+		rigs: make(rigSet), obs: make(map[string]*bootObs)}, nil
+}
+
+// parseSnapshotKnob maps the spec's snapshot knob to the rig's
+// DisableSnapshot flag: "" and "on" enable snapshotting (the default),
+// "off" disables it.
+func parseSnapshotKnob(s string) (disable bool, err error) {
+	switch s {
+	case "", "on":
+		return false, nil
+	case "off":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown snapshot setting %q (want on or off)", s)
 }
 
 // worker boots tasks on a single goroutine, reusing one rig per
@@ -228,7 +249,9 @@ type worker struct {
 	mode     codegen.Mode
 	backend  Backend
 	frontend Frontend
-	rigs     rigSet
+	// noSnap mirrors the spec's snapshot=off knob onto every rig.
+	noSnap bool
+	rigs   rigSet
 	// obs caches the per-workload instrumentation bundles bound to the
 	// workload's collector (unused when the workload is unobserved).
 	obs map[string]*bootObs
@@ -274,6 +297,7 @@ func (wk *worker) Boot(t campaign.Task) (campaign.Outcome, error) {
 	if err != nil {
 		return campaign.Outcome{}, err
 	}
+	rig.DisableSnapshot = wk.noSnap
 	if wk.w.col != nil {
 		o, ok := wk.obs[rig.Desc.Name]
 		if !ok {

@@ -50,13 +50,30 @@ const (
 	// MetricBlocksFallback counts port-I/O call sites the block backend
 	// left on the generic per-access bus path (wrong-arity mutants).
 	MetricBlocksFallback = "driverlab_exec_blocks_fallback_total"
+	// MetricSuperblocksCompiled counts loops the block backend compiled
+	// to single-closure superblocks (threaded loop bodies).
+	MetricSuperblocksCompiled = "driverlab_exec_superblocks_compiled_total"
+	// MetricSuperblockStmts counts statements folded into loop
+	// superblocks.
+	MetricSuperblockStmts = "driverlab_exec_superblocks_stmts_total"
+	// MetricSnapshotHits counts mutation boots served from the rig's
+	// pristine-prefix snapshot instead of re-running global
+	// initialisers.
+	MetricSnapshotHits = "driverlab_exec_snapshot_hits_total"
+	// MetricSnapshotFallbacks counts mutation boots on a
+	// snapshot-enabled rig that ran the full prefix because a safety
+	// gate failed (scenario rig, Devil stubs, non-function mutant,
+	// calls in global initialisers, cold snapshot, ...).
+	MetricSnapshotFallbacks = "driverlab_exec_snapshot_fallbacks_total"
 )
 
 // BootMetricNames lists every metric family the boot pipeline can
 // register, for the docs check and the `driverlab metrics` subcommand.
 func BootMetricNames() []string {
 	return []string{MetricBootPhase, MetricInterpFallbacks, MetricFullFrontend,
-		MetricBlocksCompiled, MetricBlocksFusedStmts, MetricBlocksBatchedIO, MetricBlocksFallback}
+		MetricBlocksCompiled, MetricBlocksFusedStmts, MetricBlocksBatchedIO, MetricBlocksFallback,
+		MetricSuperblocksCompiled, MetricSuperblockStmts,
+		MetricSnapshotHits, MetricSnapshotFallbacks}
 }
 
 // bootObs is the per-rig instrumentation bundle the boot pipeline
@@ -73,10 +90,14 @@ type bootObs struct {
 	interpFallback *obs.Counter
 	fullFrontend   *obs.Counter
 
-	blocksCompiled  *obs.Counter
-	blocksFused     *obs.Counter
-	blocksBatchedIO *obs.Counter
-	blocksFallback  *obs.Counter
+	blocksCompiled   *obs.Counter
+	blocksFused      *obs.Counter
+	blocksBatchedIO  *obs.Counter
+	blocksFallback   *obs.Counter
+	superblocks      *obs.Counter
+	superblockStmts  *obs.Counter
+	snapshotHit      *obs.Counter
+	snapshotFallback *obs.Counter
 }
 
 // addBlockStats records one compile's (or patch's) fusion work.
@@ -85,6 +106,8 @@ func (o *bootObs) addBlockStats(s ccompile.BlockStats) {
 	o.blocksFused.Add(s.FusedStmts)
 	o.blocksBatchedIO.Add(s.BatchedIO)
 	o.blocksFallback.Add(s.FallbackIO)
+	o.superblocks.Add(s.Superblocks)
+	o.superblockStmts.Add(s.SuperStmts)
 }
 
 // noObs is the disabled bundle every rig starts with.
@@ -124,6 +147,18 @@ func newBootObs(col *obs.Collector, workload string) *bootObs {
 			"workload", workload),
 		blocksFallback: col.Counter(MetricBlocksFallback,
 			"Port-I/O call sites left on the generic per-access bus path.",
+			"workload", workload),
+		superblocks: col.Counter(MetricSuperblocksCompiled,
+			"Loops compiled to single-closure superblocks.",
+			"workload", workload),
+		superblockStmts: col.Counter(MetricSuperblockStmts,
+			"Statements folded into loop superblocks.",
+			"workload", workload),
+		snapshotHit: col.Counter(MetricSnapshotHits,
+			"Mutation boots served from the pristine-prefix snapshot.",
+			"workload", workload),
+		snapshotFallback: col.Counter(MetricSnapshotFallbacks,
+			"Mutation boots that ran the full prefix on a snapshot-enabled rig.",
 			"workload", workload),
 	}
 }

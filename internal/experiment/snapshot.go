@@ -1,0 +1,178 @@
+package experiment
+
+import (
+	"repro/internal/cdriver/cast"
+	"repro/internal/cdriver/ccompile"
+	"repro/internal/kernel"
+)
+
+// Pristine-prefix snapshotting. Every campaign boot of a mutant repeats
+// the same prefix before the mutation can possibly matter: reset the
+// machine, patch the mutated declaration in place, and re-evaluate the
+// pristine global initialisers. When the mutation provably cannot change
+// what that prefix does, the rig captures the post-Init machine state
+// once and rewinds to it on later boots instead of re-running Init.
+//
+// The restore runs on top of the already-Reset machine (rigFor's reset
+// contract is untouched): rewinding the clock, the kernel, the
+// workload's devices and the process image together reproduces the
+// captured state exactly, because every piece of state a boot can
+// observe lives in one of those four places. Safety is decided per boot
+// by snapPlan; any gate failing means the boot runs the full prefix and
+// is counted as a fallback, so the optimisation can never change an
+// observable — a property the determinism suite checks byte-for-byte.
+
+// rigSnap is one rig's captured pristine-prefix snapshot.
+type rigSnap struct {
+	// valid marks an armed snapshot; st and budget are its validity key.
+	// st pins the incremental pipeline the capture ran under (its incrKey
+	// already encodes source, Devil mode, permissiveness, stub mode and
+	// backend); budget pins the step budget the kernel was armed with.
+	valid  bool
+	st     *incrState
+	budget int64
+
+	clockNow uint64
+	kern     kernel.Snapshot
+	proc     ccompile.InitSnapshot
+	// dev is the workload's pooled device snapshot handle, owned by the
+	// descriptor's Snapshot/Restore hook pair.
+	dev any
+}
+
+// snapCounts reports whether this boot participates in the snapshot
+// counters: a mutation boot on a rig with snapshotting enabled. Such a
+// boot is either served from the snapshot (a hit) or runs the full
+// prefix (a fallback); pristine boots and disabled rigs count as
+// neither.
+func (r *Rig) snapCounts(input BootInput) bool {
+	return !r.DisableSnapshot && input.Mutation != nil
+}
+
+// snapPlan decides, after a successful in-place patch of decl, whether
+// the boot can restore from the armed snapshot (use) and whether the
+// full prefix it is about to run should capture one (capture).
+//
+// The gates make restoring provably unobservable:
+//   - pristine scenario and no Devil stubs: the only mutable state
+//     outside kernel/clock/process is the workload's devices, which the
+//     descriptor hooks snapshot (a scenario's injector and Devil's stub
+//     state would be two more, unhooked, state holders);
+//   - FuncDecl replacement only: a mutated macro or global initialiser
+//     can change what Init computes, a mutated function body cannot be
+//     reached by it when
+//   - no global initialiser contains a call, transitively through the
+//     macros it references: initialisers are then pure expressions over
+//     literals and globals, so they touch no device, charge no steps
+//     and cannot reach the mutated function.
+//
+// Under those gates the post-Init state of any eligible mutant equals
+// the pristine post-Init state, so the capture may come from whichever
+// eligible boot runs first.
+func (r *Rig) snapPlan(st *incrState, decl cast.Decl, input BootInput) (use, capture bool) {
+	if r.DisableSnapshot || r.Scenario != "" || input.Devil ||
+		r.Desc.Snapshot == nil || r.Desc.Restore == nil || st.inc == nil {
+		return false, false
+	}
+	if _, ok := decl.(*cast.FuncDecl); !ok {
+		return false, false
+	}
+	if st.initsCall() {
+		return false, false
+	}
+	s := &r.snap
+	if s.valid && s.st == st && s.budget == input.Budget {
+		return true, false
+	}
+	return false, true
+}
+
+// snapCapture records the post-Init state of an eligible boot: virtual
+// clock, kernel (console, steps, remaining budget, transfer buffer),
+// the process image's globals and coverage, and the workload's devices.
+func (r *Rig) snapCapture(st *incrState, p *ccompile.Proc, input BootInput) {
+	s := &r.snap
+	s.st = st
+	s.budget = input.Budget
+	s.clockNow = r.Clock.Snapshot()
+	r.Kern.Snapshot(&s.kern)
+	p.SnapshotInit(&s.proc)
+	s.dev = r.Desc.Snapshot(r.Dev, s.dev)
+	s.valid = true
+}
+
+// snapRestore rewinds the just-Reset, just-patched machine to the
+// captured post-Init state. Clock and devices restore together — device
+// models anchor timeouts to absolute virtual times, so one without the
+// other would corrupt every pending delay. The kernel snapshot does not
+// carry the wall-clock deadline (it is real time, not machine state),
+// so the boot's deadline re-arms here exactly as the full path armed it
+// in Boot.
+func (r *Rig) snapRestore(p *ccompile.Proc, input BootInput) {
+	s := &r.snap
+	r.Clock.Restore(s.clockNow)
+	r.Kern.Restore(&s.kern)
+	if input.WallBudget > 0 {
+		r.Kern.SetDeadline(input.WallBudget)
+	}
+	r.Desc.Restore(r.Dev, s.dev)
+	p.RestoreInit(&s.proc)
+}
+
+// initsCall reports (computing once per pipeline) whether any pristine
+// global initialiser contains a call, transitively through the macros
+// it references.
+func (st *incrState) initsCall() bool {
+	if !st.initsCallDone {
+		st.initsCallVal = initsHaveCalls(st.prog)
+		st.initsCallDone = true
+	}
+	return st.initsCallVal
+}
+
+// initsHaveCalls walks every global initialiser expression looking for
+// a CallExpr, expanding object-like macro references as it goes. A
+// macro reference cycle cannot introduce a call, so revisits terminate
+// the walk (the map doubles as memoisation: a macro already walked
+// without finding a call reports false again).
+func initsHaveCalls(prog *cast.Program) bool {
+	var macros map[string]*cast.MacroDecl
+	for _, d := range prog.Decls {
+		if m, ok := d.(*cast.MacroDecl); ok {
+			if macros == nil {
+				macros = make(map[string]*cast.MacroDecl)
+			}
+			macros[m.Name] = m
+		}
+	}
+	seen := make(map[string]bool)
+	var walk func(e cast.Expr) bool
+	walk = func(e cast.Expr) bool {
+		switch e := e.(type) {
+		case *cast.CallExpr:
+			return true
+		case *cast.Ident:
+			m, ok := macros[e.Name]
+			if !ok || seen[e.Name] {
+				return false
+			}
+			seen[e.Name] = true
+			return walk(m.Body)
+		case *cast.UnaryExpr:
+			return walk(e.X)
+		case *cast.BinaryExpr:
+			return walk(e.X) || walk(e.Y)
+		case *cast.CondExpr:
+			return walk(e.Cond) || walk(e.Then) || walk(e.Else)
+		case *cast.CastExpr:
+			return walk(e.X)
+		}
+		return false // IntLit, StringLit, nil
+	}
+	for _, d := range prog.Decls {
+		if v, ok := d.(*cast.VarDecl); ok && v.Init != nil && walk(v.Init) {
+			return true
+		}
+	}
+	return false
+}

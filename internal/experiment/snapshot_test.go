@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/campaign/fleet"
+	"repro/internal/obs"
+)
+
+// The snapshot determinism suite: pristine-prefix snapshotting is an
+// execution shortcut, so a campaign with it on must produce result
+// records — row, site, partition loss and step count — byte-identical
+// to the same campaign with every boot forced through the full prefix.
+// Three legs cover the three execution modes: a pristine campaign where
+// restores actually fire, a scenario matrix (injected cells are
+// snapshot-ineligible and must all fall back), and a fleet run.
+
+// resultLines renders a store's result records as sorted JSON lines,
+// one per (scenario, mutant) cell — the byte-comparison surface of the
+// suite. Spec records are excluded: the two runs differ in the
+// fingerprint-excluded snapshot knob by construction.
+func resultLines(t *testing.T, st campaign.Store) []string {
+	t.Helper()
+	var lines []string
+	for _, r := range st.Records() {
+		if r.Kind != campaign.KindResult {
+			continue
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(b))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// runSnapshotLeg runs spec once with snapshotting on and once with it
+// off and requires byte-identical result records. It returns the
+// observed collector of the snapshot-on run for counter assertions.
+func runSnapshotLeg(t *testing.T, spec campaign.Spec) *obs.Collector {
+	t.Helper()
+	col := obs.New()
+	on := campaign.NewMemStore()
+	spec.Snapshot = "on"
+	if _, err := campaign.Run(spec, NewObservedWorkload(col), on, campaign.Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	off := campaign.NewMemStore()
+	spec.Snapshot = "off"
+	if _, err := campaign.Run(spec, NewWorkload(), off, campaign.Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	wantLines, gotLines := resultLines(t, off), resultLines(t, on)
+	if len(wantLines) != len(gotLines) {
+		t.Fatalf("record count diverges: snapshot-on %d, snapshot-off %d", len(gotLines), len(wantLines))
+	}
+	for i := range wantLines {
+		if wantLines[i] != gotLines[i] {
+			t.Errorf("record %d diverges:\nsnapshot-off %s\nsnapshot-on  %s", i, wantLines[i], gotLines[i])
+		}
+	}
+	return col
+}
+
+// counterTotal sums one counter family across its label sets.
+func counterTotal(col *obs.Collector, family string) float64 {
+	var total float64
+	for _, s := range col.Gather() {
+		if s.Name == family {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// TestSnapshotDeterminism: a pristine C-driver campaign — the case the
+// optimisation exists for — must be byte-identical with and without
+// restores, and the restores must actually have fired.
+func TestSnapshotDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot determinism test is not short")
+	}
+	spec := CampaignSpec("ide_c", MutationOptions{SamplePct: 2, Seed: 7})
+	spec.Name = "snapshot-determinism"
+	col := runSnapshotLeg(t, spec)
+	if hits := counterTotal(col, MetricSnapshotHits); hits == 0 {
+		t.Error("no boot restored from the snapshot; the on-leg tested nothing")
+	}
+}
+
+// TestSnapshotMatrixDeterminism: fault-injected matrix cells are
+// snapshot-ineligible (the injector holds unhooked state), so every
+// mutation boot there must fall back — and the tables must still be
+// byte-identical, with restores firing only in the pristine cell.
+func TestSnapshotMatrixDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot matrix determinism test is not short")
+	}
+	spec := CampaignSpec("busmouse_c", MutationOptions{SamplePct: 10, Seed: 11})
+	spec.Name = "snapshot-matrix"
+	spec.Scenarios = []string{"pristine", "flaky-bus:10"}
+	col := runSnapshotLeg(t, spec)
+	if hits := counterTotal(col, MetricSnapshotHits); hits == 0 {
+		t.Error("pristine cell never restored from the snapshot")
+	}
+	if fb := counterTotal(col, MetricSnapshotFallbacks); fb == 0 {
+		t.Error("injected cell never fell back; the scenario gate is not exercised")
+	}
+}
+
+// TestSnapshotFleetDeterminism: a leased fleet with snapshotting on
+// must aggregate to the same tables as a serial snapshot-off run.
+func TestSnapshotFleetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot fleet determinism test is not short")
+	}
+	spec := CampaignSpec("busmouse_c", MutationOptions{SamplePct: 5, Seed: 13})
+	spec.Name = "snapshot-fleet"
+	spec.Shards = 4
+
+	render := func(st campaign.Store) string {
+		t.Helper()
+		tables, order, err := campaign.Aggregate(st.Records())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text string
+		for _, d := range order {
+			text += FormatDriverTable(TableFromCampaign(tables[d]), d)
+		}
+		return text
+	}
+
+	serialOff := spec
+	serialOff.Snapshot = "off"
+	ref := campaign.NewMemStore()
+	if _, err := campaign.Run(serialOff, NewWorkload(), ref, campaign.Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := render(ref)
+
+	fleetOn := spec
+	fleetOn.Snapshot = "on"
+	fstore := campaign.NewMemStore()
+	co, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Spec: fleetOn, Workload: NewWorkload(), Store: fstore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Start(ln)
+	defer co.Close()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, workerErrs[i] = fleet.RunWorker(co.Addr(), NewWorkload(),
+				fleet.WorkerOptions{Name: fmt.Sprintf("snap-w%d", i), Workers: 1})
+		}(i)
+	}
+	wg.Wait()
+	for i, werr := range workerErrs {
+		if werr != nil {
+			t.Fatalf("fleet worker %d: %v", i, werr)
+		}
+	}
+	if err := co.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := render(fstore); got != want {
+		t.Errorf("fleet snapshot-on tables differ from serial snapshot-off:\n--- serial off\n%s\n--- fleet on\n%s", want, got)
+	}
+}

@@ -128,6 +128,41 @@ func (k *Kernel) Reset() {
 	}
 }
 
+// Snapshot is saved kernel boot state: everything Reset rewinds (console,
+// watchdog, transfer buffer). The zero value is an empty snapshot whose
+// buffers are grown on first capture and reused by every later one —
+// copy-in-place, like FSImage.RestoreFrom.
+type Snapshot struct {
+	console []string
+	steps   int64
+	budget  int64
+	buf     []byte
+}
+
+// Snapshot captures the kernel's per-boot state into s, reusing s's
+// buffers. The wall-clock deadline is per boot (re-armed by SetDeadline
+// each time) and is not captured.
+func (k *Kernel) Snapshot(s *Snapshot) {
+	s.console = append(s.console[:0], k.console...)
+	s.steps = k.steps
+	s.budget = k.budget
+	if s.buf == nil {
+		s.buf = make([]byte, len(k.buf))
+	}
+	copy(s.buf, k.buf)
+}
+
+// Restore rewinds the kernel to the captured state. Like Reset, it
+// disarms the wall-clock deadline so the next boot re-arms its own.
+func (k *Kernel) Restore(s *Snapshot) {
+	k.console = append(k.console[:0], s.console...)
+	k.steps = s.steps
+	k.budget = s.budget
+	k.deadline = time.Time{}
+	k.limit = 0
+	copy(k.buf, s.buf)
+}
+
 // Steps returns the number of steps consumed so far.
 func (k *Kernel) Steps() int64 { return k.steps }
 
@@ -145,6 +180,38 @@ func (k *Kernel) Step() error {
 		return &WatchdogError{Budget: k.budget}
 	}
 	if k.steps&deadlineCheckMask == 0 {
+		return k.checkDeadline()
+	}
+	return nil
+}
+
+// StepN charges n execution steps at once — the block backend's loop
+// superblocks batch the per-iteration charges that sequential Step calls
+// would make back to back with nothing in between. The count is clamped
+// to the budget so a watchdog-tripped boot lands on exactly budget+1
+// steps, byte-identical to n sequential Step calls; virtual time advances
+// in one Tick batch (device models work in elapsed time, see hw.Clock),
+// and the wall clock is polled once when the batch crosses a
+// deadline-check boundary.
+func (k *Kernel) StepN(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	if remaining := k.budget + 1 - k.steps; n > remaining {
+		n = remaining
+		if n <= 0 {
+			return &WatchdogError{Budget: k.budget}
+		}
+	}
+	before := k.steps
+	k.steps += n
+	if k.clock != nil {
+		k.clock.Tick(uint64(n))
+	}
+	if k.steps > k.budget {
+		return &WatchdogError{Budget: k.budget}
+	}
+	if before>>12 != k.steps>>12 {
 		return k.checkDeadline()
 	}
 	return nil
